@@ -1,0 +1,464 @@
+package repro
+
+// One testing.B benchmark per experiment in DESIGN.md §4. The benchmark
+// bodies measure the experiment's core operation; the full paper-style
+// tables are printed by `go run ./cmd/benchtables`. Sub-benchmarks expose
+// the parameter axes (strategy, disorder, backend, policy, ...) so
+// `-bench=. -benchmem` regenerates every series.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eventtime"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/iterate"
+	"repro/internal/lineage"
+	"repro/internal/load"
+	"repro/internal/ml"
+	"repro/internal/state"
+	"repro/internal/synopsis"
+	"repro/internal/txn"
+	"repro/internal/window"
+)
+
+// BenchmarkE1_GenerationPipelines runs one representative pipeline per
+// generation (Figure 1) end to end.
+func BenchmarkE1_GenerationPipelines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E1Evolution(0.02)
+	}
+}
+
+// BenchmarkE2_EngineThroughput measures the 2nd-generation engine on the
+// Table 1 baseline workload: keyed windowed aggregation end to end.
+func BenchmarkE2_EngineThroughput(b *testing.B) {
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parallelism-%d", par), func(b *testing.B) {
+			events := 20_000
+			spec := gen.Spec{N: events, Keys: 128, IntervalMs: 2, Seed: 1}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink := core.NewCollectSink()
+				bd := core.NewBuilder(core.Config{Name: "bench", ChannelCapacity: 1024})
+				s := bd.Source("src", gen.SourceFactory(spec), core.WithBoundedDisorder(0), core.WithParallelism(par)).
+					KeyBy(func(e core.Event) string { return e.Key })
+				window.Apply(s, "win", window.NewTumbling(1_000), window.CountAggregate()).
+					Sink("out", sink.Factory())
+				j, err := bd.Build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := j.Run(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(events*b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkE3_SlidingAggregation compares naive / panes / two-stacks per
+// element ("No pane, no gain").
+func BenchmarkE3_SlidingAggregation(b *testing.B) {
+	mk := map[string]func() window.SlidingAggregator{
+		"naive":     func() window.SlidingAggregator { return window.NewNaiveSliding(60_000, 1_000, window.Sum) },
+		"panes":     func() window.SlidingAggregator { return window.NewPaneSliding(60_000, 1_000, window.Sum) },
+		"twostacks": func() window.SlidingAggregator { return window.NewTwoStacksSliding(60_000, 1_000, window.Sum) },
+	}
+	for name, fac := range mk {
+		b.Run(name, func(b *testing.B) {
+			agg := fac()
+			rng := rand.New(rand.NewSource(7))
+			ts := int64(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ts += int64(rng.Intn(20))
+				agg.Add(ts, 1.0)
+			}
+		})
+	}
+}
+
+// BenchmarkE4_OOPvsBuffering measures the two disorder-handling strategies.
+func BenchmarkE4_OOPvsBuffering(b *testing.B) {
+	const disorder = 1_000
+	b.Run("iop-reorder-buffer", func(b *testing.B) {
+		buf := eventtime.NewReorderBuffer(0)
+		wm := eventtime.NewBoundedOutOfOrderness(disorder)
+		rng := rand.New(rand.NewSource(3))
+		ts := int64(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ts += 2
+			jit := ts - rng.Int63n(disorder)
+			buf.Push(jit, jit)
+			wm.OnEvent(jit)
+			if i%32 == 0 {
+				buf.Release(wm.OnPeriodic())
+			}
+		}
+	})
+	b.Run("oop-window-partials", func(b *testing.B) {
+		open := map[int64]int64{}
+		wm := eventtime.NewBoundedOutOfOrderness(disorder)
+		rng := rand.New(rand.NewSource(3))
+		ts := int64(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ts += 2
+			jit := ts - rng.Int63n(disorder)
+			open[jit/1_000]++
+			wm.OnEvent(jit)
+			if i%32 == 0 {
+				bound := wm.OnPeriodic()
+				for w := range open {
+					if (w+1)*1_000 <= bound {
+						delete(open, w)
+					}
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkE5_ProgressMechanisms measures the per-event cost of each
+// progress-tracking mechanism.
+func BenchmarkE5_ProgressMechanisms(b *testing.B) {
+	b.Run("watermark", func(b *testing.B) {
+		g := eventtime.NewBoundedOutOfOrderness(500)
+		for i := 0; i < b.N; i++ {
+			g.OnEvent(int64(i))
+			if i%64 == 0 {
+				g.OnPeriodic()
+			}
+		}
+	})
+	b.Run("punctuation", func(b *testing.B) {
+		tr := eventtime.NewPunctuationTracker(1)
+		for i := 0; i < b.N; i++ {
+			if i%64 == 0 {
+				tr.Observe(0, eventtime.Punctuation{TS: int64(i)})
+			}
+		}
+	})
+	b.Run("heartbeat", func(b *testing.B) {
+		h := eventtime.NewHeartbeatGenerator(100, 100)
+		for i := 0; i < b.N; i++ {
+			if i%64 == 0 {
+				h.ReportSourceClock("s", int64(i))
+				h.Heartbeat()
+			}
+		}
+	})
+	b.Run("slack", func(b *testing.B) {
+		s := eventtime.NewSlackBuffer(64)
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < b.N; i++ {
+			s.Push(int64(i)-rng.Int63n(50), i)
+		}
+	})
+	b.Run("frontier", func(b *testing.B) {
+		f := eventtime.NewFrontier()
+		for i := 0; i < b.N; i++ {
+			p := eventtime.Pointstamp{Node: 0, Time: int64(i)}
+			f.Add(p, 1)
+			f.Add(p, -1)
+		}
+	})
+}
+
+// BenchmarkE6_StateBackends measures keyed writes per backend.
+func BenchmarkE6_StateBackends(b *testing.B) {
+	run := func(b *testing.B, backend state.Backend) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			backend.SetCurrentKey(fmt.Sprintf("k%d", i%4096))
+			backend.Value("v").Set(int64(i))
+		}
+	}
+	b.Run("memory", func(b *testing.B) { run(b, state.NewMemoryBackend(0)) })
+	b.Run("lsm", func(b *testing.B) {
+		be, err := state.NewLSMBackend(b.TempDir(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer be.Dispose()
+		b.ResetTimer()
+		run(b, be)
+	})
+	b.Run("changelog", func(b *testing.B) { run(b, state.NewChangelogBackend(0, state.NewChangelog())) })
+}
+
+// BenchmarkE7_Recovery measures passive-standby recovery (checkpoint restore
+// + replay) and the lineage baseline's recomputation.
+func BenchmarkE7_Recovery(b *testing.B) {
+	b.Run("passive-restore", func(b *testing.B) {
+		// Prepare one checkpoint, then repeatedly restore-and-finish.
+		const events = 2_000
+		evs := make([]core.Event, events)
+		for i := range evs {
+			evs[i] = core.Event{Key: fmt.Sprintf("k%d", i%7), Timestamp: int64(i), Value: int64(1)}
+		}
+		store := core.NewMemorySnapshotStore()
+		build := func() (*core.Job, *core.CollectSink) {
+			sink := core.NewCollectSink()
+			bd := core.NewBuilder(core.Config{Name: "bench-rec", SnapshotStore: store,
+				CheckpointEvery: 500, ChannelCapacity: 8})
+			bd.Source("src", core.NewSliceSourceFactory(evs)).
+				Map("id", func(e core.Event) (core.Event, bool) { return e, true }).
+				Sink("out", sink.Factory())
+			j, err := bd.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			return j, sink
+		}
+		j, _ := build()
+		if err := j.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		cp := j.LastCheckpoint()
+		if cp < 0 {
+			b.Fatal("no checkpoint")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j2, _ := build()
+			j2.RestoreFrom(cp)
+			if err := j2.Run(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lineage-recompute", func(b *testing.B) {
+		evs := make([]core.Event, 2_000)
+		for i := range evs {
+			evs[i] = core.Event{Timestamp: int64(i), Value: int64(1)}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j, err := lineage.NewJob(lineage.Config{BatchSize: 50, CheckpointEveryBatches: 8},
+				evs, nil, func(st any, in []core.Event) ([]core.Event, any) {
+					return nil, st.(int64) + int64(len(in))
+				}, int64(0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := j.Run(27); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE8_Overload runs the overload simulation per policy.
+func BenchmarkE8_Overload(b *testing.B) {
+	cfg := load.SimConfig{BaseRate: 100, BurstFactor: 2.5, BurstStart: 50, BurstEnd: 150,
+		Ticks: 300, CapacityPerInstance: 120, QueueBound: 500, Instances: 1, MaxInstances: 8, Seed: 7}
+	for _, p := range []load.Policy{load.PolicyShedRandom, load.PolicyShedSemantic,
+		load.PolicyBackpressure, load.PolicyElastic} {
+		b.Run(p.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				load.RunOverloadSim(p, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkE9_Synopses measures synopsis update cost vs exact map state.
+func BenchmarkE9_Synopses(b *testing.B) {
+	keys := make([]string, 65536)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	b.Run("exact-map", func(b *testing.B) {
+		m := map[string]uint64{}
+		for i := 0; i < b.N; i++ {
+			m[keys[i%len(keys)]]++
+		}
+	})
+	b.Run("countmin", func(b *testing.B) {
+		cm, _ := synopsis.NewCountMin(0.001, 0.01)
+		for i := 0; i < b.N; i++ {
+			cm.Add(keys[i%len(keys)], 1)
+		}
+	})
+	b.Run("hyperloglog", func(b *testing.B) {
+		h, _ := synopsis.NewHyperLogLog(12)
+		for i := 0; i < b.N; i++ {
+			h.Add(keys[i%len(keys)])
+		}
+	})
+	b.Run("exphistogram", func(b *testing.B) {
+		eh, _ := synopsis.NewExpHistogram(60_000, 0.05)
+		for i := 0; i < b.N; i++ {
+			eh.Add(int64(i))
+		}
+	})
+}
+
+// BenchmarkE10_Vectorized measures the scalar vs batched window kernels.
+func BenchmarkE10_Vectorized(b *testing.B) {
+	values := make([]float64, 1<<16)
+	for i := range values {
+		values[i] = float64(i % 1000)
+	}
+	b.Run("scalar", func(b *testing.B) {
+		k := window.NewScalarTumbling(1024, window.Sum)
+		b.SetBytes(int64(len(values) * 8))
+		for i := 0; i < b.N; i++ {
+			k.Process(values)
+		}
+	})
+	b.Run("vectorized", func(b *testing.B) {
+		k := window.NewBatchTumbling(1024, window.Sum)
+		b.SetBytes(int64(len(values) * 8))
+		for i := 0; i < b.N; i++ {
+			k.Process(values)
+		}
+	})
+}
+
+// BenchmarkE11_Iteration measures BSP supersteps and online SGD updates.
+func BenchmarkE11_Iteration(b *testing.B) {
+	b.Run("pregel-cc-1kvertices", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var verts []*iterate.Vertex
+			for v := 0; v < 1000; v++ {
+				verts = append(verts, &iterate.Vertex{ID: fmt.Sprintf("v%d", v), Value: float64(v)})
+			}
+			for v := 1; v < 1000; v++ {
+				verts[v].Edges = append(verts[v].Edges, iterate.Edge{To: verts[v-1].ID})
+				verts[v-1].Edges = append(verts[v-1].Edges, iterate.Edge{To: verts[v].ID})
+			}
+			g := iterate.NewPregel(verts)
+			err := g.Run(func(ctx *iterate.VertexContext, msgs []any) {
+				v := ctx.Vertex()
+				cur := v.Value.(float64)
+				changed := ctx.Superstep() == 0
+				for _, m := range msgs {
+					if l := m.(float64); l < cur {
+						cur, changed = l, true
+					}
+				}
+				v.Value = cur
+				if changed {
+					ctx.SendToAllNeighbors(cur)
+				}
+				ctx.VoteToHalt()
+			}, 2000)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sgd-update", func(b *testing.B) {
+		m := ml.NewLinearRegression(8)
+		x := make([]float64, 8)
+		for i := range x {
+			x[i] = float64(i)
+		}
+		s := ml.Sample{Features: x, Label: 1}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Update(s, 0.01)
+		}
+	})
+}
+
+// BenchmarkE12_Transactions measures serializable transfer throughput.
+func BenchmarkE12_Transactions(b *testing.B) {
+	for _, parts := range []int{1, 16} {
+		b.Run(fmt.Sprintf("partitions-%d", parts), func(b *testing.B) {
+			store := txn.NewStore(parts)
+			for i := 0; i < 1000; i++ {
+				k := fmt.Sprintf("acct%d", i)
+				store.Execute([]string{k}, func(tx *txn.Tx) error { return tx.Set(k, int64(1_000_000)) })
+			}
+			rng := rand.New(rand.NewSource(9))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				from := fmt.Sprintf("acct%d", rng.Intn(1000))
+				to := fmt.Sprintf("acct%d", rng.Intn(1000))
+				if from == to {
+					continue
+				}
+				store.Execute([]string{from, to}, func(tx *txn.Tx) error {
+					fv, _, _ := tx.Get(from)
+					tv, _, _ := tx.Get(to)
+					tx.Set(from, fv.(int64)-1)
+					tx.Set(to, tv.(int64)+1)
+					return nil
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkE13_Rescale measures key-group redistribution of a checkpoint.
+func BenchmarkE13_Rescale(b *testing.B) {
+	// Build a checkpoint with populated keyed state once.
+	const events = 5_000
+	evs := make([]core.Event, events)
+	for i := range evs {
+		evs[i] = core.Event{Key: fmt.Sprintf("k%d", i%997), Timestamp: int64(i), Value: int64(1)}
+	}
+	store := core.NewMemorySnapshotStore()
+	sink := core.NewCollectSink()
+	bd := core.NewBuilder(core.Config{Name: "bench-rescale", SnapshotStore: store, ChannelCapacity: 64})
+	bd.Source("src", core.NewSliceSourceFactory(evs)).
+		KeyBy(func(e core.Event) string { return e.Key }).
+		ProcessWith("count", countFactory(), 2).
+		Sink("out", sink.Factory())
+	j, err := bd.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The request is buffered; the coordinator injects the barrier once the
+	// job starts, and the checkpoint completes before the stream ends.
+	j.TriggerCheckpoint()
+	if err := j.Run(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	cp := j.LastCheckpoint()
+	if cp < 0 {
+		b.Skip("no checkpoint completed")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RescaleCheckpoint(store, cp, cp+100+int64(i), "count", 8, state.DefaultKeyGroups); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func countFactory() core.OperatorFactory {
+	return func() core.Operator { return &benchCountOp{} }
+}
+
+type benchCountOp struct {
+	core.BaseOperator
+}
+
+func (c *benchCountOp) ProcessElement(e core.Event, ctx core.Context) error {
+	st := ctx.State().Value("count")
+	n := int64(0)
+	if v, ok := st.Get(); ok {
+		n = v.(int64)
+	}
+	st.Set(n + 1)
+	return nil
+}
+
+func (c *benchCountOp) Close(ctx core.Context) error {
+	ctx.State().ForEachKey("count", func(key string, v any) bool {
+		ctx.Emit(core.Event{Key: key, Value: v})
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,55 @@
+// Command benchtables is the experiment harness: it regenerates every paper
+// exhibit (Figure 1 as E1, Table 1 as E2) and the figure-shaped experiments
+// E3–E13 derived from the survey's comparative claims, printing paper-style
+// rows. See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+// recorded expected-vs-measured outcomes.
+//
+// Usage:
+//
+//	benchtables [-scale 1.0] [-only E3,E8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale factor (0.1 for a quick pass)")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	all := map[string]func(float64) experiments.Report{
+		"E1":  experiments.E1Evolution,
+		"E2":  func(float64) experiments.Report { return experiments.E2Table1() },
+		"E3":  experiments.E3SlidingAggregation,
+		"E4":  experiments.E4OOPvsBuffering,
+		"E5":  experiments.E5ProgressMechanisms,
+		"E6":  experiments.E6StateBackends,
+		"E7":  experiments.E7Recovery,
+		"E8":  experiments.E8Overload,
+		"E9":  experiments.E9Synopses,
+		"E10": experiments.E10Vectorized,
+		"E11": experiments.E11Iteration,
+		"E12": experiments.E12Transactions,
+		"E13": experiments.E13Rescale,
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+
+	for _, id := range order {
+		if len(want) > 0 && !want[id] {
+			continue
+		}
+		fmt.Println(all[id](*scale))
+	}
+}

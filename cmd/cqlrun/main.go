@@ -1,0 +1,110 @@
+// Command cqlrun executes a CQL continuous query against a generated demo
+// stream, printing the emitted stream deltas — §2.1 end to end.
+//
+// Usage:
+//
+//	cqlrun [-n 200] [-stream flows|trades] [-limit 20] "QUERY"
+//
+// The flows stream has columns (src, dst, port, bytes, proto); trades has
+// (symbol, price, size). Examples:
+//
+//	cqlrun "ISTREAM (SELECT src, bytes FROM flows WHERE bytes > 30000)"
+//	cqlrun "RSTREAM (SELECT proto, COUNT(*) AS n FROM flows [ROWS 100] GROUP BY proto)"
+//	cqlrun -stream trades "RSTREAM (SELECT symbol, AVG(price) AS avgp FROM trades [RANGE 1000] GROUP BY symbol)"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/cql"
+	"repro/internal/gen"
+)
+
+func main() {
+	n := flag.Int("n", 200, "number of input tuples")
+	streamName := flag.String("stream", "flows", "demo stream: flows or trades")
+	limit := flag.Int("limit", 20, "max output rows to print (0 = all)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cqlrun [flags] \"QUERY\"")
+		flag.Usage()
+		os.Exit(2)
+	}
+	query := flag.Arg(0)
+
+	ex, err := cql.Prepare(query)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	printed := 0
+	emit := func(outs []cql.Output) {
+		for _, o := range outs {
+			if *limit > 0 && printed >= *limit {
+				return
+			}
+			kind := "+"
+			if o.Kind == cql.Delete {
+				kind = "-"
+			}
+			fmt.Printf("%s t=%-8d %s\n", kind, o.Ts, renderRow(o.Row))
+			printed++
+		}
+	}
+
+	switch *streamName {
+	case "flows":
+		spec := gen.FlowSpec(*n, 500, 42)
+		for i := 0; i < *n; i++ {
+			e := spec.At(int64(i))
+			f := e.Value.(gen.NetFlow)
+			outs, err := ex.Push("flows", e.Timestamp, cql.Row{
+				"src": f.SrcIP, "dst": f.DstIP, "port": float64(f.DstPort),
+				"bytes": float64(f.Bytes), "proto": f.Protocol,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			emit(outs)
+		}
+	case "trades":
+		rng := rand.New(rand.NewSource(42))
+		symbols := []string{"AAA", "BBB", "CCC"}
+		for i := 0; i < *n; i++ {
+			outs, err := ex.Push("trades", int64(i*10), cql.Row{
+				"symbol": symbols[rng.Intn(len(symbols))],
+				"price":  50 + rng.Float64()*100,
+				"size":   float64(1 + rng.Intn(500)),
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			emit(outs)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown stream %q (want flows or trades)\n", *streamName)
+		os.Exit(2)
+	}
+	fmt.Printf("-- %d rows printed (limit %d)\n", printed, *limit)
+}
+
+func renderRow(r cql.Row) string {
+	keys := make([]string, 0, len(r))
+	for k := range r {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, r[k]))
+	}
+	return strings.Join(parts, " ")
+}

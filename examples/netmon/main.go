@@ -1,0 +1,151 @@
+// Command netmon is the Gigascope-style network monitoring workload ("a
+// stream database for network applications") rebuilt across generations:
+// bounded-memory synopses track heavy hitters and distinct destinations, a
+// CQL continuous query aggregates per-protocol traffic in-engine, and the
+// per-source byte counters are published as queryable state served over TCP
+// — 1st-generation analytics under a 3rd-generation interface.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cql"
+	"repro/internal/gen"
+	"repro/internal/queryable"
+	"repro/internal/synopsis"
+)
+
+func main() {
+	const flows = 50_000
+	spec := gen.FlowSpec(flows, 5_000, 99)
+
+	// Shared synopses updated by a parallel operator; each instance owns its
+	// own sketch, merged at the end (the mergeability that makes sketches
+	// parallel-friendly).
+	const par = 2
+	sketches := make([]*synopsis.CountMin, par)
+	hlls := make([]*synopsis.HyperLogLog, par)
+	for i := range sketches {
+		sketches[i] = synopsis.NewCountMinWithSize(4096, 4)
+		h, err := synopsis.NewHyperLogLog(12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hlls[i] = h
+	}
+
+	svc := queryable.NewService()
+	cqlOut := core.NewCollectSink()
+
+	b := core.NewBuilder(core.Config{Name: "netmon", WatermarkInterval: 64})
+	src := b.Source("flows", gen.SourceFactory(spec), core.WithBoundedDisorder(0), core.WithParallelism(par))
+
+	// Branch 1: synopses (heavy hitters + distinct destinations).
+	src.ProcessWith("sketch", func() core.Operator {
+		return core.MapFunc(func(e core.Event, ctx core.Context) error {
+			f := e.Value.(gen.NetFlow)
+			sketches[ctx.InstanceIndex()].Add(f.SrcIP, uint64(f.Bytes))
+			hlls[ctx.InstanceIndex()].Add(f.DstIP)
+			return nil
+		})()
+	}, par).Sink("sketch-sink", core.NewCollectSink().Factory())
+
+	// Branch 2: CQL per-protocol aggregate over a sliding row window.
+	cql.Operator(src, "per-proto",
+		"RSTREAM (SELECT proto, COUNT(*) AS flows, SUM(bytes) AS bytes FROM flows [ROWS 2000] GROUP BY proto)",
+		"flows", func(e core.Event) (cql.Row, bool) {
+			f, ok := e.Value.(gen.NetFlow)
+			if !ok {
+				return nil, false
+			}
+			return cql.Row{"proto": f.Protocol, "bytes": float64(f.Bytes)}, true
+		}).Sink("cql-out", cqlOut.Factory())
+
+	// Branch 3: queryable per-source byte counters.
+	keyed := src.KeyBy(func(e core.Event) string { return e.Value.(gen.NetFlow).SrcIP })
+	queryable.PublishOperator(keyed, "bytes-by-src", svc, "src_bytes", "bytes",
+		func(e core.Event, ctx core.Context) {
+			st := ctx.State().Value("bytes")
+			cur := int64(0)
+			if v, ok := st.Get(); ok {
+				cur = v.(int64)
+			}
+			st.Set(cur + e.Value.(gen.NetFlow).Bytes)
+		}).Sink("qs-sink", core.NewCollectSink().Factory())
+
+	job, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := job.Run(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
+	// Merge per-instance sketches.
+	cm := sketches[0]
+	hll := hlls[0]
+	for i := 1; i < par; i++ {
+		if err := cm.Merge(sketches[i]); err != nil {
+			log.Fatal(err)
+		}
+		if err := hll.Merge(hlls[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("network monitoring pipeline:")
+	fmt.Printf("  flows processed        : %d\n", flows)
+	fmt.Printf("  distinct destinations  : ~%d (HyperLogLog, %d bytes)\n", hll.Estimate(), hll.Bytes())
+
+	// Heavy hitters: probe the sketch with the keys the queryable state
+	// knows about, report the top 5 by estimated bytes.
+	type talker struct {
+		src string
+		est uint64
+	}
+	var talkers []talker
+	for _, k := range svc.Keys("src_bytes") {
+		talkers = append(talkers, talker{src: k, est: cm.Estimate(k)})
+	}
+	sort.Slice(talkers, func(i, j int) bool { return talkers[i].est > talkers[j].est })
+	fmt.Printf("  tracked sources        : %d (CMS %d bytes)\n", len(talkers), cm.Bytes())
+	fmt.Println("  top talkers (sketch estimate vs exact queryable state):")
+	srv, err := queryable.Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := queryable.Dial(srv.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	for _, tk := range talkers[:5] {
+		exact, _, err := client.Get("src_bytes", tk.src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("    %-8s sketch=%-12d exact=%-12d\n", tk.src, tk.est, exact)
+	}
+
+	// Last CQL relation snapshot per protocol.
+	latest := map[string]cql.Row{}
+	for _, e := range cqlOut.Events() {
+		row := e.Value.(cql.Row)
+		latest[row["proto"].(string)] = row
+	}
+	fmt.Println("  per-protocol (CQL, last 2000 flows):")
+	var protos []string
+	for p := range latest {
+		protos = append(protos, p)
+	}
+	sort.Strings(protos)
+	for _, p := range protos {
+		r := latest[p]
+		fmt.Printf("    %-4s flows=%-6.0f bytes=%.0f\n", p, r["flows"], r["bytes"])
+	}
+}

@@ -1,0 +1,195 @@
+// Command statefun is the §4.1 Cloud-application example: an e-commerce
+// checkout built from stateful functions (virtual actors) with a
+// transactional payment workflow underneath — "stream processors can become
+// full-fledged systems for backing Cloud services such as Virtual Actors and
+// Microservices, capable of executing transactions ... and embedding complex
+// business logic of stateful services inside dataflow operators".
+//
+// Three function types cooperate: cart (accumulates items), checkout
+// (orchestrates), inventory (reserves stock). Payment runs as a txn.Workflow
+// with automatic compensation: an order that cannot be paid releases its
+// reserved stock.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/statefun"
+	"repro/internal/txn"
+)
+
+// Messages.
+type addItem struct {
+	SKU   string
+	Price int64
+}
+type checkoutNow struct{}
+type orderResult struct {
+	User    string
+	Total   int64
+	Success bool
+	Reason  string
+}
+
+func main() {
+	store := txn.NewStore(8)
+	// Seed inventory and user balances.
+	mustExec(store, []string{"stock/widget"}, func(tx *txn.Tx) error { return tx.Set("stock/widget", int64(3)) })
+	mustExec(store, []string{"stock/gadget"}, func(tx *txn.Tx) error { return tx.Set("stock/gadget", int64(10)) })
+	for _, u := range []string{"alice", "bob", "carol"} {
+		k := "balance/" + u
+		mustExec(store, []string{k}, func(tx *txn.Tx) error { return tx.Set(k, int64(120)) })
+	}
+
+	rt := statefun.NewRuntime(4)
+
+	// cart/<user>: accumulates items, forwards to checkout on demand.
+	mustRegister(rt, "cart", func(ctx statefun.Context, msg statefun.Message) error {
+		st := ctx.State()
+		items, _ := st.Get()
+		cart, _ := items.([]any)
+		switch m := msg.Payload.(type) {
+		case addItem:
+			st.Set(append(cart, m))
+		case checkoutNow:
+			ctx.Send(statefun.Address{Type: "checkout", ID: ctx.Self().ID}, cart)
+			st.Clear()
+		}
+		return nil
+	})
+
+	// checkout/<user>: runs the payment workflow transactionally.
+	mustRegister(rt, "checkout", func(ctx statefun.Context, msg statefun.Message) error {
+		cart, _ := msg.Payload.([]any)
+		user := ctx.Self().ID
+		var total int64
+		var keys []string
+		for _, it := range cart {
+			item := it.(addItem)
+			total += item.Price
+			keys = append(keys, "stock/"+item.SKU)
+		}
+		if len(cart) == 0 {
+			ctx.Egress(orderResult{User: user, Success: false, Reason: "empty cart"})
+			return nil
+		}
+
+		wf := txn.Workflow{
+			Name: "checkout-" + user,
+			Steps: []txn.Step{
+				{
+					Name: "reserve-stock",
+					Keys: keys,
+					Do: func(tx *txn.Tx) error {
+						for _, it := range cart {
+							item := it.(addItem)
+							k := "stock/" + item.SKU
+							v, ok, _ := tx.Get(k)
+							if !ok || v.(int64) < 1 {
+								tx.Abort(errors.New("out of stock: " + item.SKU))
+								return nil
+							}
+							if err := tx.Set(k, v.(int64)-1); err != nil {
+								return err
+							}
+						}
+						return nil
+					},
+					Compensate: func(tx *txn.Tx) error {
+						for _, it := range cart {
+							item := it.(addItem)
+							k := "stock/" + item.SKU
+							v, _, _ := tx.Get(k)
+							if err := tx.Set(k, v.(int64)+1); err != nil {
+								return err
+							}
+						}
+						return nil
+					},
+				},
+				{
+					Name: "charge",
+					Keys: []string{"balance/" + user},
+					Do: func(tx *txn.Tx) error {
+						k := "balance/" + user
+						v, _, _ := tx.Get(k)
+						if v.(int64) < total {
+							tx.Abort(errors.New("insufficient funds"))
+							return nil
+						}
+						return tx.Set(k, v.(int64)-total)
+					},
+				},
+			},
+		}
+		res := wf.Execute(store)
+		if res.Err != nil {
+			ctx.Egress(orderResult{User: user, Total: total, Success: false, Reason: res.Err.Error()})
+		} else {
+			ctx.Egress(orderResult{User: user, Total: total, Success: true})
+		}
+		return nil
+	})
+
+	rt.Start()
+
+	// Drive the shop: alice and bob buy widgets; carol over-spends; a fourth
+	// wave exhausts widget stock so compensation paths fire.
+	send := func(user string, m any) {
+		rt.Send(statefun.Address{Type: "cart", ID: user}, m)
+	}
+	send("alice", addItem{SKU: "widget", Price: 60})
+	send("alice", addItem{SKU: "gadget", Price: 30})
+	send("alice", checkoutNow{})
+
+	send("bob", addItem{SKU: "widget", Price: 60})
+	send("bob", checkoutNow{})
+
+	send("carol", addItem{SKU: "widget", Price: 60})
+	send("carol", addItem{SKU: "gadget", Price: 90}) // 150 > 120 balance
+	send("carol", checkoutNow{})
+	rt.Drain()
+
+	// Widget stock is now 3-2(-1 carol reserved+compensated)=1; two more
+	// buyers race for the last widget.
+	send("alice", addItem{SKU: "widget", Price: 60})
+	send("alice", checkoutNow{})
+	send("bob", addItem{SKU: "widget", Price: 60})
+	send("bob", checkoutNow{})
+	rt.Stop()
+
+	fmt.Println("stateful-functions checkout:")
+	for _, v := range rt.EgressValues() {
+		r := v.(orderResult)
+		status := "OK"
+		if !r.Success {
+			status = "FAILED (" + r.Reason + ")"
+		}
+		fmt.Printf("  order user=%-6s total=%-4d %s\n", r.User, r.Total, status)
+	}
+	stock, _ := store.Read("stock/widget")
+	fmt.Printf("  final widget stock : %v\n", stock)
+	for _, u := range []string{"alice", "bob", "carol"} {
+		bal, _ := store.Read("balance/" + u)
+		fmt.Printf("  final balance %-6s: %v\n", u, bal)
+	}
+	fmt.Printf("  txn commits=%d aborts=%d, function invocations=%d\n",
+		store.Commits.Load(), store.Aborts.Load(), rt.Invocations.Load())
+	if fails := rt.Failures(); len(fails) > 0 {
+		log.Fatalf("function failures: %v", fails)
+	}
+}
+
+func mustExec(s *txn.Store, keys []string, fn func(tx *txn.Tx) error) {
+	if err := s.Execute(keys, fn); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustRegister(rt *statefun.Runtime, name string, fn statefun.Function) {
+	if err := rt.Register(name, fn); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package repro
+
+// Smoke tests that every example program and command-line tool builds and
+// runs to completion. Guarded by -short since each invocation compiles a
+// binary.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runGo(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", args...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go %s failed: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example executions in -short mode")
+	}
+	for _, tc := range []struct {
+		path string
+		want string
+	}{
+		{"./examples/quickstart", "windowed word count"},
+		{"./examples/frauddetect", "fraud detection pipeline"},
+		{"./examples/ridesharing", "ride sharing pipeline"},
+		{"./examples/statefun", "stateful-functions checkout"},
+		{"./examples/netmon", "network monitoring pipeline"},
+	} {
+		t.Run(tc.path, func(t *testing.T) {
+			out := runGo(t, "run", tc.path)
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("%s output missing %q:\n%s", tc.path, tc.want, out)
+			}
+		})
+	}
+}
+
+func TestCommandsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping command executions in -short mode")
+	}
+	t.Run("cqlrun", func(t *testing.T) {
+		out := runGo(t, "run", "./cmd/cqlrun", "-n", "50",
+			"RSTREAM (SELECT proto, COUNT(*) AS n FROM flows [ROWS 20] GROUP BY proto)")
+		if !strings.Contains(out, "rows printed") {
+			t.Fatalf("cqlrun output unexpected:\n%s", out)
+		}
+	})
+	t.Run("benchtables-tiny", func(t *testing.T) {
+		out := runGo(t, "run", "./cmd/benchtables", "-scale", "0.01", "-only", "E2,E3")
+		if !strings.Contains(out, "Table 1") || !strings.Contains(out, "two-stacks") {
+			t.Fatalf("benchtables output unexpected:\n%s", out)
+		}
+	})
+	t.Run("evolution-tiny", func(t *testing.T) {
+		out := runGo(t, "run", "./cmd/evolution", "-scale", "0.01")
+		if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "gen3 pipeline") {
+			t.Fatalf("evolution output unexpected:\n%s", out)
+		}
+	})
+}

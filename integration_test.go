@@ -1,0 +1,350 @@
+package repro
+
+// Cross-module integration tests: whole jobs exercising several subsystems
+// together — the scenarios a downstream user of the library would actually
+// build.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cep"
+	"repro/internal/core"
+	"repro/internal/cql"
+	"repro/internal/gen"
+	"repro/internal/ml"
+	"repro/internal/queryable"
+	"repro/internal/state"
+	"repro/internal/window"
+)
+
+func runWithTimeout(t *testing.T, j *core.Job) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := j.Run(ctx); err != nil {
+		t.Fatalf("job failed: %v", err)
+	}
+}
+
+// TestWindowedPipelineSurvivesRestore runs a windowed aggregation with
+// checkpoints, stops at a savepoint, restores, and verifies the window
+// results equal an uninterrupted run — windows + managed state + barriers +
+// replayable generated source, together.
+func TestWindowedPipelineSurvivesRestore(t *testing.T) {
+	spec := gen.Spec{N: 3_000, Keys: 8, IntervalMs: 10, Seed: 21}
+	store := core.NewMemorySnapshotStore()
+
+	build := func(stopAt int, jobRef **core.Job, sink *core.CollectSink) *core.Job {
+		b := core.NewBuilder(core.Config{
+			Name:              "win-restore",
+			SnapshotStore:     store,
+			ChannelCapacity:   4,
+			WatermarkInterval: 8,
+		})
+		s := b.Source("src", gen.SourceFactory(spec), core.WithBoundedDisorder(0))
+		if stopAt > 0 {
+			s = s.Process("mid", savepointTrigger(stopAt, jobRef))
+		} else {
+			s = s.Map("mid", func(e core.Event) (core.Event, bool) { return e, true })
+		}
+		keyed := s.KeyBy(func(e core.Event) string { return e.Key })
+		window.Apply(keyed, "count", window.NewTumbling(1_000), window.CountAggregate()).
+			Sink("out", sink.Factory())
+		j, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+
+	// Reference: clean run.
+	ref := core.NewCollectSink()
+	runWithTimeout(t, build(0, nil, ref))
+
+	// Interrupted run + restore.
+	var j1 *core.Job
+	part1 := core.NewCollectSink()
+	j1 = build(1_000, &j1, part1)
+	runWithTimeout(t, j1)
+	cp := j1.LastCheckpoint()
+	if cp < 0 {
+		t.Fatal("no savepoint completed")
+	}
+	part2 := core.NewCollectSink()
+	j2 := build(0, nil, part2)
+	j2.RestoreFrom(cp)
+	runWithTimeout(t, j2)
+
+	sum := func(evs []core.Event) map[string]int64 {
+		out := map[string]int64{}
+		for _, e := range evs {
+			out[fmt.Sprintf("%s@%d", e.Key, e.Timestamp)] += e.Value.(int64)
+		}
+		return out
+	}
+	want := sum(ref.Events())
+	got := sum(append(part1.Events(), part2.Events()...))
+	if len(want) != len(got) {
+		t.Fatalf("window result count differs: clean=%d restored=%d", len(want), len(got))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("window %s: clean=%d restored=%d", k, v, got[k])
+		}
+	}
+}
+
+func savepointTrigger(at int, job **core.Job) core.OperatorFactory {
+	return func() core.Operator { return &spTrigger{at: at, job: job} }
+}
+
+type spTrigger struct {
+	core.BaseOperator
+	at, seen int
+	job      **core.Job
+}
+
+func (o *spTrigger) ProcessElement(e core.Event, ctx core.Context) error {
+	ctx.Emit(e)
+	o.seen++
+	if o.seen == o.at && o.job != nil && *o.job != nil {
+		(*o.job).TriggerSavepoint()
+	}
+	return nil
+}
+
+// TestCQLOperatorInsideEngine runs a CQL aggregation as a dataflow operator
+// over a generated trade stream.
+func TestCQLOperatorInsideEngine(t *testing.T) {
+	var events []core.Event
+	for i := 0; i < 300; i++ {
+		events = append(events, core.Event{
+			Timestamp: int64(i * 10),
+			Value: cql.Row{
+				"symbol": []string{"AAA", "BBB"}[i%2],
+				"price":  float64(100 + i%7),
+			},
+		})
+	}
+	sink := core.NewCollectSink()
+	b := core.NewBuilder(core.Config{Name: "cql-engine"})
+	s := b.Source("trades", core.NewSliceSourceFactory(events))
+	cql.Operator(s, "avg", "RSTREAM (SELECT symbol, AVG(price) AS avgp FROM trades [ROWS 50] GROUP BY symbol)",
+		"trades", func(e core.Event) (cql.Row, bool) {
+			r, ok := e.Value.(cql.Row)
+			return r, ok
+		}).
+		Sink("out", sink.Factory())
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWithTimeout(t, j)
+	if sink.Len() == 0 {
+		t.Fatal("no CQL output")
+	}
+	// Every emitted row must carry a plausible running average.
+	for _, e := range sink.Events() {
+		row := e.Value.(cql.Row)
+		avg := row["avgp"].(float64)
+		if avg < 100 || avg > 107 {
+			t.Fatalf("implausible average: %v", row)
+		}
+	}
+}
+
+// TestFraudPipelineEndToEnd wires generator -> CEP -> alerts and
+// generator -> features -> online model -> predictions, in one job, with an
+// LSM state backend under the CEP operator — three subsystems composed.
+func TestFraudPipelineEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	spec := gen.FraudSpec(4_000, 20, 0.05, 3)
+	registry := ml.NewRegistry()
+	alerts := core.NewCollectSink()
+	scores := core.NewCollectSink()
+
+	b := core.NewBuilder(core.Config{
+		Name: "fraud-e2e",
+		BackendFactory: func(node string, instance int) (state.Backend, error) {
+			return state.NewLSMBackend(fmt.Sprintf("%s/%s-%d", dir, node, instance), 0)
+		},
+	})
+	txns := b.Source("txns", gen.SourceFactory(spec), core.WithBoundedDisorder(0))
+
+	small := func(e core.Event) bool { return e.Value.(gen.Transaction).Amount < 100 }
+	large := func(e core.Event) bool { return e.Value.(gen.Transaction).Amount >= 500 }
+	pattern := cep.Begin("p1", small).FollowedBy("p2", small).
+		FollowedBy("hit", large).Within(60_000).MustBuild()
+	keyed := txns.KeyBy(func(e core.Event) string { return e.Value.(gen.Transaction).Card })
+	cep.PatternStream(keyed, "pattern", pattern, func(card string, m cep.Match, emit func(core.Event)) {
+		emit(core.Event{Key: card, Timestamp: m.End, Value: "alert"})
+	}, cep.SkipPastLastEvent()).Sink("alerts", alerts.Factory())
+
+	samples := txns.Map("featurize", func(e core.Event) (core.Event, bool) {
+		tx := e.Value.(gen.Transaction)
+		label := 0.0
+		if tx.Fraudulent {
+			label = 1
+		}
+		e.Value = ml.Sample{Features: []float64{tx.Amount / 1000}, Label: label}
+		return e, true
+	})
+	ml.TrainOperator(samples, "train", ml.NewLogisticRegression(1), registry, 0.2, 500).
+		Sink("pub", core.NewCollectSink().Factory())
+	ml.ServeOperator(samples, "serve", registry).Sink("scores", scores.Factory())
+
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWithTimeout(t, j)
+
+	if alerts.Len() == 0 {
+		t.Fatal("no CEP alerts on a stream with injected fraud")
+	}
+	if registry.NumVersions() < 4 {
+		t.Fatalf("too few model versions: %d", registry.NumVersions())
+	}
+	// Late predictions (trained model) should separate fraud from normal.
+	var fraudScore, normalScore float64
+	var fraudN, normalN int
+	truth := map[int64]bool{}
+	for i := int64(0); i < int64(spec.N); i++ {
+		e := spec.At(i)
+		truth[e.Timestamp] = e.Value.(gen.Transaction).Fraudulent
+	}
+	events := scores.Events()
+	for _, e := range events[len(events)/2:] { // second half: model warmed up
+		p := e.Value.(ml.Prediction)
+		if truth[e.Timestamp] {
+			fraudScore += p.Score
+			fraudN++
+		} else {
+			normalScore += p.Score
+			normalN++
+		}
+	}
+	if fraudN == 0 || normalN == 0 {
+		t.Fatal("missing classes in scored stream")
+	}
+	if fraudScore/float64(fraudN) <= normalScore/float64(normalN) {
+		t.Fatalf("model does not separate: fraud avg %.3f vs normal avg %.3f",
+			fraudScore/float64(fraudN), normalScore/float64(normalN))
+	}
+}
+
+// TestQueryableStateAcrossRescale publishes pipeline state, rescales the
+// operator via a savepoint, resumes, and verifies the queryable counts end
+// up exactly right — state migration + queryable state composed.
+func TestQueryableStateAcrossRescale(t *testing.T) {
+	const events = 2_000
+	evs := make([]core.Event, events)
+	for i := range evs {
+		evs[i] = core.Event{Key: fmt.Sprintf("k%d", i%13), Timestamp: int64(i), Value: int64(1)}
+	}
+	store := core.NewMemorySnapshotStore()
+	svc := queryable.NewService()
+
+	build := func(par int, stopAt int, jobRef **core.Job) *core.Job {
+		b := core.NewBuilder(core.Config{Name: "qrescale", SnapshotStore: store,
+			ChannelCapacity: 4, WatermarkInterval: 16})
+		s := b.Source("src", core.NewSliceSourceFactory(evs), core.WithBoundedDisorder(0))
+		if stopAt > 0 {
+			s = s.Process("mid", savepointTrigger(stopAt, jobRef))
+		} else {
+			s = s.Map("mid", func(e core.Event) (core.Event, bool) { return e, true })
+		}
+		keyed := s.KeyBy(func(e core.Event) string { return e.Key })
+		str := queryable.PublishOperator(keyed, "count", svc, "counts", "n",
+			func(e core.Event, ctx core.Context) {
+				st := ctx.State().Value("n")
+				cur := int64(0)
+				if v, ok := st.Get(); ok {
+					cur = v.(int64)
+				}
+				st.Set(cur + 1)
+			})
+		_ = par
+		str.Sink("out", core.NewCollectSink().Factory())
+		j, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+
+	var j1 *core.Job
+	j1 = build(1, 800, &j1)
+	runWithTimeout(t, j1)
+	cp := j1.LastCheckpoint()
+	if cp < 0 {
+		t.Fatal("no savepoint")
+	}
+	j2 := build(1, 0, nil)
+	j2.RestoreFrom(cp)
+	runWithTimeout(t, j2)
+
+	total := int64(0)
+	for _, k := range svc.Keys("counts") {
+		v, _ := svc.Get("counts", k)
+		total += v.(int64)
+	}
+	if total != events {
+		t.Fatalf("queryable counts after restore: want %d, got %d", events, total)
+	}
+}
+
+// TestAtLeastOnceModeDeliversEverything exercises the unaligned-barrier
+// mode: a restore may duplicate but never lose.
+func TestAtLeastOnceModeDeliversEverything(t *testing.T) {
+	const events = 1_000
+	evs := make([]core.Event, events)
+	for i := range evs {
+		evs[i] = core.Event{Key: "k", Timestamp: int64(i), Value: int64(1)}
+	}
+	store := core.NewMemorySnapshotStore()
+
+	var j1 *core.Job
+	sink1 := core.NewCollectSink()
+	b := core.NewBuilder(core.Config{Name: "alo", SnapshotStore: store,
+		AtLeastOnce: true, ChannelCapacity: 2})
+	b.Source("src", core.NewSliceSourceFactory(evs)).
+		Process("mid", savepointTrigger(400, &j1)).
+		Sink("out", sink1.Factory())
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1 = j
+	runWithTimeout(t, j)
+	cp := j.LastCheckpoint()
+	if cp < 0 {
+		t.Fatal("no savepoint in at-least-once mode")
+	}
+
+	sink2 := core.NewCollectSink()
+	b2 := core.NewBuilder(core.Config{Name: "alo2", SnapshotStore: store, AtLeastOnce: true})
+	b2.Source("src", core.NewSliceSourceFactory(evs)).
+		Map("mid", func(e core.Event) (core.Event, bool) { return e, true }).
+		Sink("out", sink2.Factory())
+	j2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.RestoreFrom(cp)
+	runWithTimeout(t, j2)
+
+	// Union must cover every timestamp at least once.
+	seen := map[int64]int{}
+	for _, e := range append(sink1.Events(), sink2.Events()...) {
+		seen[e.Timestamp]++
+	}
+	for i := int64(0); i < events; i++ {
+		if seen[i] == 0 {
+			t.Fatalf("at-least-once lost event %d", i)
+		}
+	}
+}

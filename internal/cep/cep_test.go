@@ -1,0 +1,261 @@
+package cep
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func ev(ts int64, v string) core.Event {
+	return core.Event{Timestamp: ts, Value: v}
+}
+
+func isVal(s string) Predicate {
+	return func(e core.Event) bool { return e.Value.(string) == s }
+}
+
+func TestSimpleSequenceRelaxed(t *testing.T) {
+	p := Begin("a", isVal("a")).FollowedBy("b", isVal("b")).MustBuild()
+	m := NewMatcher(p)
+	var matches []Match
+	for i, v := range []string{"a", "x", "b"} {
+		matches = append(matches, m.Process(ev(int64(i), v))...)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("want 1 match, got %d", len(matches))
+	}
+	if matches[0].Start != 0 || matches[0].End != 2 {
+		t.Fatalf("match span wrong: %+v", matches[0])
+	}
+}
+
+func TestStrictContiguityKillsOnGap(t *testing.T) {
+	p := Begin("a", isVal("a")).Next("b", isVal("b")).MustBuild()
+	m := NewMatcher(p)
+	var matches []Match
+	for i, v := range []string{"a", "x", "b"} {
+		matches = append(matches, m.Process(ev(int64(i), v))...)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("strict pattern must not match across gap, got %d", len(matches))
+	}
+	// Adjacent a,b does match.
+	m2 := NewMatcher(p)
+	var m2got []Match
+	for i, v := range []string{"a", "b"} {
+		m2got = append(m2got, m2.Process(ev(int64(i), v))...)
+	}
+	if len(m2got) != 1 {
+		t.Fatalf("adjacent strict: want 1 match, got %d", len(m2got))
+	}
+}
+
+func TestMultipleOverlappingMatches(t *testing.T) {
+	// a a b under relaxed semantics: both a's pair with b.
+	p := Begin("a", isVal("a")).FollowedBy("b", isVal("b")).MustBuild()
+	m := NewMatcher(p)
+	var matches []Match
+	for i, v := range []string{"a", "a", "b"} {
+		matches = append(matches, m.Process(ev(int64(i), v))...)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("want 2 overlapping matches, got %d", len(matches))
+	}
+}
+
+func TestWithinPrunesOldRuns(t *testing.T) {
+	p := Begin("a", isVal("a")).FollowedBy("b", isVal("b")).Within(10).MustBuild()
+	m := NewMatcher(p)
+	m.Process(ev(0, "a"))
+	matches := m.Process(ev(50, "b")) // too late
+	if len(matches) != 0 {
+		t.Fatalf("expired run matched: %d", len(matches))
+	}
+	if m.PrunedRuns == 0 {
+		t.Fatal("pruning not recorded")
+	}
+	m.Process(ev(60, "a"))
+	if got := m.Process(ev(65, "b")); len(got) != 1 {
+		t.Fatalf("in-window match missed: %d", len(got))
+	}
+}
+
+func TestKleeneOneOrMore(t *testing.T) {
+	// a b+ c — b's accumulate.
+	p := Begin("a", isVal("a")).FollowedBy("b", isVal("b")).OneOrMore().
+		FollowedBy("c", isVal("c")).MustBuild()
+	m := NewMatcher(p)
+	var matches []Match
+	for i, v := range []string{"a", "b", "b", "c"} {
+		matches = append(matches, m.Process(ev(int64(i), v))...)
+	}
+	if len(matches) == 0 {
+		t.Fatal("kleene pattern did not match")
+	}
+	// The greediest match holds both b's.
+	maxB := 0
+	for _, match := range matches {
+		if n := len(match.Events["b"]); n > maxB {
+			maxB = n
+		}
+	}
+	if maxB != 2 {
+		t.Fatalf("greediest kleene match should hold 2 b's, got %d", maxB)
+	}
+}
+
+func TestKleeneFinalStageExtends(t *testing.T) {
+	p := Begin("a", isVal("a")).FollowedBy("b", isVal("b")).OneOrMore().MustBuild()
+	m := NewMatcher(p)
+	var matches []Match
+	for i, v := range []string{"a", "b", "b"} {
+		matches = append(matches, m.Process(ev(int64(i), v))...)
+	}
+	// Emits on first b and on the extension.
+	if len(matches) < 2 {
+		t.Fatalf("kleene final stage should emit per extension, got %d", len(matches))
+	}
+}
+
+func TestPatternValidation(t *testing.T) {
+	if _, err := (&PatternBuilder{}).Build(); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+	if _, err := Begin("x", isVal("a")).FollowedBy("x", isVal("b")).Build(); err == nil {
+		t.Fatal("duplicate stage names accepted")
+	}
+	if _, err := Begin("a", nil).Build(); err == nil {
+		t.Fatal("nil predicate accepted")
+	}
+}
+
+// bruteForce enumerates all matches of a relaxed, kleene-free pattern by
+// exhaustive subsequence search — the reference for the NFA property test.
+func bruteForce(preds []Predicate, within int64, events []core.Event) int {
+	count := 0
+	var rec func(stage int, startIdx int, startTS int64)
+	rec = func(stage, startIdx int, startTS int64) {
+		if stage == len(preds) {
+			count++
+			return
+		}
+		for i := startIdx; i < len(events); i++ {
+			e := events[i]
+			if stage > 0 && within > 0 && e.Timestamp-startTS > within {
+				break
+			}
+			if preds[stage](e) {
+				ts := startTS
+				if stage == 0 {
+					ts = e.Timestamp
+				}
+				rec(stage+1, i+1, ts)
+			}
+		}
+	}
+	rec(0, 0, 0)
+	return count
+}
+
+func TestNFAMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	alphabet := []string{"a", "b", "c"}
+	for trial := 0; trial < 50; trial++ {
+		var events []core.Event
+		n := 10 + rng.Intn(15)
+		for i := 0; i < n; i++ {
+			events = append(events, ev(int64(i*3), alphabet[rng.Intn(len(alphabet))]))
+		}
+		within := int64(0)
+		if rng.Intn(2) == 0 {
+			within = int64(10 + rng.Intn(30))
+		}
+		b := Begin("s0", isVal("a")).FollowedBy("s1", isVal("b"))
+		preds := []Predicate{isVal("a"), isVal("b")}
+		if rng.Intn(2) == 0 {
+			b = b.FollowedBy("s2", isVal("c"))
+			preds = append(preds, isVal("c"))
+		}
+		if within > 0 {
+			b = b.Within(within)
+		}
+		p := b.MustBuild()
+		m := NewMatcher(p)
+		m.MaxRuns = 0
+		got := 0
+		for _, e := range events {
+			got += len(m.Process(e))
+		}
+		want := bruteForce(preds, within, events)
+		if got != want {
+			t.Fatalf("trial %d: NFA found %d matches, brute force %d (events=%v within=%d)",
+				trial, got, want, events, within)
+		}
+	}
+}
+
+func TestCEPOperatorInEngine(t *testing.T) {
+	// Fraud-like pattern per card: two small charges followed by a large one.
+	small := func(e core.Event) bool { return e.Value.(float64) < 10 }
+	large := func(e core.Event) bool { return e.Value.(float64) >= 500 }
+	p := Begin("probe1", small).FollowedBy("probe2", small).
+		FollowedBy("hit", large).Within(1000).MustBuild()
+
+	var events []core.Event
+	mk := func(key string, ts int64, amt float64) core.Event {
+		return core.Event{Key: key, Timestamp: ts, Value: amt}
+	}
+	events = append(events,
+		mk("cardA", 0, 5), mk("cardA", 10, 3), mk("cardA", 20, 900), // match
+		mk("cardB", 0, 5), mk("cardB", 10, 600), // no second probe
+		mk("cardC", 0, 5), mk("cardC", 2000, 3), mk("cardC", 2100, 700), // probes split by Within... second+third within 1000
+	)
+
+	sink := core.NewCollectSink()
+	b := core.NewBuilder(core.Config{Name: "cep"})
+	s := b.Source("src", core.NewSliceSourceFactory(events)).
+		KeyBy(func(e core.Event) string { return e.Key })
+	PatternStream(s, "fraud", p, func(key string, m Match, emit func(core.Event)) {
+		emit(core.Event{Key: key, Timestamp: m.End, Value: "ALERT"})
+	}).Sink("out", sink.Factory())
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := j.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]int{}
+	for _, e := range sink.Events() {
+		byKey[e.Key]++
+	}
+	if byKey["cardA"] != 1 {
+		t.Fatalf("cardA: want 1 alert, got %d", byKey["cardA"])
+	}
+	if byKey["cardB"] != 0 {
+		t.Fatalf("cardB: want 0 alerts, got %d", byKey["cardB"])
+	}
+	if byKey["cardC"] != 0 {
+		t.Fatalf("cardC: want 0 alerts (probes outside window), got %d", byKey["cardC"])
+	}
+}
+
+func TestMatcherStateRoundtripsThroughRuns(t *testing.T) {
+	p := Begin("a", isVal("a")).FollowedBy("b", isVal("b")).MustBuild()
+	m1 := NewMatcher(p)
+	m1.Process(ev(0, "a"))
+	runs := m1.Runs()
+
+	m2 := NewMatcher(p)
+	m2.SetRuns(runs)
+	if got := m2.Process(ev(1, "b")); len(got) != 1 {
+		t.Fatalf("restored matcher should complete the match, got %d", len(got))
+	}
+	_ = fmt.Sprintf("%v", runs)
+}

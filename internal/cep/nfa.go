@@ -1,0 +1,154 @@
+package cep
+
+import (
+	"repro/internal/core"
+)
+
+// Run is one partial NFA match. Runs are exported (with gob-friendly
+// fields) so the engine operator can checkpoint matcher state.
+type Run struct {
+	// Idx is the stage currently being matched.
+	Idx int
+	// Staged holds matched events per stage index.
+	Staged [][]core.Event
+	// Start is the timestamp of the first matched event.
+	Start int64
+}
+
+func (r Run) clone() Run {
+	staged := make([][]core.Event, len(r.Staged))
+	for i, s := range r.Staged {
+		staged[i] = append([]core.Event(nil), s...)
+	}
+	return Run{Idx: r.Idx, Staged: staged, Start: r.Start}
+}
+
+// Matcher evaluates one pattern over one logical stream (typically one key).
+// It is not safe for concurrent use.
+type Matcher struct {
+	pattern Pattern
+	runs    []Run
+	// MaxRuns bounds simultaneous partial runs as a safety valve against
+	// pathological patterns; 0 means unbounded.
+	MaxRuns int
+	// PrunedRuns counts runs discarded by the Within constraint or MaxRuns.
+	PrunedRuns int64
+}
+
+// NewMatcher returns a matcher for the pattern.
+func NewMatcher(p Pattern) *Matcher {
+	return &Matcher{pattern: p, MaxRuns: 10000}
+}
+
+// Runs exposes the current partial runs (for snapshots).
+func (m *Matcher) Runs() []Run { return m.runs }
+
+// SetRuns replaces the partial runs (for restores).
+func (m *Matcher) SetRuns(runs []Run) { m.runs = runs }
+
+// Process consumes one event (timestamps must be non-decreasing per matcher)
+// and returns any completed matches.
+func (m *Matcher) Process(e core.Event) []Match {
+	var matches []Match
+	var next []Run
+
+	// Prune expired runs first.
+	if m.pattern.within > 0 {
+		kept := m.runs[:0]
+		for _, r := range m.runs {
+			if e.Timestamp-r.Start <= m.pattern.within {
+				kept = append(kept, r)
+			} else {
+				m.PrunedRuns++
+			}
+		}
+		m.runs = kept
+	}
+
+	advance := func(r Run, stageIdx int) {
+		// Place e at stageIdx and derive the follow-up runs.
+		r2 := r.clone()
+		for len(r2.Staged) <= stageIdx {
+			r2.Staged = append(r2.Staged, nil)
+		}
+		r2.Staged[stageIdx] = append(r2.Staged[stageIdx], e)
+		st := m.pattern.stages[stageIdx]
+		last := stageIdx == len(m.pattern.stages)-1
+		if last {
+			matches = append(matches, m.complete(r2))
+			if st.kleene {
+				// A Kleene final stage keeps extending.
+				r2.Idx = stageIdx
+				next = append(next, r2)
+			}
+			return
+		}
+		if st.kleene {
+			// Stay to take more, and later branch into the next stage.
+			r2.Idx = stageIdx
+			next = append(next, r2)
+		} else {
+			r2.Idx = stageIdx + 1
+			next = append(next, r2)
+		}
+	}
+
+	for _, r := range m.runs {
+		st := m.pattern.stages[r.Idx]
+		matched := false
+		if st.pred(e) {
+			advance(r, r.Idx)
+			matched = true
+		}
+		// A Kleene stage with at least one event may also try the next
+		// stage on this event.
+		if st.kleene && r.Idx+1 < len(m.pattern.stages) &&
+			r.Idx < len(r.Staged) && len(r.Staged[r.Idx]) > 0 {
+			nst := m.pattern.stages[r.Idx+1]
+			if nst.pred(e) {
+				advance(r, r.Idx+1)
+				matched = true
+			}
+		}
+		// Skip branch: the run survives unchanged under relaxed contiguity.
+		// Under strict contiguity a non-matching event kills the run; a
+		// matching one consumes it (no skip).
+		strict := st.cont == Strict || (r.Idx+1 < len(m.pattern.stages) &&
+			st.kleene && m.pattern.stages[r.Idx+1].cont == Strict)
+		if !strict {
+			next = append(next, r)
+		} else if !matched {
+			m.PrunedRuns++
+		}
+	}
+
+	// A new run can start at every event matching stage 0.
+	if m.pattern.stages[0].pred(e) {
+		advance(Run{Start: e.Timestamp}, 0)
+	}
+
+	if m.MaxRuns > 0 && len(next) > m.MaxRuns {
+		m.PrunedRuns += int64(len(next) - m.MaxRuns)
+		next = next[len(next)-m.MaxRuns:]
+	}
+	m.runs = next
+	return matches
+}
+
+// complete converts a finished run into a Match.
+func (m *Matcher) complete(r Run) Match {
+	match := Match{Events: make(map[string][]core.Event, len(m.pattern.stages))}
+	match.Start = r.Start
+	for i, st := range m.pattern.stages {
+		if i < len(r.Staged) {
+			evs := append([]core.Event(nil), r.Staged[i]...)
+			match.Events[st.name] = evs
+			for _, e := range evs {
+				if e.Timestamp > match.End {
+					match.End = e.Timestamp
+				}
+			}
+		}
+	}
+	return match
+}

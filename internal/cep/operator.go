@@ -1,0 +1,77 @@
+package cep
+
+import (
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+func init() {
+	state.RegisterType([]Run{})
+	state.RegisterType(core.Event{})
+}
+
+// MatchHandler converts a completed match into zero or more output events.
+type MatchHandler func(key string, m Match, emit func(core.Event))
+
+// OperatorOption customises the CEP operator.
+type OperatorOption func(*cepOperator)
+
+// SkipPastLastEvent is the after-match skip strategy: once a key produces a
+// match, all of that key's partial runs are discarded, so events are not
+// reused across matches. Without it the NFA enumerates every combination
+// (skip-till-any-match), which is exhaustive but combinatorial.
+func SkipPastLastEvent() OperatorOption {
+	return func(o *cepOperator) { o.skipPastLast = true }
+}
+
+// PatternStream attaches a CEP operator to a keyed stream: each key runs its
+// own NFA, whose partial runs live in managed state and therefore survive
+// checkpoints, restores and rescales.
+func PatternStream(s *core.Stream, name string, p Pattern, handler MatchHandler, opts ...OperatorOption) *core.Stream {
+	fac := func() core.Operator {
+		op := &cepOperator{pattern: p, handler: handler}
+		for _, o := range opts {
+			o(op)
+		}
+		return op
+	}
+	return s.Process(name, fac)
+}
+
+type cepOperator struct {
+	core.BaseOperator
+	pattern      Pattern
+	handler      MatchHandler
+	skipPastLast bool
+}
+
+const runState = "cep-runs"
+
+func (o *cepOperator) ProcessElement(e core.Event, ctx core.Context) error {
+	st := ctx.State().Value(runState)
+	m := NewMatcher(o.pattern)
+	if raw, ok := st.Get(); ok {
+		if runs, ok := raw.([]Run); ok {
+			m.SetRuns(runs)
+		}
+	}
+	matches := m.Process(e)
+	if o.skipPastLast && len(matches) > 1 {
+		// All matches completing on the same event collapse to one under
+		// the skip strategy.
+		matches = matches[:1]
+	}
+	for _, match := range matches {
+		o.handler(ctx.Key(), match, ctx.Emit)
+	}
+	if len(matches) > 0 && o.skipPastLast {
+		st.Clear()
+		return nil
+	}
+	if runs := m.Runs(); len(runs) > 0 {
+		st.Set(runs)
+	} else {
+		st.Clear()
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+// Package cep implements Complex Event Processing — the pattern-matching
+// workload that, together with windowed analytics, defined the commercial
+// 2nd-wave systems the paper lists (Esper, Oracle CEP, TIBCO, IBM System S).
+// Patterns are sequences of predicate stages with strict (`Next`) or relaxed
+// (`FollowedBy`) contiguity, Kleene closure (`OneOrMore`) and a `Within`
+// time constraint, compiled to an NFA whose partial runs branch
+// nondeterministically per event (SASE-style skip-till-next-match
+// semantics).
+package cep
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Contiguity controls how a stage relates to the events between it and the
+// previous stage.
+type Contiguity uint8
+
+const (
+	// Relaxed contiguity ignores non-matching events in between.
+	Relaxed Contiguity = iota
+	// Strict contiguity requires the stage to match the immediately next
+	// event; any other event kills the partial match.
+	Strict
+)
+
+// Predicate tests whether an event can occupy a stage.
+type Predicate func(e core.Event) bool
+
+// stage is one step of a pattern.
+type stage struct {
+	name   string
+	pred   Predicate
+	cont   Contiguity
+	kleene bool
+}
+
+// Pattern is an immutable compiled pattern.
+type Pattern struct {
+	stages []stage
+	within int64 // 0 = unbounded
+}
+
+// PatternBuilder assembles a Pattern fluently.
+type PatternBuilder struct {
+	p   Pattern
+	err error
+}
+
+// Begin starts a pattern with a first stage.
+func Begin(name string, pred Predicate) *PatternBuilder {
+	b := &PatternBuilder{}
+	b.p.stages = append(b.p.stages, stage{name: name, pred: pred, cont: Relaxed})
+	return b
+}
+
+// Next appends a stage with strict contiguity.
+func (b *PatternBuilder) Next(name string, pred Predicate) *PatternBuilder {
+	b.p.stages = append(b.p.stages, stage{name: name, pred: pred, cont: Strict})
+	return b
+}
+
+// FollowedBy appends a stage with relaxed contiguity.
+func (b *PatternBuilder) FollowedBy(name string, pred Predicate) *PatternBuilder {
+	b.p.stages = append(b.p.stages, stage{name: name, pred: pred, cont: Relaxed})
+	return b
+}
+
+// OneOrMore marks the most recent stage as Kleene-closed (matches one or
+// more events).
+func (b *PatternBuilder) OneOrMore() *PatternBuilder {
+	if len(b.p.stages) == 0 {
+		b.err = fmt.Errorf("cep: OneOrMore before any stage")
+		return b
+	}
+	b.p.stages[len(b.p.stages)-1].kleene = true
+	return b
+}
+
+// Within bounds the time between the first and last matched event.
+func (b *PatternBuilder) Within(millis int64) *PatternBuilder {
+	b.p.within = millis
+	return b
+}
+
+// Build finalises the pattern.
+func (b *PatternBuilder) Build() (Pattern, error) {
+	if b.err != nil {
+		return Pattern{}, b.err
+	}
+	if len(b.p.stages) == 0 {
+		return Pattern{}, fmt.Errorf("cep: empty pattern")
+	}
+	names := map[string]bool{}
+	for _, s := range b.p.stages {
+		if s.pred == nil {
+			return Pattern{}, fmt.Errorf("cep: stage %q has no predicate", s.name)
+		}
+		if names[s.name] {
+			return Pattern{}, fmt.Errorf("cep: duplicate stage name %q", s.name)
+		}
+		names[s.name] = true
+	}
+	return b.p, nil
+}
+
+// MustBuild panics on error (for statically known-good patterns).
+func (b *PatternBuilder) MustBuild() Pattern {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// StageNames lists the pattern's stage names in order.
+func (p Pattern) StageNames() []string {
+	out := make([]string, len(p.stages))
+	for i, s := range p.stages {
+		out[i] = s.name
+	}
+	return out
+}
+
+// Match is one complete pattern occurrence: the matched events per stage.
+type Match struct {
+	// Events maps stage name to the events it matched (len > 1 only for
+	// Kleene stages).
+	Events map[string][]core.Event
+	// Start and End are the timestamps of the first and last matched event.
+	Start, End int64
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/eventtime"
+)
+
+// Builder assembles a logical dataflow graph with a fluent API and compiles
+// it into a runnable Job. The API mirrors the functional/fluent style that
+// §2.1 identifies as the dominant programming model of open-source streaming
+// systems ("MapReduce-like APIs ... to hardcode Aurora-like dataflows").
+type Builder struct {
+	cfg   Config
+	graph *Graph
+	err   error
+}
+
+// NewBuilder returns a Builder with the given configuration.
+func NewBuilder(cfg Config) *Builder {
+	return &Builder{cfg: cfg.withDefaults(), graph: &Graph{}}
+}
+
+// Stream is a handle to a node's output within the builder.
+type Stream struct {
+	b    *Builder
+	node *node
+	// keySel, when non-nil, marks the stream as keyed: the next operator is
+	// connected with hash partitioning on this selector.
+	keySel KeySelector
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (b *Builder) addNode(n *node) *node {
+	n.id = len(b.graph.nodes)
+	b.graph.nodes = append(b.graph.nodes, n)
+	return n
+}
+
+func (b *Builder) addEdge(from, to *node, kind PartitionKind, sel KeySelector) {
+	e := &edge{id: len(b.graph.edges), from: from, to: to, kind: kind, keySel: sel}
+	b.graph.edges = append(b.graph.edges, e)
+	from.outEdges = append(from.outEdges, e)
+	to.inEdges = append(to.inEdges, e)
+}
+
+// SourceOption customises a source node.
+type SourceOption func(*node)
+
+// WithParallelism sets the node's parallelism.
+func WithParallelism(p int) SourceOption {
+	return func(n *node) { n.parallelism = p }
+}
+
+// WithWatermarks installs a periodic watermark strategy for the source; gen
+// is invoked once per instance.
+func WithWatermarks(gen func() eventtime.WatermarkGenerator) SourceOption {
+	return func(n *node) { n.wmStrategy = gen }
+}
+
+// WithBoundedDisorder is shorthand for a bounded-out-of-orderness watermark
+// strategy with the given bound in milliseconds.
+func WithBoundedDisorder(boundMillis int64) SourceOption {
+	return WithWatermarks(func() eventtime.WatermarkGenerator {
+		return eventtime.NewBoundedOutOfOrderness(boundMillis)
+	})
+}
+
+// WithWatermarkInterval overrides the per-source record interval between
+// periodic watermark emissions.
+func WithWatermarkInterval(records int) SourceOption {
+	return func(n *node) { n.wmInterval = records }
+}
+
+// Source adds a source node.
+func (b *Builder) Source(name string, fac SourceFactory, opts ...SourceOption) *Stream {
+	n := b.addNode(&node{
+		name:        name,
+		parallelism: b.cfg.DefaultParallelism,
+		isSource:    true,
+		sourceFac:   fac,
+		wmInterval:  b.cfg.WatermarkInterval,
+	})
+	for _, o := range opts {
+		o(n)
+	}
+	return &Stream{b: b, node: n}
+}
+
+// apply appends an operator node downstream of s.
+func (s *Stream) apply(name string, fac OperatorFactory, parallelism int) *Stream {
+	if s.b.err != nil {
+		return &Stream{b: s.b, node: s.node}
+	}
+	if parallelism <= 0 {
+		parallelism = s.b.cfg.DefaultParallelism
+	}
+	n := s.b.addNode(&node{name: name, parallelism: parallelism, opFac: fac})
+	kind := PartitionRebalance
+	var sel KeySelector
+	if s.keySel != nil {
+		kind, sel = PartitionHash, s.keySel
+	} else if s.node.parallelism == parallelism {
+		kind = PartitionForward
+	}
+	s.b.addEdge(s.node, n, kind, sel)
+	return &Stream{b: s.b, node: n}
+}
+
+// Process attaches a custom operator with the stream's default wiring.
+func (s *Stream) Process(name string, fac OperatorFactory) *Stream {
+	return s.apply(name, fac, 0)
+}
+
+// ProcessWith attaches a custom operator with explicit parallelism.
+func (s *Stream) ProcessWith(name string, fac OperatorFactory, parallelism int) *Stream {
+	return s.apply(name, fac, parallelism)
+}
+
+// Map transforms each event; returning the zero Event with ok=false drops it.
+func (s *Stream) Map(name string, fn func(e Event) (Event, bool)) *Stream {
+	return s.Process(name, MapFunc(func(e Event, ctx Context) error {
+		if out, ok := fn(e); ok {
+			ctx.Emit(out)
+		}
+		return nil
+	}))
+}
+
+// Filter keeps events satisfying pred.
+func (s *Stream) Filter(name string, pred func(e Event) bool) *Stream {
+	return s.Process(name, MapFunc(func(e Event, ctx Context) error {
+		if pred(e) {
+			ctx.Emit(e)
+		}
+		return nil
+	}))
+}
+
+// FlatMap expands each event into zero or more events.
+func (s *Stream) FlatMap(name string, fn func(e Event, emit func(Event))) *Stream {
+	return s.Process(name, MapFunc(func(e Event, ctx Context) error {
+		fn(e, ctx.Emit)
+		return nil
+	}))
+}
+
+// KeyBy marks the stream as keyed: the next operator receives hash-partitioned
+// input and its state/timers are scoped per key.
+func (s *Stream) KeyBy(sel KeySelector) *Stream {
+	return &Stream{b: s.b, node: s.node, keySel: sel}
+}
+
+// Rebalance clears keying, returning to round-robin distribution.
+func (s *Stream) Rebalance() *Stream {
+	return &Stream{b: s.b, node: s.node}
+}
+
+// Broadcast connects the next operator with broadcast partitioning.
+func (s *Stream) Broadcast(name string, fac OperatorFactory, parallelism int) *Stream {
+	if s.b.err != nil {
+		return &Stream{b: s.b, node: s.node}
+	}
+	if parallelism <= 0 {
+		parallelism = s.b.cfg.DefaultParallelism
+	}
+	n := s.b.addNode(&node{name: name, parallelism: parallelism, opFac: fac})
+	s.b.addEdge(s.node, n, PartitionBroadcast, nil)
+	return &Stream{b: s.b, node: n}
+}
+
+// Sink terminates the stream into a sink operator with parallelism 1.
+func (s *Stream) Sink(name string, fac OperatorFactory) *Stream {
+	return s.apply(name, fac, 1)
+}
+
+// Union merges this stream with others into a single input of the next
+// operator. All constituent streams feed the operator added by the returned
+// stream's next Process/Map/... call.
+func (s *Stream) Union(others ...*Stream) *UnionStream {
+	us := &UnionStream{b: s.b, parts: append([]*Stream{s}, others...)}
+	return us
+}
+
+// UnionStream is a pending union; attach an operator to materialise it.
+type UnionStream struct {
+	b     *Builder
+	parts []*Stream
+}
+
+// Process attaches an operator consuming all unioned streams.
+func (u *UnionStream) Process(name string, fac OperatorFactory, parallelism int) *Stream {
+	if u.b.err != nil && len(u.parts) > 0 {
+		return &Stream{b: u.b, node: u.parts[0].node}
+	}
+	if parallelism <= 0 {
+		parallelism = u.b.cfg.DefaultParallelism
+	}
+	n := u.b.addNode(&node{name: name, parallelism: parallelism, opFac: fac})
+	for _, p := range u.parts {
+		kind := PartitionRebalance
+		var sel KeySelector
+		if p.keySel != nil {
+			kind, sel = PartitionHash, p.keySel
+		}
+		u.b.addEdge(p.node, n, kind, sel)
+	}
+	return &Stream{b: u.b, node: n}
+}
+
+// Build validates the graph and returns a runnable Job.
+func (b *Builder) Build() (*Job, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.graph.validate(); err != nil {
+		return nil, err
+	}
+	return newJob(b.cfg, b.graph), nil
+}

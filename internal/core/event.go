@@ -1,0 +1,65 @@
+// Package core implements the dataflow stream-processing engine at the heart
+// of this reproduction: a 2nd-generation, Flink/Millwheel-style scale-out
+// runtime (logical graph → parallel operator instances connected by bounded
+// channels) carrying records, watermarks, checkpoint barriers and
+// end-of-stream markers, with managed keyed state, event-time timers, and
+// aligned-barrier exactly-once snapshots. The 1st-generation techniques
+// (synopses, load shedding, slack) and 3rd-generation prospects (stateful
+// functions, transactions, iteration) from the paper are built on top of, or
+// contrasted against, this engine by the sibling packages.
+package core
+
+import (
+	"fmt"
+)
+
+// Event is one data element flowing through the dataflow. Timestamp is the
+// event time in Unix milliseconds; Key is set once the stream has been keyed
+// (empty on non-keyed streams).
+type Event struct {
+	Key       string
+	Timestamp int64
+	Value     any
+}
+
+// String renders the event for debugging.
+func (e Event) String() string {
+	return fmt.Sprintf("Event{key=%q ts=%d value=%v}", e.Key, e.Timestamp, e.Value)
+}
+
+// msgKind discriminates the in-band message types on engine channels.
+type msgKind uint8
+
+const (
+	msgRecord msgKind = iota
+	// msgWatermark asserts event-time progress (§2.3).
+	msgWatermark
+	// msgBarrier is a checkpoint barrier (aligned snapshotting, §3.1/§3.2).
+	msgBarrier
+	// msgEOS signals that the sending channel is exhausted.
+	msgEOS
+)
+
+// message is the unit transported on inter-instance channels. channel is the
+// receiver-local input-channel index identifying the (edge, upstream
+// instance) pair the message arrived on — required for watermark and barrier
+// alignment. drain qualifies msgEOS: a draining end-of-stream (natural end)
+// advances event time to infinity and flushes open windows; a non-draining
+// one (stop-with-savepoint) terminates without firing, so restored state
+// resumes exactly where it left off.
+type message struct {
+	kind    msgKind
+	channel int
+	event   Event
+	wm      int64
+	barrier barrierMark
+	drain   bool
+}
+
+// barrierMark carries checkpoint metadata with a barrier.
+type barrierMark struct {
+	// ID is the checkpoint sequence number.
+	ID int64
+	// Savepoint marks a final checkpoint taken for a planned stop/rescale.
+	Savepoint bool
+}

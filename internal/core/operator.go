@@ -1,0 +1,116 @@
+package core
+
+import (
+	"log"
+
+	"repro/internal/state"
+)
+
+// Context is handed to operator callbacks. It is only valid for the duration
+// of the callback.
+type Context interface {
+	// Emit sends an event downstream on all outgoing edges.
+	Emit(e Event)
+	// Key returns the key the current element/timer is scoped to (empty for
+	// non-keyed operators).
+	Key() string
+	// State returns the instance's keyed state backend, already scoped to
+	// Key(). Accessing state on a non-keyed operator scopes to the empty key.
+	State() state.Backend
+	// RegisterEventTimeTimer schedules OnTimer for the current key once the
+	// watermark passes ts. Duplicate registrations coalesce.
+	RegisterEventTimeTimer(ts int64)
+	// DeleteEventTimeTimer unregisters a timer for the current key.
+	DeleteEventTimeTimer(ts int64)
+	// CurrentWatermark returns the instance's current combined watermark.
+	CurrentWatermark() int64
+	// InstanceIndex returns this parallel instance's index.
+	InstanceIndex() int
+	// Parallelism returns the operator's parallelism.
+	Parallelism() int
+	// Logger returns the job logger.
+	Logger() *log.Logger
+}
+
+// Operator is the engine's operator API: user logic invoked per element,
+// per fired timer, and on watermark advancement. Implementations need not be
+// safe for concurrent use — the engine serialises all callbacks per instance.
+type Operator interface {
+	// Open is called once before any element, with a context usable for
+	// state access (no emission).
+	Open(ctx Context) error
+	// ProcessElement handles one input element.
+	ProcessElement(e Event, ctx Context) error
+	// OnTimer fires for a previously registered event-time timer.
+	OnTimer(ts int64, ctx Context) error
+	// OnWatermark is called after the combined watermark advanced to wm and
+	// all due timers have fired, before the watermark is forwarded.
+	OnWatermark(wm int64, ctx Context) error
+	// Close is called after all inputs are exhausted; the context can still
+	// emit (final flushes).
+	Close(ctx Context) error
+}
+
+// Snapshotter is an optional Operator extension for operators that carry
+// instance-local state outside the managed state backend. The engine includes
+// the custom bytes in checkpoints.
+type Snapshotter interface {
+	SnapshotCustom() ([]byte, error)
+	RestoreCustom(data []byte) error
+}
+
+// BaseOperator provides no-op defaults; embed it to implement only the hooks
+// you need.
+type BaseOperator struct{}
+
+// Open implements Operator.
+func (BaseOperator) Open(Context) error { return nil }
+
+// ProcessElement implements Operator.
+func (BaseOperator) ProcessElement(Event, Context) error { return nil }
+
+// OnTimer implements Operator.
+func (BaseOperator) OnTimer(int64, Context) error { return nil }
+
+// OnWatermark implements Operator.
+func (BaseOperator) OnWatermark(int64, Context) error { return nil }
+
+// Close implements Operator.
+func (BaseOperator) Close(Context) error { return nil }
+
+// OperatorFactory builds one Operator per parallel instance.
+type OperatorFactory func() Operator
+
+// mapOperator applies a user function to each element.
+type mapOperator struct {
+	BaseOperator
+	fn func(Event, Context) error
+}
+
+// ProcessElement invokes the mapped function.
+func (m *mapOperator) ProcessElement(e Event, ctx Context) error { return m.fn(e, ctx) }
+
+// MapFunc wraps a per-element function (which may emit zero or more events)
+// into an OperatorFactory. It is the building block for Map, Filter and
+// FlatMap in the builder API.
+func MapFunc(fn func(Event, Context) error) OperatorFactory {
+	return func() Operator { return &mapOperator{fn: fn} }
+}
+
+// sinkOperator terminates a stream into a user callback.
+type sinkOperator struct {
+	BaseOperator
+	fn func(Event) error
+}
+
+// ProcessElement invokes the sink callback.
+func (s *sinkOperator) ProcessElement(e Event, _ Context) error { return s.fn(e.Clone()) }
+
+// Clone returns a copy of the event. Values are shared; callers that mutate
+// values across operator boundaries must copy them explicitly.
+func (e Event) Clone() Event { return e }
+
+// SinkFunc wraps a per-element callback into an OperatorFactory for sinks.
+func SinkFunc(fn func(Event) error) OperatorFactory {
+	return func() Operator { return &sinkOperator{fn: fn} }
+}

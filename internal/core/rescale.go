@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/state"
+)
+
+// RescaleStats reports the state-movement cost of a rescale (E13).
+type RescaleStats struct {
+	// OldParallelism and NewParallelism are the instance counts before and
+	// after the rescale.
+	OldParallelism int
+	NewParallelism int
+	// StateBytes is the total keyed-state volume redistributed.
+	StateBytes int64
+	// Timers is the number of timers redistributed.
+	Timers int
+}
+
+// RescaleCheckpoint rewrites the snapshots of one operator node inside a
+// completed checkpoint for a new parallelism, redistributing keyed state and
+// timers by key group (§3.3/§4.2 Elasticity & Reconfiguration). The result is
+// stored as a new checkpoint `toCP`; all other nodes' snapshots are copied
+// verbatim. A job built with the new parallelism can then RestoreFrom(toCP).
+//
+// Operators carrying Snapshotter custom state cannot be rescaled — keep
+// rescalable state in the managed backend.
+func RescaleCheckpoint(store SnapshotStore, fromCP, toCP int64, nodeName string, newParallelism, numGroups int) (RescaleStats, error) {
+	var stats RescaleStats
+	if newParallelism < 1 {
+		return stats, fmt.Errorf("core: rescale to parallelism %d", newParallelism)
+	}
+	if numGroups <= 0 {
+		numGroups = state.DefaultKeyGroups
+	}
+	ids, err := store.Instances(fromCP)
+	if err != nil {
+		return stats, err
+	}
+
+	var oldIDs []string
+	var passthrough []string
+	for _, id := range ids {
+		if name, _, ok := splitInstanceID(id); ok && name == nodeName {
+			oldIDs = append(oldIDs, id)
+		} else {
+			passthrough = append(passthrough, id)
+		}
+	}
+	if len(oldIDs) == 0 {
+		return stats, fmt.Errorf("core: checkpoint %d has no instances of node %q", fromCP, nodeName)
+	}
+	stats.OldParallelism = len(oldIDs)
+	stats.NewParallelism = newParallelism
+
+	// Merge all old state images and timers.
+	merged := state.Image{NumGroups: numGroups, Groups: make(map[int]map[string]map[string]any)}
+	var allTimers []timerEntry
+	for _, id := range oldIDs {
+		raw, err := store.Load(fromCP, id)
+		if err != nil {
+			return stats, err
+		}
+		snap, err := decodeInstanceSnapshot(raw)
+		if err != nil {
+			return stats, fmt.Errorf("core: rescale %s: %w", id, err)
+		}
+		if len(snap.Custom) > 0 {
+			return stats, fmt.Errorf("core: node %q instance %s has custom snapshot state; cannot rescale", nodeName, id)
+		}
+		img, err := state.DecodeImage(snap.State)
+		if err != nil {
+			return stats, fmt.Errorf("core: rescale %s: %w", id, err)
+		}
+		if img.NumGroups != 0 && img.NumGroups != numGroups {
+			return stats, fmt.Errorf("core: rescale %s: image has %d key groups, want %d", id, img.NumGroups, numGroups)
+		}
+		for g, names := range img.Groups {
+			merged.Groups[g] = names
+		}
+		ts := newTimerService()
+		if err := ts.restore(snap.Timers); err != nil {
+			return stats, err
+		}
+		for e := range ts.set {
+			allTimers = append(allTimers, e)
+		}
+	}
+	stats.Timers = len(allTimers)
+
+	// Write new instance snapshots, each owning its contiguous group range.
+	newIDs := make([]string, 0, newParallelism)
+	for i := 0; i < newParallelism; i++ {
+		lo, hi := state.GroupRange(numGroups, newParallelism, i)
+		sub := state.Image{NumGroups: numGroups, Groups: make(map[int]map[string]map[string]any)}
+		for g := lo; g < hi; g++ {
+			if names, ok := merged.Groups[g]; ok {
+				sub.Groups[g] = names
+			}
+		}
+		stateImg, err := state.EncodeImage(sub)
+		if err != nil {
+			return stats, err
+		}
+		ts := newTimerService()
+		for _, e := range allTimers {
+			if g := state.KeyGroupFor(e.Key, numGroups); g >= lo && g < hi {
+				ts.register(e.TS, e.Key)
+			}
+		}
+		timerImg, err := ts.snapshot()
+		if err != nil {
+			return stats, err
+		}
+		data, err := encodeInstanceSnapshot(instanceSnapshot{State: stateImg, Timers: timerImg})
+		if err != nil {
+			return stats, err
+		}
+		id := fmt.Sprintf("%s-%d", nodeName, i)
+		if err := store.Save(toCP, id, data); err != nil {
+			return stats, err
+		}
+		stats.StateBytes += int64(len(data))
+		newIDs = append(newIDs, id)
+	}
+
+	// Copy the untouched instances.
+	var total int64 = stats.StateBytes
+	for _, id := range passthrough {
+		raw, err := store.Load(fromCP, id)
+		if err != nil {
+			return stats, err
+		}
+		if err := store.Save(toCP, id, raw); err != nil {
+			return stats, err
+		}
+		total += int64(len(raw))
+	}
+	meta := CheckpointMeta{
+		ID:          toCP,
+		JobName:     fmt.Sprintf("rescale(%s->%d)", nodeName, newParallelism),
+		InstanceIDs: append(passthrough, newIDs...),
+		Bytes:       total,
+	}
+	if err := store.Complete(meta); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// splitInstanceID splits "name-3" into ("name", 3). Node names may themselves
+// contain dashes; the index is the suffix after the final dash.
+func splitInstanceID(id string) (name string, idx int, ok bool) {
+	i := strings.LastIndexByte(id, '-')
+	if i <= 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(id[i+1:])
+	if err != nil {
+		return "", 0, false
+	}
+	return id[:i], n, true
+}

@@ -1,0 +1,381 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/eventtime"
+	"repro/internal/metrics"
+	"repro/internal/state"
+)
+
+// outEdge is the sender-side view of one logical edge at one upstream
+// instance: the downstream inboxes, the receiver-local channel IDs this
+// sender occupies at each of them, and the routing policy.
+type outEdge struct {
+	edge    *edge
+	targets []chan message // one per reachable downstream instance
+	chIDs   []int          // receiver-local channel index at each target
+	// groupToTarget maps a key group to the index in targets (hash edges).
+	groupToTarget []int
+	numKeyGroups  int
+	rr            int // round-robin cursor for rebalance edges
+}
+
+// sendRecord routes one record. Returns false if the job context ended.
+func (o *outEdge) sendRecord(ctx context.Context, e Event) bool {
+	switch o.edge.kind {
+	case PartitionHash:
+		e.Key = o.edge.keySel(e)
+		g := state.KeyGroupFor(e.Key, o.numKeyGroups)
+		t := o.groupToTarget[g]
+		return send(ctx, o.targets[t], message{kind: msgRecord, channel: o.chIDs[t], event: e})
+	case PartitionBroadcast:
+		for t := range o.targets {
+			if !send(ctx, o.targets[t], message{kind: msgRecord, channel: o.chIDs[t], event: e}) {
+				return false
+			}
+		}
+		return true
+	case PartitionForward:
+		// Exactly one target was wired for forward edges.
+		return send(ctx, o.targets[0], message{kind: msgRecord, channel: o.chIDs[0], event: e})
+	default: // PartitionRebalance
+		t := o.rr % len(o.targets)
+		o.rr++
+		return send(ctx, o.targets[t], message{kind: msgRecord, channel: o.chIDs[t], event: e})
+	}
+}
+
+// broadcastCtl sends a control message (watermark, barrier, EOS) to every
+// reachable downstream instance on this edge.
+func (o *outEdge) broadcastCtl(ctx context.Context, m message) bool {
+	for t := range o.targets {
+		m.channel = o.chIDs[t]
+		if !send(ctx, o.targets[t], m) {
+			return false
+		}
+	}
+	return true
+}
+
+func send(ctx context.Context, ch chan message, m message) bool {
+	select {
+	case ch <- m:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// instance is one parallel operator instance at runtime.
+type instance struct {
+	job        *Job
+	node       *node
+	idx        int
+	id         string
+	inbox      chan message
+	numInputs  int
+	outs       []*outEdge
+	op         Operator
+	backend    state.Backend
+	timers     *timerService
+	tracker    *eventtime.WatermarkTracker
+	restore    []byte // instance snapshot to restore, nil if fresh start
+	inCounter  *metrics.Counter
+	outCounter *metrics.Counter
+
+	// Barrier alignment state.
+	pendingBarrier  *barrierMark
+	barrierArrived  []bool
+	barrierCount    int
+	stash           []message
+	channelFinished []bool
+	finishedCount   int
+	// nonDrainStop records that at least one input ended without draining
+	// (stop-with-savepoint): the instance then terminates without firing
+	// open windows or emitting Close output.
+	nonDrainStop bool
+}
+
+// opContext implements Context for one instance; reused across callbacks.
+type opContext struct {
+	inst       *instance
+	runCtx     context.Context
+	currentKey string
+	emitErr    error
+}
+
+func (c *opContext) Emit(e Event) {
+	for _, o := range c.inst.outs {
+		if !o.sendRecord(c.runCtx, e) {
+			c.emitErr = c.runCtx.Err()
+			return
+		}
+	}
+	c.inst.outCounter.Inc()
+}
+
+func (c *opContext) Key() string { return c.currentKey }
+
+func (c *opContext) State() state.Backend {
+	c.inst.backend.SetCurrentKey(c.currentKey)
+	return c.inst.backend
+}
+
+func (c *opContext) RegisterEventTimeTimer(ts int64) { c.inst.timers.register(ts, c.currentKey) }
+func (c *opContext) DeleteEventTimeTimer(ts int64)   { c.inst.timers.unregister(ts, c.currentKey) }
+func (c *opContext) CurrentWatermark() int64         { return c.inst.tracker.Current() }
+func (c *opContext) InstanceIndex() int              { return c.inst.idx }
+func (c *opContext) Parallelism() int                { return c.inst.node.parallelism }
+func (c *opContext) Logger() *log.Logger             { return c.inst.job.logger }
+
+// run is the instance main loop.
+func (in *instance) run(ctx context.Context) error {
+	octx := &opContext{inst: in, runCtx: ctx}
+
+	if in.restore != nil {
+		snap, err := decodeInstanceSnapshot(in.restore)
+		if err != nil {
+			return fmt.Errorf("%s: %w", in.id, err)
+		}
+		if len(snap.State) > 0 {
+			if err := in.backend.Restore(snap.State); err != nil {
+				return fmt.Errorf("%s: restore state: %w", in.id, err)
+			}
+		}
+		if err := in.timers.restore(snap.Timers); err != nil {
+			return fmt.Errorf("%s: %w", in.id, err)
+		}
+		if s, ok := in.op.(Snapshotter); ok && len(snap.Custom) > 0 {
+			if err := s.RestoreCustom(snap.Custom); err != nil {
+				return fmt.Errorf("%s: restore custom: %w", in.id, err)
+			}
+		}
+	}
+	if err := in.op.Open(octx); err != nil {
+		return fmt.Errorf("%s: open: %w", in.id, err)
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case m := <-in.inbox:
+			done, err := in.handle(ctx, octx, m)
+			if err != nil {
+				return fmt.Errorf("%s: %w", in.id, err)
+			}
+			if done {
+				return nil
+			}
+		}
+	}
+}
+
+// handle dispatches one message; done=true once all inputs are exhausted and
+// shutdown is complete.
+func (in *instance) handle(ctx context.Context, octx *opContext, m message) (bool, error) {
+	// Aligned exactly-once barriers block already-aligned channels: their
+	// records and watermarks are stashed until the barrier completes.
+	if in.pendingBarrier != nil && !in.job.cfg.AtLeastOnce &&
+		m.kind != msgBarrier && m.kind != msgEOS && in.barrierArrived[m.channel] {
+		in.stash = append(in.stash, m)
+		return false, nil
+	}
+
+	switch m.kind {
+	case msgRecord:
+		return false, in.processRecord(octx, m.event)
+
+	case msgWatermark:
+		return false, in.advanceWatermark(ctx, octx, m.channel, m.wm)
+
+	case msgBarrier:
+		return false, in.handleBarrier(ctx, octx, m.channel, m.barrier)
+
+	case msgEOS:
+		return in.handleEOS(ctx, octx, m.channel, m.drain)
+	}
+	return false, nil
+}
+
+func (in *instance) processRecord(octx *opContext, e Event) error {
+	octx.currentKey = e.Key
+	in.backend.SetCurrentKey(e.Key)
+	in.inCounter.Inc()
+	if err := in.op.ProcessElement(e, octx); err != nil {
+		return err
+	}
+	return octx.emitErr
+}
+
+func (in *instance) advanceWatermark(ctx context.Context, octx *opContext, channel int, wm int64) error {
+	combined, advanced := in.tracker.Update(channel, wm)
+	if !advanced {
+		return nil
+	}
+	return in.emitWatermarkProgress(ctx, octx, combined)
+}
+
+// emitWatermarkProgress fires due timers, notifies the operator, and forwards
+// the watermark downstream.
+func (in *instance) emitWatermarkProgress(ctx context.Context, octx *opContext, wm int64) error {
+	for _, t := range in.timers.due(wm) {
+		octx.currentKey = t.Key
+		in.backend.SetCurrentKey(t.Key)
+		if err := in.op.OnTimer(t.TS, octx); err != nil {
+			return err
+		}
+		if octx.emitErr != nil {
+			return octx.emitErr
+		}
+	}
+	if err := in.op.OnWatermark(wm, octx); err != nil {
+		return err
+	}
+	if octx.emitErr != nil {
+		return octx.emitErr
+	}
+	for _, o := range in.outs {
+		if !o.broadcastCtl(ctx, message{kind: msgWatermark, wm: wm}) {
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+func (in *instance) handleBarrier(ctx context.Context, octx *opContext, channel int, b barrierMark) error {
+	if in.pendingBarrier == nil {
+		pb := b
+		in.pendingBarrier = &pb
+		in.barrierCount = 0
+		for i := range in.barrierArrived {
+			in.barrierArrived[i] = in.channelFinished[i]
+			if in.barrierArrived[i] {
+				in.barrierCount++
+			}
+		}
+		if in.job.cfg.AtLeastOnce {
+			// Unaligned mode forwards the barrier immediately.
+			for _, o := range in.outs {
+				if !o.broadcastCtl(ctx, message{kind: msgBarrier, barrier: b}) {
+					return ctx.Err()
+				}
+			}
+		}
+	}
+	if b.ID != in.pendingBarrier.ID {
+		return fmt.Errorf("overlapping checkpoints %d and %d", in.pendingBarrier.ID, b.ID)
+	}
+	if !in.barrierArrived[channel] {
+		in.barrierArrived[channel] = true
+		in.barrierCount++
+	}
+	if in.barrierCount < in.numInputs {
+		return nil
+	}
+	return in.completeBarrier(ctx, octx)
+}
+
+// completeBarrier snapshots, acks, forwards (aligned mode), and replays the
+// stash.
+func (in *instance) completeBarrier(ctx context.Context, octx *opContext) error {
+	b := *in.pendingBarrier
+	if err := in.snapshotAndAck(b); err != nil {
+		return err
+	}
+	if !in.job.cfg.AtLeastOnce {
+		for _, o := range in.outs {
+			if !o.broadcastCtl(ctx, message{kind: msgBarrier, barrier: b}) {
+				return ctx.Err()
+			}
+		}
+	}
+	in.pendingBarrier = nil
+	stash := in.stash
+	in.stash = nil
+	for _, sm := range stash {
+		if _, err := in.handle(ctx, octx, sm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *instance) snapshotAndAck(b barrierMark) error {
+	stateImg, err := in.backend.Snapshot()
+	if err != nil {
+		return fmt.Errorf("snapshot state: %w", err)
+	}
+	timerImg, err := in.timers.snapshot()
+	if err != nil {
+		return err
+	}
+	snap := instanceSnapshot{State: stateImg, Timers: timerImg}
+	if s, ok := in.op.(Snapshotter); ok {
+		custom, err := s.SnapshotCustom()
+		if err != nil {
+			return fmt.Errorf("snapshot custom: %w", err)
+		}
+		snap.Custom = custom
+	}
+	data, err := encodeInstanceSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	return in.job.saveAndAck(b, in.id, data)
+}
+
+func (in *instance) handleEOS(ctx context.Context, octx *opContext, channel int, drain bool) (bool, error) {
+	if in.channelFinished[channel] {
+		return false, nil
+	}
+	in.channelFinished[channel] = true
+	in.finishedCount++
+	if !drain {
+		in.nonDrainStop = true
+	}
+
+	// A finished draining channel can never hold back progress again; a
+	// stop-with-savepoint end must NOT advance event time, or open windows
+	// would fire with partial contents that the savepoint also captured.
+	if drain && !in.nonDrainStop {
+		if err := in.advanceWatermark(ctx, octx, channel, eventtime.MaxWatermark); err != nil {
+			return false, err
+		}
+	}
+	// A finished channel cannot deliver a pending barrier: count it as
+	// aligned.
+	if in.pendingBarrier != nil && !in.barrierArrived[channel] {
+		in.barrierArrived[channel] = true
+		in.barrierCount++
+		if in.barrierCount >= in.numInputs {
+			if err := in.completeBarrier(ctx, octx); err != nil {
+				return false, err
+			}
+		}
+	}
+	if in.finishedCount < in.numInputs {
+		return false, nil
+	}
+	// All inputs exhausted. On a draining end, flush final output; on a
+	// stop-with-savepoint, terminate silently — the snapshot holds the
+	// in-progress state.
+	if !in.nonDrainStop {
+		octx.currentKey = ""
+		if err := in.op.Close(octx); err != nil {
+			return false, err
+		}
+		if octx.emitErr != nil {
+			return false, octx.emitErr
+		}
+	}
+	for _, o := range in.outs {
+		if !o.broadcastCtl(ctx, message{kind: msgEOS, drain: !in.nonDrainStop}) {
+			return false, ctx.Err()
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"container/heap"
+	"encoding/gob"
+	"fmt"
+)
+
+// timerEntry is one registered event-time timer.
+type timerEntry struct {
+	TS  int64
+	Key string
+}
+
+// timerService maintains per-instance event-time timers, fired in timestamp
+// order as the watermark advances. Duplicate (ts, key) registrations
+// coalesce. The service is snapshotted into checkpoints.
+type timerService struct {
+	h   timerHeap
+	set map[timerEntry]bool
+}
+
+func newTimerService() *timerService {
+	return &timerService{set: make(map[timerEntry]bool)}
+}
+
+type timerHeap []timerEntry
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].TS != h[j].TS {
+		return h[i].TS < h[j].TS
+	}
+	return h[i].Key < h[j].Key
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(timerEntry)) }
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// register adds a timer; duplicates are ignored.
+func (t *timerService) register(ts int64, key string) {
+	e := timerEntry{TS: ts, Key: key}
+	if t.set[e] {
+		return
+	}
+	t.set[e] = true
+	heap.Push(&t.h, e)
+}
+
+// unregister marks a timer deleted (lazily skipped when popped).
+func (t *timerService) unregister(ts int64, key string) {
+	delete(t.set, timerEntry{TS: ts, Key: key})
+}
+
+// due pops all timers with TS <= wm in order.
+func (t *timerService) due(wm int64) []timerEntry {
+	var out []timerEntry
+	for t.h.Len() > 0 && t.h[0].TS <= wm {
+		e := heap.Pop(&t.h).(timerEntry)
+		if !t.set[e] {
+			continue // deleted
+		}
+		delete(t.set, e)
+		out = append(out, e)
+	}
+	return out
+}
+
+// pending returns the number of live timers.
+func (t *timerService) pending() int { return len(t.set) }
+
+// snapshot serialises the live timers.
+func (t *timerService) snapshot() ([]byte, error) {
+	entries := make([]timerEntry, 0, len(t.set))
+	for e := range t.set {
+		entries = append(entries, e)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(entries); err != nil {
+		return nil, fmt.Errorf("core: snapshot timers: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// restore replaces the live timers from a snapshot.
+func (t *timerService) restore(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var entries []timerEntry
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&entries); err != nil {
+		return fmt.Errorf("core: restore timers: %w", err)
+	}
+	t.h = t.h[:0]
+	t.set = make(map[timerEntry]bool, len(entries))
+	for _, e := range entries {
+		t.set[e] = true
+		heap.Push(&t.h, e)
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package cql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EmitKind is the relation-to-stream operator of a query.
+type EmitKind int
+
+const (
+	// EmitIStream emits tuples inserted into the result relation.
+	EmitIStream EmitKind = iota
+	// EmitDStream emits tuples deleted from the result relation.
+	EmitDStream
+	// EmitRStream emits the full result relation at every instant.
+	EmitRStream
+)
+
+// String names the emit kind.
+func (k EmitKind) String() string {
+	switch k {
+	case EmitIStream:
+		return "ISTREAM"
+	case EmitDStream:
+		return "DSTREAM"
+	case EmitRStream:
+		return "RSTREAM"
+	}
+	return "?"
+}
+
+// WindowKind is a stream-to-relation operator.
+type WindowKind int
+
+const (
+	// WindowUnbounded keeps every tuple ever seen.
+	WindowUnbounded WindowKind = iota
+	// WindowNow keeps only tuples with the current timestamp.
+	WindowNow
+	// WindowRange keeps tuples within the trailing time range.
+	WindowRange
+	// WindowRows keeps the last N tuples.
+	WindowRows
+)
+
+// WindowSpec is a parsed window clause.
+type WindowSpec struct {
+	Kind WindowKind
+	// N is the range length (time units) or row count.
+	N int64
+	// Slide, when > 0 on a RANGE window, evaluates the relation only at
+	// slide boundaries.
+	Slide int64
+}
+
+// StreamRef is one FROM-clause entry: a stream with a window and an optional
+// alias.
+type StreamRef struct {
+	Stream string
+	Alias  string
+	Window WindowSpec
+	// JoinOn is the ON condition when the ref was introduced by JOIN.
+	JoinOn Expr
+}
+
+// name returns the reference's binding name.
+func (r StreamRef) name() string {
+	if r.Alias != "" {
+		return r.Alias
+	}
+	return r.Stream
+}
+
+// SelectItem is one projection: an expression with an optional alias, or *.
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// outName derives the output column name.
+func (s SelectItem) outName(i int) string {
+	if s.Alias != "" {
+		return s.Alias
+	}
+	if id, ok := s.Expr.(*Ident); ok {
+		return id.Name
+	}
+	if c, ok := s.Expr.(*Call); ok {
+		return strings.ToLower(c.Fn)
+	}
+	return fmt.Sprintf("col%d", i)
+}
+
+// SelectStmt is a parsed continuous query.
+type SelectStmt struct {
+	Emit    EmitKind
+	Items   []SelectItem
+	From    []StreamRef
+	Where   Expr
+	GroupBy []Expr
+	Having  Expr
+}
+
+// Expr is a scalar or aggregate expression.
+type Expr interface{ exprNode() }
+
+// Ident references a column, optionally qualified ("s.price").
+type Ident struct {
+	Qualifier string
+	Name      string
+}
+
+// NumberLit is a numeric literal (always float64 internally).
+type NumberLit struct{ V float64 }
+
+// StringLit is a string literal.
+type StringLit struct{ V string }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ V bool }
+
+// Binary is a binary operation (+ - * / = != < <= > >= AND OR).
+type Binary struct {
+	Op          string
+	Left, Right Expr
+}
+
+// Unary is NOT or negation.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Call is a function call; aggregate functions are COUNT, SUM, AVG, MIN,
+// MAX (with COUNT(*) allowed).
+type Call struct {
+	Fn   string // upper-cased
+	Star bool
+	Args []Expr
+}
+
+func (*Ident) exprNode()     {}
+func (*NumberLit) exprNode() {}
+func (*StringLit) exprNode() {}
+func (*BoolLit) exprNode()   {}
+func (*Binary) exprNode()    {}
+func (*Unary) exprNode()     {}
+func (*Call) exprNode()      {}
+
+// aggregateFns lists supported aggregate functions.
+var aggregateFns = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+// isAggregate reports whether the expression contains an aggregate call.
+func isAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case *Call:
+		if aggregateFns[x.Fn] {
+			return true
+		}
+		for _, a := range x.Args {
+			if isAggregate(a) {
+				return true
+			}
+		}
+	case *Binary:
+		return isAggregate(x.Left) || isAggregate(x.Right)
+	case *Unary:
+		return isAggregate(x.X)
+	}
+	return false
+}

@@ -1,0 +1,311 @@
+package cql
+
+import (
+	"fmt"
+	"math"
+)
+
+// eval evaluates a scalar expression under a binding.
+func eval(e Expr, b binding) (any, error) {
+	switch x := e.(type) {
+	case *NumberLit:
+		return x.V, nil
+	case *StringLit:
+		return x.V, nil
+	case *BoolLit:
+		return x.V, nil
+	case *Ident:
+		return lookup(x, b)
+	case *Unary:
+		v, err := eval(x.X, b)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "-":
+			f, err := toNum(v)
+			if err != nil {
+				return nil, err
+			}
+			return -f, nil
+		case "NOT":
+			bv, ok := v.(bool)
+			if !ok {
+				return nil, fmt.Errorf("cql: NOT applied to non-boolean %T", v)
+			}
+			return !bv, nil
+		}
+		return nil, fmt.Errorf("cql: unknown unary op %q", x.Op)
+	case *Binary:
+		return evalBinary(x, b)
+	case *Call:
+		return nil, fmt.Errorf("cql: aggregate %s used in scalar context", x.Fn)
+	}
+	return nil, fmt.Errorf("cql: cannot evaluate %T", e)
+}
+
+func evalBinary(x *Binary, b binding) (any, error) {
+	if x.Op == "AND" || x.Op == "OR" {
+		l, err := eval(x.Left, b)
+		if err != nil {
+			return nil, err
+		}
+		lb, ok := l.(bool)
+		if !ok {
+			return nil, fmt.Errorf("cql: %s on non-boolean %T", x.Op, l)
+		}
+		// Short-circuit.
+		if x.Op == "AND" && !lb {
+			return false, nil
+		}
+		if x.Op == "OR" && lb {
+			return true, nil
+		}
+		r, err := eval(x.Right, b)
+		if err != nil {
+			return nil, err
+		}
+		rb, ok := r.(bool)
+		if !ok {
+			return nil, fmt.Errorf("cql: %s on non-boolean %T", x.Op, r)
+		}
+		return rb, nil
+	}
+
+	l, err := eval(x.Left, b)
+	if err != nil {
+		return nil, err
+	}
+	r, err := eval(x.Right, b)
+	if err != nil {
+		return nil, err
+	}
+
+	// String comparison.
+	ls, lIsStr := l.(string)
+	rs, rIsStr := r.(string)
+	if lIsStr && rIsStr {
+		switch x.Op {
+		case "=":
+			return ls == rs, nil
+		case "!=":
+			return ls != rs, nil
+		case "<":
+			return ls < rs, nil
+		case "<=":
+			return ls <= rs, nil
+		case ">":
+			return ls > rs, nil
+		case ">=":
+			return ls >= rs, nil
+		case "+":
+			return ls + rs, nil
+		}
+		return nil, fmt.Errorf("cql: op %q on strings", x.Op)
+	}
+
+	lf, err := toNum(l)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := toNum(r)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "+":
+		return lf + rf, nil
+	case "-":
+		return lf - rf, nil
+	case "*":
+		return lf * rf, nil
+	case "/":
+		if rf == 0 {
+			return nil, fmt.Errorf("cql: division by zero")
+		}
+		return lf / rf, nil
+	case "=":
+		return lf == rf, nil
+	case "!=":
+		return lf != rf, nil
+	case "<":
+		return lf < rf, nil
+	case "<=":
+		return lf <= rf, nil
+	case ">":
+		return lf > rf, nil
+	case ">=":
+		return lf >= rf, nil
+	}
+	return nil, fmt.Errorf("cql: unknown operator %q", x.Op)
+}
+
+// lookup resolves an identifier against a binding.
+func lookup(id *Ident, b binding) (any, error) {
+	if id.Qualifier != "" {
+		row, ok := b[id.Qualifier]
+		if !ok {
+			return nil, fmt.Errorf("cql: unknown stream binding %q", id.Qualifier)
+		}
+		v, ok := row[id.Name]
+		if !ok {
+			return nil, fmt.Errorf("cql: stream %q has no column %q", id.Qualifier, id.Name)
+		}
+		return v, nil
+	}
+	var found any
+	hits := 0
+	for _, row := range b {
+		if v, ok := row[id.Name]; ok {
+			found = v
+			hits++
+		}
+	}
+	switch hits {
+	case 0:
+		return nil, fmt.Errorf("cql: unknown column %q", id.Name)
+	case 1:
+		return found, nil
+	}
+	return nil, fmt.Errorf("cql: ambiguous column %q (qualify it)", id.Name)
+}
+
+func evalBool(e Expr, b binding) (bool, error) {
+	v, err := eval(e, b)
+	if err != nil {
+		return false, err
+	}
+	bv, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("cql: predicate is %T, not boolean", v)
+	}
+	return bv, nil
+}
+
+func toNum(v any) (float64, error) {
+	switch n := v.(type) {
+	case float64:
+		return n, nil
+	case int64:
+		return float64(n), nil
+	case int:
+		return float64(n), nil
+	case bool:
+		if n {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("cql: %T is not numeric", v)
+}
+
+// evalOverGroup evaluates a (possibly aggregate) expression over a group of
+// bindings. Non-aggregate subexpressions are taken from the first binding.
+func evalOverGroup(e Expr, group []binding) (any, error) {
+	switch x := e.(type) {
+	case *Call:
+		if !aggregateFns[x.Fn] {
+			return nil, fmt.Errorf("cql: unknown function %q", x.Fn)
+		}
+		if x.Fn == "COUNT" {
+			if x.Star {
+				return float64(len(group)), nil
+			}
+			n := 0
+			for _, b := range group {
+				if v, err := eval(x.Args[0], b); err == nil && v != nil {
+					n++
+				}
+			}
+			return float64(n), nil
+		}
+		if len(x.Args) != 1 {
+			return nil, fmt.Errorf("cql: %s takes one argument", x.Fn)
+		}
+		var sum float64
+		minV := math.Inf(1)
+		maxV := math.Inf(-1)
+		n := 0
+		for _, b := range group {
+			v, err := eval(x.Args[0], b)
+			if err != nil {
+				return nil, err
+			}
+			f, err := toNum(v)
+			if err != nil {
+				return nil, err
+			}
+			sum += f
+			if f < minV {
+				minV = f
+			}
+			if f > maxV {
+				maxV = f
+			}
+			n++
+		}
+		if n == 0 {
+			return nil, nil
+		}
+		switch x.Fn {
+		case "SUM":
+			return sum, nil
+		case "AVG":
+			return sum / float64(n), nil
+		case "MIN":
+			return minV, nil
+		case "MAX":
+			return maxV, nil
+		}
+		return nil, fmt.Errorf("cql: unhandled aggregate %q", x.Fn)
+	case *Binary:
+		l, err := evalOverGroup(x.Left, group)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalOverGroup(x.Right, group)
+		if err != nil {
+			return nil, err
+		}
+		return evalBinary(&Binary{Op: x.Op, Left: litOf(l), Right: litOf(r)}, nil)
+	case *Unary:
+		v, err := evalOverGroup(x.X, group)
+		if err != nil {
+			return nil, err
+		}
+		return eval(&Unary{Op: x.Op, X: litOf(v)}, nil)
+	default:
+		if len(group) == 0 {
+			return nil, fmt.Errorf("cql: empty group")
+		}
+		return eval(e, group[0])
+	}
+}
+
+// litOf wraps an evaluated value back into a literal expression.
+func litOf(v any) Expr {
+	switch x := v.(type) {
+	case float64:
+		return &NumberLit{V: x}
+	case string:
+		return &StringLit{V: x}
+	case bool:
+		return &BoolLit{V: x}
+	case int64:
+		return &NumberLit{V: float64(x)}
+	}
+	return &NumberLit{V: 0}
+}
+
+// evalHaving evaluates a HAVING predicate over a group.
+func evalHaving(e Expr, group []binding) (bool, error) {
+	v, err := evalOverGroup(e, group)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("cql: HAVING is %T, not boolean", v)
+	}
+	return b, nil
+}

@@ -1,0 +1,393 @@
+package cql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Row is one tuple: column name -> value (float64, string, bool or int64;
+// int64 values are coerced to float64 in expressions).
+type Row map[string]any
+
+// OutputKind marks a stream output as an insertion or a deletion delta.
+type OutputKind int
+
+const (
+	// Insert marks a tuple added to the result relation.
+	Insert OutputKind = iota
+	// Delete marks a tuple removed from the result relation.
+	Delete
+)
+
+// Output is one emitted stream element.
+type Output struct {
+	Ts   int64
+	Kind OutputKind
+	Row  Row
+}
+
+// Executor incrementally evaluates one continuous query. Tuples must be
+// pushed in non-decreasing timestamp order (pair with an upstream reorder
+// stage for disordered inputs).
+type Executor struct {
+	stmt *SelectStmt
+	wins []*winBuf
+	// prev is the previous instantaneous result relation as a bag.
+	prevCounts map[string]int
+	prevRows   map[string]Row
+	lastSlide  int64
+	hasSlide   bool
+	slide      int64
+}
+
+type winBuf struct {
+	ref     StreamRef
+	entries []winEntry
+}
+
+type winEntry struct {
+	ts  int64
+	row Row
+}
+
+// NewExecutor validates and prepares a parsed query.
+func NewExecutor(stmt *SelectStmt) (*Executor, error) {
+	if len(stmt.From) == 0 {
+		return nil, fmt.Errorf("cql: query has no FROM clause")
+	}
+	names := map[string]bool{}
+	ex := &Executor{stmt: stmt, prevCounts: map[string]int{}, prevRows: map[string]Row{}}
+	for _, ref := range stmt.From {
+		n := ref.name()
+		if names[n] {
+			return nil, fmt.Errorf("cql: duplicate stream binding %q (use AS aliases)", n)
+		}
+		names[n] = true
+		ex.wins = append(ex.wins, &winBuf{ref: ref})
+		if ref.Window.Slide > 0 {
+			ex.hasSlide = true
+			ex.slide = ref.Window.Slide
+		}
+	}
+	// Aggregate queries: every non-aggregate select item must appear in
+	// GROUP BY (checked syntactically by string form).
+	agg := len(stmt.GroupBy) > 0
+	for _, it := range stmt.Items {
+		if !it.Star && isAggregate(it.Expr) {
+			agg = true
+		}
+	}
+	if agg {
+		groupSet := map[string]bool{}
+		for _, g := range stmt.GroupBy {
+			groupSet[exprKey(g)] = true
+		}
+		for _, it := range stmt.Items {
+			if it.Star {
+				return nil, fmt.Errorf("cql: SELECT * is not allowed with aggregation")
+			}
+			if !isAggregate(it.Expr) && !groupSet[exprKey(it.Expr)] {
+				return nil, fmt.Errorf("cql: non-aggregate select item %q not in GROUP BY", exprKey(it.Expr))
+			}
+		}
+	}
+	return ex, nil
+}
+
+// MustPrepare parses and prepares a query, panicking on error.
+func MustPrepare(src string) *Executor {
+	stmt, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	ex, err := NewExecutor(stmt)
+	if err != nil {
+		panic(err)
+	}
+	return ex
+}
+
+// Prepare parses and validates a query.
+func Prepare(src string) (*Executor, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return NewExecutor(stmt)
+}
+
+// Push feeds one tuple into the named stream at the given timestamp and
+// returns the emitted outputs.
+func (ex *Executor) Push(stream string, ts int64, row Row) ([]Output, error) {
+	matched := false
+	for _, w := range ex.wins {
+		if w.ref.Stream == stream {
+			w.entries = append(w.entries, winEntry{ts: ts, row: row})
+			matched = true
+		}
+	}
+	if !matched {
+		return nil, fmt.Errorf("cql: tuple for unknown stream %q", stream)
+	}
+	if ex.hasSlide {
+		boundary := ts / ex.slide
+		if boundary == ex.lastSlide {
+			return nil, nil
+		}
+		ex.lastSlide = boundary
+	}
+	return ex.AdvanceTo(ts)
+}
+
+// AdvanceTo evaluates the query at the given instant without inserting a
+// tuple — needed to observe pure expirations (DSTREAM deltas with no
+// arrivals).
+func (ex *Executor) AdvanceTo(ts int64) ([]Output, error) {
+	for _, w := range ex.wins {
+		w.expire(ts)
+	}
+	rel, err := ex.evaluate()
+	if err != nil {
+		return nil, err
+	}
+	return ex.diff(ts, rel), nil
+}
+
+// expire applies the stream-to-relation window at instant ts.
+func (w *winBuf) expire(ts int64) {
+	switch w.ref.Window.Kind {
+	case WindowUnbounded:
+	case WindowNow:
+		kept := w.entries[:0]
+		for _, e := range w.entries {
+			if e.ts == ts {
+				kept = append(kept, e)
+			}
+		}
+		w.entries = kept
+	case WindowRange:
+		cut := ts - w.ref.Window.N
+		i := 0
+		for i < len(w.entries) && w.entries[i].ts <= cut {
+			i++
+		}
+		w.entries = w.entries[i:]
+	case WindowRows:
+		if int64(len(w.entries)) > w.ref.Window.N {
+			w.entries = w.entries[int64(len(w.entries))-w.ref.Window.N:]
+		}
+	}
+}
+
+// binding maps a FROM-ref name to the row bound from its window.
+type binding map[string]Row
+
+// evaluate computes the instantaneous result relation.
+func (ex *Executor) evaluate() ([]Row, error) {
+	// Cartesian product across windows, filtered by JOIN ON + WHERE.
+	bindings := []binding{{}}
+	for _, w := range ex.wins {
+		var next []binding
+		for _, b := range bindings {
+			for _, e := range w.entries {
+				nb := make(binding, len(b)+1)
+				for k, v := range b {
+					nb[k] = v
+				}
+				nb[w.ref.name()] = e.row
+				if w.ref.JoinOn != nil {
+					ok, err := evalBool(w.ref.JoinOn, nb)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						continue
+					}
+				}
+				next = append(next, nb)
+			}
+		}
+		bindings = next
+	}
+	if ex.stmt.Where != nil {
+		kept := bindings[:0]
+		for _, b := range bindings {
+			ok, err := evalBool(ex.stmt.Where, b)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, b)
+			}
+		}
+		bindings = kept
+	}
+
+	grouped := len(ex.stmt.GroupBy) > 0
+	for _, it := range ex.stmt.Items {
+		if !it.Star && isAggregate(it.Expr) {
+			grouped = true
+		}
+	}
+	if !grouped {
+		out := make([]Row, 0, len(bindings))
+		for _, b := range bindings {
+			row, err := ex.project(b)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, row)
+		}
+		return out, nil
+	}
+
+	// Grouped aggregation.
+	groups := map[string][]binding{}
+	var order []string
+	for _, b := range bindings {
+		var parts []string
+		for _, g := range ex.stmt.GroupBy {
+			v, err := eval(g, b)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, fmt.Sprint(v))
+		}
+		k := strings.Join(parts, "\x00")
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], b)
+	}
+	var out []Row
+	for _, k := range order {
+		gb := groups[k]
+		row := Row{}
+		for i, it := range ex.stmt.Items {
+			v, err := evalOverGroup(it.Expr, gb)
+			if err != nil {
+				return nil, err
+			}
+			row[it.outName(i)] = v
+		}
+		if ex.stmt.Having != nil {
+			ok, err := evalHaving(ex.stmt.Having, gb)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// project builds one output row from a binding.
+func (ex *Executor) project(b binding) (Row, error) {
+	row := Row{}
+	for i, it := range ex.stmt.Items {
+		if it.Star {
+			if len(ex.wins) == 1 {
+				for k, v := range b[ex.wins[0].ref.name()] {
+					row[k] = v
+				}
+			} else {
+				for name, r := range b {
+					for k, v := range r {
+						row[name+"."+k] = v
+					}
+				}
+			}
+			continue
+		}
+		v, err := eval(it.Expr, b)
+		if err != nil {
+			return nil, err
+		}
+		row[it.outName(i)] = v
+	}
+	return row, nil
+}
+
+// diff compares the new relation against the previous instant's and emits
+// the configured deltas.
+func (ex *Executor) diff(ts int64, rel []Row) []Output {
+	cur := map[string]int{}
+	curRows := map[string]Row{}
+	for _, r := range rel {
+		k := rowKey(r)
+		cur[k]++
+		curRows[k] = r
+	}
+	var out []Output
+	switch ex.stmt.Emit {
+	case EmitRStream:
+		for _, r := range rel {
+			out = append(out, Output{Ts: ts, Kind: Insert, Row: r})
+		}
+	case EmitIStream:
+		for k, n := range cur {
+			for d := ex.prevCounts[k]; d < n; d++ {
+				out = append(out, Output{Ts: ts, Kind: Insert, Row: curRows[k]})
+			}
+		}
+	case EmitDStream:
+		for k, n := range ex.prevCounts {
+			for d := cur[k]; d < n; d++ {
+				out = append(out, Output{Ts: ts, Kind: Delete, Row: ex.prevRows[k]})
+			}
+		}
+	}
+	ex.prevCounts = cur
+	ex.prevRows = curRows
+	sort.Slice(out, func(i, j int) bool { return rowKey(out[i].Row) < rowKey(out[j].Row) })
+	return out
+}
+
+// rowKey canonicalises a row for bag comparison.
+func rowKey(r Row) string {
+	keys := make([]string, 0, len(r))
+	for k := range r {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%v;", k, r[k])
+	}
+	return sb.String()
+}
+
+// exprKey canonicalises an expression for GROUP BY matching.
+func exprKey(e Expr) string {
+	switch x := e.(type) {
+	case *Ident:
+		if x.Qualifier != "" {
+			return x.Qualifier + "." + x.Name
+		}
+		return x.Name
+	case *NumberLit:
+		return fmt.Sprint(x.V)
+	case *StringLit:
+		return "'" + x.V + "'"
+	case *BoolLit:
+		return fmt.Sprint(x.V)
+	case *Binary:
+		return "(" + exprKey(x.Left) + x.Op + exprKey(x.Right) + ")"
+	case *Unary:
+		return x.Op + exprKey(x.X)
+	case *Call:
+		var args []string
+		if x.Star {
+			args = append(args, "*")
+		}
+		for _, a := range x.Args {
+			args = append(args, exprKey(a))
+		}
+		return x.Fn + "(" + strings.Join(args, ",") + ")"
+	}
+	return "?"
+}

@@ -1,0 +1,118 @@
+// Package cql implements a CQL-style continuous query language (§2.1 of the
+// paper: "Virtually every attempt to create a standard language for streams
+// has been an extension of SQL ... Most noteworthy examples were CQL and its
+// derivatives"). The package provides the classic three-layer semantics of
+// Arasu, Babu & Widom's CQL:
+//
+//   - stream-to-relation operators: sliding windows — [RANGE n], [ROWS n],
+//     [NOW], [UNBOUNDED];
+//   - relation-to-relation operators: selection, projection, joins, grouped
+//     aggregation (plain SQL over the instantaneous relation);
+//   - relation-to-stream operators: ISTREAM, DSTREAM, RSTREAM.
+//
+// Queries are parsed by a hand-written lexer/recursive-descent parser and
+// executed incrementally: each arriving element advances the window state
+// and emits the stream delta the relation-to-stream operator defines.
+package cql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol
+)
+
+// token is one lexical unit.
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"AS": true, "RANGE": true, "ROWS": true, "SLIDE": true, "NOW": true,
+	"UNBOUNDED": true, "ISTREAM": true, "DSTREAM": true, "RSTREAM": true,
+	"AND": true, "OR": true, "NOT": true, "JOIN": true, "ON": true,
+	"HAVING": true, "TRUE": true, "FALSE": true,
+}
+
+// lex tokenises a query string.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := rune(src[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(src) && (isIdentChar(rune(src[j]))) {
+				j++
+			}
+			word := src[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: tokKeyword, text: up, pos: i})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: i})
+			}
+			i = j
+		case unicode.IsDigit(c):
+			j := i
+			seenDot := false
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || (src[j] == '.' && !seenDot)) {
+				if src[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j], pos: i})
+			i = j
+		case c == '\'':
+			j := i + 1
+			for j < len(src) && src[j] != '\'' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("cql: unterminated string at %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: src[i+1 : j], pos: i})
+			i = j + 1
+		default:
+			// Multi-char operators first.
+			for _, op := range []string{"<=", ">=", "!=", "<>"} {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, token{kind: tokSymbol, text: op, pos: i})
+					i += len(op)
+					goto next
+				}
+			}
+			if strings.ContainsRune("=<>+-*/,().;[]", c) {
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+				i++
+			} else {
+				return nil, fmt.Errorf("cql: unexpected character %q at %d", c, i)
+			}
+		next:
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks, nil
+}
+
+func isIdentChar(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_'
+}

@@ -1,0 +1,81 @@
+package cql
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+func init() {
+	state.RegisterType(Row{})
+}
+
+// Operator runs a continuous CQL query as a dataflow operator: each input
+// event's value must be a Row (or convertible via the extract function);
+// emitted stream deltas flow downstream with the query's relation-to-stream
+// semantics. The executor's windows live in the operator instance, so run it
+// with parallelism 1 unless the query is partitionable by key.
+func Operator(s *core.Stream, name, query, inputStream string, extract func(e core.Event) (Row, bool)) *core.Stream {
+	fac := func() core.Operator {
+		return &cqlOperator{query: query, stream: inputStream, extract: extract}
+	}
+	return s.ProcessWith(name, fac, 1)
+}
+
+type cqlOperator struct {
+	core.BaseOperator
+	query   string
+	stream  string
+	extract func(e core.Event) (Row, bool)
+	ex      *Executor
+}
+
+// Open compiles the query.
+func (o *cqlOperator) Open(core.Context) error {
+	ex, err := Prepare(o.query)
+	if err != nil {
+		return fmt.Errorf("cql operator: %w", err)
+	}
+	o.ex = ex
+	return nil
+}
+
+func (o *cqlOperator) ProcessElement(e core.Event, ctx core.Context) error {
+	row, ok := o.extract(e)
+	if !ok {
+		return nil
+	}
+	outs, err := o.ex.Push(o.stream, e.Timestamp, row)
+	if err != nil {
+		return err
+	}
+	for _, out := range outs {
+		kind := "+"
+		if out.Kind == Delete {
+			kind = "-"
+		}
+		ctx.Emit(core.Event{Key: kind, Timestamp: out.Ts, Value: out.Row})
+	}
+	return nil
+}
+
+// OnWatermark advances the executor so pure expirations (DSTREAM deltas) are
+// observed even without new arrivals.
+func (o *cqlOperator) OnWatermark(wm int64, ctx core.Context) error {
+	if wm < 0 || wm > 1<<60 {
+		return nil // ignore the sentinel final watermark
+	}
+	outs, err := o.ex.AdvanceTo(wm)
+	if err != nil {
+		return err
+	}
+	for _, out := range outs {
+		kind := "+"
+		if out.Kind == Delete {
+			kind = "-"
+		}
+		ctx.Emit(core.Event{Key: kind, Timestamp: out.Ts, Value: out.Row})
+	}
+	return nil
+}

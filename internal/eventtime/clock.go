@@ -1,0 +1,94 @@
+// Package eventtime implements the time and progress-tracking machinery of
+// stream processing surveyed in §2.2 and §2.3 of the paper: event-time vs.
+// processing-time clocks, and the five progress mechanisms — punctuations
+// (Tucker et al.), watermarks (Dataflow), heartbeats (STREAM), slack
+// (Aurora), and frontiers (Naiad).
+//
+// All timestamps in this repository are int64 milliseconds since the Unix
+// epoch unless stated otherwise.
+package eventtime
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts processing time so tests and experiments can run on a
+// deterministic virtual clock instead of wall time.
+type Clock interface {
+	// Now returns the current processing time in Unix milliseconds.
+	Now() int64
+	// After returns a channel that delivers once the clock has advanced by d.
+	After(d time.Duration) <-chan time.Time
+}
+
+// SystemClock is the wall clock.
+type SystemClock struct{}
+
+// Now returns the wall-clock time in Unix milliseconds.
+func (SystemClock) Now() int64 { return time.Now().UnixMilli() }
+
+// After defers to time.After.
+func (SystemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// VirtualClock is a manually advanced clock for deterministic tests. Waiters
+// created with After fire when Advance moves the clock past their deadline.
+type VirtualClock struct {
+	mu      sync.Mutex
+	now     int64
+	waiters []virtualWaiter
+}
+
+type virtualWaiter struct {
+	deadline int64
+	ch       chan time.Time
+}
+
+// NewVirtualClock returns a virtual clock starting at the given Unix-millis
+// instant.
+func NewVirtualClock(start int64) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now returns the virtual current time.
+func (c *VirtualClock) Now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After returns a channel that fires when the virtual clock advances by d.
+func (c *VirtualClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	deadline := c.now + d.Milliseconds()
+	if deadline <= c.now {
+		ch <- time.UnixMilli(c.now)
+		return ch
+	}
+	c.waiters = append(c.waiters, virtualWaiter{deadline: deadline, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d milliseconds and fires any waiters
+// whose deadline has been reached.
+func (c *VirtualClock) Advance(d int64) {
+	c.mu.Lock()
+	c.now += d
+	now := c.now
+	remaining := c.waiters[:0]
+	var fired []chan time.Time
+	for _, w := range c.waiters {
+		if w.deadline <= now {
+			fired = append(fired, w.ch)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	c.waiters = remaining
+	c.mu.Unlock()
+	for _, ch := range fired {
+		ch <- time.UnixMilli(now)
+	}
+}

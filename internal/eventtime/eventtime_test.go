@@ -1,0 +1,232 @@
+package eventtime
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestVirtualClockAdvance(t *testing.T) {
+	c := NewVirtualClock(1000)
+	if c.Now() != 1000 {
+		t.Fatalf("start: want 1000, got %d", c.Now())
+	}
+	ch := c.After(500 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("fired before advance")
+	default:
+	}
+	c.Advance(499)
+	select {
+	case <-ch:
+		t.Fatal("fired too early")
+	default:
+	}
+	c.Advance(1)
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("did not fire after advance")
+	}
+}
+
+func TestBoundedOutOfOrderness(t *testing.T) {
+	g := NewBoundedOutOfOrderness(100)
+	if g.OnPeriodic() != MinWatermark {
+		t.Fatal("watermark before any event")
+	}
+	g.OnEvent(1000)
+	g.OnEvent(900) // disorder within bound
+	if wm := g.OnPeriodic(); wm != 1000-100-1 {
+		t.Fatalf("want %d, got %d", 1000-100-1, wm)
+	}
+	g.OnEvent(2000)
+	if wm := g.OnPeriodic(); wm != 2000-100-1 {
+		t.Fatalf("want %d, got %d", 2000-100-1, wm)
+	}
+}
+
+func TestWatermarkTrackerIsMinAcrossChannels(t *testing.T) {
+	tr := NewWatermarkTracker(3)
+	if _, adv := tr.Update(0, 100); adv {
+		t.Fatal("single channel must not advance the combined watermark")
+	}
+	tr.Update(1, 50)
+	wm, adv := tr.Update(2, 200)
+	if !adv || wm != 50 {
+		t.Fatalf("want combined 50, got %d (adv=%v)", wm, adv)
+	}
+	// Raising the slowest channel advances to the next minimum.
+	wm, adv = tr.Update(1, 150)
+	if !adv || wm != 100 {
+		t.Fatalf("want combined 100, got %d", wm)
+	}
+}
+
+func TestWatermarkTrackerMonotone(t *testing.T) {
+	// Property: combined watermark never decreases under arbitrary updates.
+	check := func(updates []struct {
+		Ch uint8
+		WM int16
+	}) bool {
+		tr := NewWatermarkTracker(4)
+		last := int64(MinWatermark)
+		for _, u := range updates {
+			wm, _ := tr.Update(int(u.Ch%4), int64(u.WM))
+			if wm < last {
+				return false
+			}
+			last = wm
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPunctuationTracker(t *testing.T) {
+	p := NewPunctuationTracker(2)
+	p.Observe(0, Punctuation{TS: 10})
+	if p.Current() != MinWatermark {
+		t.Fatal("one channel should not set progress")
+	}
+	p.Observe(1, Punctuation{TS: 5})
+	if p.Current() != 5 {
+		t.Fatalf("want 5, got %d", p.Current())
+	}
+	if !(Punctuation{TS: 5}).Match(5) || (Punctuation{TS: 5}).Match(6) {
+		t.Fatal("punctuation match semantics wrong")
+	}
+}
+
+func TestHeartbeatGenerator(t *testing.T) {
+	h := NewHeartbeatGenerator(10, 20)
+	if h.Heartbeat() != MinWatermark {
+		t.Fatal("heartbeat before any source report")
+	}
+	h.ReportSourceClock("a", 1000)
+	h.ReportSourceClock("b", 900)
+	if hb := h.Heartbeat(); hb != 900-10-20 {
+		t.Fatalf("want %d, got %d", 900-10-20, hb)
+	}
+	// Stale report does not move a source backward.
+	h.ReportSourceClock("b", 800)
+	if hb := h.Heartbeat(); hb != 900-10-20 {
+		t.Fatalf("stale report moved heartbeat: %d", hb)
+	}
+}
+
+func TestSlackBufferReordersWithinSlack(t *testing.T) {
+	s := NewSlackBuffer(2)
+	var out []any
+	out = append(out, s.Push(30, "c")...)
+	out = append(out, s.Push(10, "a")...)
+	out = append(out, s.Push(20, "b")...)
+	out = append(out, s.Flush()...)
+	want := []string{"a", "b", "c"}
+	if len(out) != 3 {
+		t.Fatalf("want 3 released, got %d", len(out))
+	}
+	for i, v := range out {
+		if v.(string) != want[i] {
+			t.Fatalf("order wrong at %d: %v", i, out)
+		}
+	}
+}
+
+func TestSlackBufferDropsTooLate(t *testing.T) {
+	s := NewSlackBuffer(1)
+	s.Push(10, "a")
+	s.Push(20, "b") // forces release of 10
+	if s.Dropped != 0 {
+		t.Fatal("premature drop")
+	}
+	if rel := s.Push(5, "late"); rel != nil {
+		t.Fatal("late element must not be released")
+	}
+	if s.Dropped != 1 {
+		t.Fatalf("want 1 dropped, got %d", s.Dropped)
+	}
+}
+
+func TestReorderBufferReleasesInOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewReorderBuffer(0)
+	var input []int64
+	for i := 0; i < 500; i++ {
+		ts := int64(rng.Intn(10000))
+		input = append(input, ts)
+		b.Push(ts, ts)
+	}
+	out := b.Flush()
+	sort.Slice(input, func(i, j int) bool { return input[i] < input[j] })
+	for i, v := range out {
+		if v.(int64) != input[i] {
+			t.Fatalf("flush order wrong at %d", i)
+		}
+	}
+	if b.MaxBuffered != 500 {
+		t.Fatalf("max buffered should be 500, got %d", b.MaxBuffered)
+	}
+}
+
+func TestReorderBufferBoundedForcesOldest(t *testing.T) {
+	b := NewReorderBuffer(3)
+	b.Push(3, "c")
+	b.Push(1, "a")
+	b.Push(2, "b")
+	forced := b.Push(4, "d")
+	if len(forced) != 1 || forced[0].(string) != "a" {
+		t.Fatalf("bounded buffer should force-release oldest, got %v", forced)
+	}
+}
+
+func TestReorderBufferReleaseByWatermark(t *testing.T) {
+	b := NewReorderBuffer(0)
+	b.Push(100, 1)
+	b.Push(50, 2)
+	b.Push(150, 3)
+	rel := b.Release(100)
+	if len(rel) != 2 {
+		t.Fatalf("release(100): want 2, got %d", len(rel))
+	}
+	if b.Len() != 1 {
+		t.Fatalf("one element should remain, got %d", b.Len())
+	}
+}
+
+func TestFrontierTracking(t *testing.T) {
+	f := NewFrontier()
+	f.Add(Pointstamp{Node: 0, Time: 10}, 2)
+	f.Add(Pointstamp{Node: 1, Time: 5}, 1)
+	// Frontier at node 1 considers pointstamps at nodes <= 1.
+	if got := f.FrontierAt(1); got != 5 {
+		t.Fatalf("want 5, got %d", got)
+	}
+	// Frontier at node 0 ignores node 1's pointstamp.
+	if got := f.FrontierAt(0); got != 10 {
+		t.Fatalf("want 10, got %d", got)
+	}
+	f.Add(Pointstamp{Node: 1, Time: 5}, -1)
+	if got := f.FrontierAt(1); got != 10 {
+		t.Fatalf("after retire: want 10, got %d", got)
+	}
+	f.Add(Pointstamp{Node: 0, Time: 10}, -2)
+	if got := f.FrontierAt(1); got != MaxWatermark {
+		t.Fatalf("empty frontier should be MaxWatermark, got %d", got)
+	}
+}
+
+func TestFrontierNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative pointstamp count must panic")
+		}
+	}()
+	f := NewFrontier()
+	f.Add(Pointstamp{Node: 0, Time: 1}, -1)
+}

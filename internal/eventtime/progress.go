@@ -1,0 +1,226 @@
+package eventtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file implements the remaining progress-tracking mechanisms compared in
+// §2.3 of the paper: punctuations, heartbeats, slack, and frontiers. Together
+// with watermarks (watermark.go) these are the five measures the tutorial
+// contrasts. The experiment harness (E5) drives the same stream through each
+// mechanism and reports overhead and result timeliness.
+
+// Punctuation is a predicate embedded in the stream asserting that no future
+// element will satisfy it (Tucker et al., TKDE 2003). The most common form —
+// and the one used here — is a timestamp punctuation: "no more elements with
+// timestamp <= TS".
+type Punctuation struct {
+	// TS is the inclusive upper bound on timestamps of elements the
+	// punctuation closes over.
+	TS int64
+}
+
+// Match reports whether an element timestamp is covered (closed over) by the
+// punctuation.
+func (p Punctuation) Match(ts int64) bool { return ts <= p.TS }
+
+// PunctuationTracker tracks explicit punctuations arriving in-band from
+// multiple channels; progress is the minimum punctuation across channels,
+// exactly like watermark alignment, but punctuations are emitted by the
+// *source data* rather than synthesised by the system.
+type PunctuationTracker struct {
+	inner *WatermarkTracker
+}
+
+// NewPunctuationTracker returns a tracker over n channels.
+func NewPunctuationTracker(n int) *PunctuationTracker {
+	return &PunctuationTracker{inner: NewWatermarkTracker(n)}
+}
+
+// Observe records a punctuation from a channel; returns combined progress and
+// whether it advanced.
+func (t *PunctuationTracker) Observe(channel int, p Punctuation) (int64, bool) {
+	return t.inner.Update(channel, p.TS)
+}
+
+// Current returns the combined progress bound.
+func (t *PunctuationTracker) Current() int64 { return t.inner.Current() }
+
+// HeartbeatGenerator implements STREAM-style heartbeats (Srivastava & Widom,
+// PODS 2004): an external coordinator periodically tells each source "emit a
+// heartbeat τ such that all future tuples have timestamp > τ", computed from
+// per-source skew and network-delay bounds. Unlike watermarks, heartbeats are
+// generated at the *ingestion point* from source metadata, not from observed
+// data.
+type HeartbeatGenerator struct {
+	mu      sync.Mutex
+	sources map[string]int64 // latest local clock reported per source
+	skew    int64            // max clock skew bound across sources
+	delay   int64            // max in-flight network delay bound
+}
+
+// NewHeartbeatGenerator returns a generator with the given skew and delay
+// bounds in milliseconds.
+func NewHeartbeatGenerator(skewBound, delayBound int64) *HeartbeatGenerator {
+	return &HeartbeatGenerator{
+		sources: make(map[string]int64),
+		skew:    skewBound,
+		delay:   delayBound,
+	}
+}
+
+// ReportSourceClock records the latest local time reported by a source.
+func (h *HeartbeatGenerator) ReportSourceClock(source string, localTime int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if localTime > h.sources[source] {
+		h.sources[source] = localTime
+	}
+}
+
+// Heartbeat computes the global heartbeat: min over sources of
+// (localTime - skew - delay). Returns MinWatermark until every expected
+// source has reported at least once (sources are registered on first report).
+func (h *HeartbeatGenerator) Heartbeat() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.sources) == 0 {
+		return MinWatermark
+	}
+	hb := int64(MaxWatermark)
+	for _, t := range h.sources {
+		if b := t - h.skew - h.delay; b < hb {
+			hb = b
+		}
+	}
+	return hb
+}
+
+// SlackBuffer implements Aurora-style slack (§2.3): an operator tolerates
+// disorder by buffering up to `slack` elements (or slack time units) and
+// releasing them in timestamp order; elements arriving later than the slack
+// allows are dropped (best-effort, 1st-generation semantics).
+type SlackBuffer struct {
+	slack   int     // number of out-of-order positions tolerated
+	buf     []int64 // pending timestamps, kept sorted
+	values  map[int64][]any
+	emitted int64 // highest timestamp already released
+	started bool
+	Dropped int64 // count of late-dropped elements
+}
+
+// NewSlackBuffer returns a buffer tolerating the given number of positions of
+// disorder.
+func NewSlackBuffer(slack int) *SlackBuffer {
+	return &SlackBuffer{slack: slack, values: make(map[int64][]any)}
+}
+
+// Push offers an element; it returns the (timestamp-ordered) elements that
+// the slack policy releases as a consequence. Late elements (older than the
+// last released timestamp) are counted in Dropped and discarded.
+func (s *SlackBuffer) Push(ts int64, v any) []any {
+	if s.started && ts <= s.emitted {
+		s.Dropped++
+		return nil
+	}
+	i := sort.Search(len(s.buf), func(i int) bool { return s.buf[i] >= ts })
+	if i < len(s.buf) && s.buf[i] == ts {
+		s.values[ts] = append(s.values[ts], v)
+	} else {
+		s.buf = append(s.buf, 0)
+		copy(s.buf[i+1:], s.buf[i:])
+		s.buf[i] = ts
+		s.values[ts] = append(s.values[ts], v)
+	}
+	var out []any
+	for len(s.buf) > s.slack {
+		t := s.buf[0]
+		s.buf = s.buf[1:]
+		out = append(out, s.values[t]...)
+		delete(s.values, t)
+		s.emitted = t
+		s.started = true
+	}
+	return out
+}
+
+// Flush releases all buffered elements in timestamp order.
+func (s *SlackBuffer) Flush() []any {
+	var out []any
+	for _, t := range s.buf {
+		out = append(out, s.values[t]...)
+		delete(s.values, t)
+		s.emitted = t
+		s.started = true
+	}
+	s.buf = s.buf[:0]
+	return out
+}
+
+// Pending returns the number of buffered timestamps.
+func (s *SlackBuffer) Pending() int { return len(s.buf) }
+
+// Pointstamp identifies logical progress in a (possibly cyclic) dataflow à la
+// Naiad: a location (node in the graph) paired with a timestamp.
+type Pointstamp struct {
+	Node int
+	Time int64
+}
+
+// Frontier implements Naiad-style frontier tracking (§2.3): it maintains
+// occurrence counts of outstanding pointstamps; the frontier at a node is the
+// minimum timestamp of any pointstamp that could still reach it. A
+// notification for (node, t) can be delivered once no pointstamp (node', t')
+// with t' <= t can reach node. This simplified single-loop-free variant
+// tracks reachability via the node order of a DAG (node indices are
+// topologically ordered).
+type Frontier struct {
+	mu     sync.Mutex
+	counts map[Pointstamp]int
+}
+
+// NewFrontier returns an empty frontier tracker.
+func NewFrontier() *Frontier {
+	return &Frontier{counts: make(map[Pointstamp]int)}
+}
+
+// Add records n occurrences of a pointstamp (n may be negative to retire).
+// It panics if a count would go negative — that is a protocol violation.
+func (f *Frontier) Add(p Pointstamp, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := f.counts[p] + n
+	if c < 0 {
+		panic(fmt.Sprintf("eventtime: pointstamp %+v count below zero", p))
+	}
+	if c == 0 {
+		delete(f.counts, p)
+	} else {
+		f.counts[p] = c
+	}
+}
+
+// FrontierAt returns the minimum timestamp among outstanding pointstamps at
+// nodes <= the given node (i.e., that could still reach it in a topologically
+// ordered DAG), or MaxWatermark if none remain. A notification at (node, t)
+// is deliverable iff t < FrontierAt(node).
+func (f *Frontier) FrontierAt(node int) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	min := int64(MaxWatermark)
+	for p, c := range f.counts {
+		if c > 0 && p.Node <= node && p.Time < min {
+			min = p.Time
+		}
+	}
+	return min
+}
+
+// Outstanding returns the number of distinct outstanding pointstamps.
+func (f *Frontier) Outstanding() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.counts)
+}

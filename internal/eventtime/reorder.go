@@ -1,0 +1,96 @@
+package eventtime
+
+import (
+	"container/heap"
+)
+
+// ReorderBuffer implements the first of the two fundamental out-of-order
+// strategies of §2.2: buffer data at the ingestion point and release batches
+// in timestamp order (the in-order processing, IOP, architecture of early
+// systems and MillWheel-style ingestion reordering). The second strategy —
+// ingesting disorder directly and reconciling via watermarks/low-watermark
+// purging (OOP, Li et al. VLDB 2008) — is what the core engine does natively;
+// experiment E4 compares the two.
+type ReorderBuffer struct {
+	h       tsHeap
+	maxSize int
+	// MaxBuffered tracks the high-water mark of buffered elements, the
+	// memory-cost metric E4 reports.
+	MaxBuffered int
+}
+
+type tsItem struct {
+	ts  int64
+	seq int64
+	v   any
+}
+
+type tsHeap struct {
+	items []tsItem
+}
+
+func (h tsHeap) Len() int { return len(h.items) }
+func (h tsHeap) Less(i, j int) bool {
+	if h.items[i].ts != h.items[j].ts {
+		return h.items[i].ts < h.items[j].ts
+	}
+	return h.items[i].seq < h.items[j].seq
+}
+func (h tsHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *tsHeap) Push(x any)   { h.items = append(h.items, x.(tsItem)) }
+func (h *tsHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// NewReorderBuffer returns a reorder buffer. maxSize <= 0 means unbounded.
+func NewReorderBuffer(maxSize int) *ReorderBuffer {
+	return &ReorderBuffer{maxSize: maxSize}
+}
+
+var reorderSeq int64
+
+// Push buffers an element. If the buffer is bounded and full, the oldest
+// element is force-released and returned so the caller can forward it.
+func (b *ReorderBuffer) Push(ts int64, v any) (forced []any) {
+	reorderSeq++
+	heap.Push(&b.h, tsItem{ts: ts, seq: reorderSeq, v: v})
+	if b.h.Len() > b.MaxBuffered {
+		b.MaxBuffered = b.h.Len()
+	}
+	if b.maxSize > 0 {
+		for b.h.Len() > b.maxSize {
+			it := heap.Pop(&b.h).(tsItem)
+			forced = append(forced, it.v)
+		}
+	}
+	return forced
+}
+
+// Release pops all elements with timestamp <= bound, in timestamp order.
+// The bound typically comes from a watermark, heartbeat or a processing-time
+// delay policy.
+func (b *ReorderBuffer) Release(bound int64) []any {
+	var out []any
+	for b.h.Len() > 0 && b.h.items[0].ts <= bound {
+		it := heap.Pop(&b.h).(tsItem)
+		out = append(out, it.v)
+	}
+	return out
+}
+
+// Flush releases everything in timestamp order.
+func (b *ReorderBuffer) Flush() []any {
+	var out []any
+	for b.h.Len() > 0 {
+		it := heap.Pop(&b.h).(tsItem)
+		out = append(out, it.v)
+	}
+	return out
+}
+
+// Len returns the number of buffered elements.
+func (b *ReorderBuffer) Len() int { return b.h.Len() }

@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/iterate"
+	"repro/internal/ml"
+	"repro/internal/state"
+	"repro/internal/txn"
+)
+
+// E11Iteration demonstrates the loops of §4.2: bulk-synchronous supersteps
+// (connected components over a random graph) and asynchronous feedback
+// (online SGD whose loss falls while the pipeline serves). Expected shape:
+// CC converges in O(diameter) supersteps; SGD loss decreases monotonically
+// (smoothed) across publications.
+func E11Iteration(scale float64) Report {
+	rep := Report{ID: "E11", Title: "Loops & cycles: BSP supersteps and online training (§4.2)"}
+
+	// BSP: connected components over a random graph with two planted
+	// components.
+	nVerts := n(scale, 2_000)
+	rng := rand.New(rand.NewSource(3))
+	var verts []*iterate.Vertex
+	for i := 0; i < nVerts; i++ {
+		verts = append(verts, &iterate.Vertex{ID: fmt.Sprintf("v%d", i), Value: float64(i)})
+	}
+	// Edges only within each half: two components.
+	half := nVerts / 2
+	addEdge := func(a, b int) {
+		verts[a].Edges = append(verts[a].Edges, iterate.Edge{To: verts[b].ID})
+		verts[b].Edges = append(verts[b].Edges, iterate.Edge{To: verts[a].ID})
+	}
+	for i := 1; i < half; i++ {
+		addEdge(i, rng.Intn(i))
+	}
+	for i := half + 1; i < nVerts; i++ {
+		addEdge(i, half+rng.Intn(i-half))
+	}
+	g := iterate.NewPregel(verts)
+	err := g.Run(func(ctx *iterate.VertexContext, msgs []any) {
+		v := ctx.Vertex()
+		cur := v.Value.(float64)
+		changed := ctx.Superstep() == 0
+		for _, m := range msgs {
+			if l := m.(float64); l < cur {
+				cur, changed = l, true
+			}
+		}
+		v.Value = cur
+		if changed {
+			ctx.SendToAllNeighbors(cur)
+		}
+		ctx.VoteToHalt()
+	}, 500)
+	labels := map[float64]int{}
+	for _, v := range g.Vertices {
+		labels[v.Value.(float64)]++
+	}
+	rep.Rows = append(rep.Rows, fmt.Sprintf(
+		"BSP connected components: %d vertices -> %d components in %d supersteps (err=%v)",
+		nVerts, len(labels), g.Supersteps, err))
+
+	// Online SGD in a pipeline: loss per publication.
+	samples := make([]core.Event, n(scale, 5_000))
+	for i := range samples {
+		x := rng.Float64()*2 - 1
+		samples[i] = core.Event{Timestamp: int64(i), Value: ml.Sample{Features: []float64{x}, Label: 2*x - 1}}
+	}
+	registry := ml.NewRegistry()
+	sink := core.NewCollectSink()
+	b := core.NewBuilder(core.Config{Name: "e11"})
+	src := b.Source("samples", core.NewSliceSourceFactory(samples))
+	ml.TrainOperator(src, "train", ml.NewLinearRegression(1), registry, 0.05, len(samples)/8).
+		Sink("log", sink.Factory())
+	if j, err := b.Build(); err == nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		if err := j.Run(ctx); err == nil {
+			var losses []string
+			for _, e := range sink.Events() {
+				if pe, ok := e.Value.(ml.PublishEvent); ok && pe.AvgLoss > 0 {
+					losses = append(losses, fmt.Sprintf("v%d:%.4f", pe.Version, pe.AvgLoss))
+				}
+			}
+			rep.Rows = append(rep.Rows, "online SGD loss per published model version: "+join(losses, "  "))
+		}
+		cancel()
+	}
+	rep.Notes = append(rep.Notes,
+		"asynchronous feedback loops are exercised separately by iterate.AsyncLoop and the statefun runtime")
+	return rep
+}
+
+func join(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}
+
+// E12Transactions measures the §4.2 transactional facility: serializable
+// account transfers executed by 8 concurrent workers across partition counts
+// and contention levels. Expected shape: with few partitions all workers
+// serialise on the same locks; more partitions unlock parallelism — unless
+// the working set is a handful of hot keys, in which case contention, not
+// partitioning, is the bottleneck (the S-Store design discussion).
+func E12Transactions(scale float64) Report {
+	rep := Report{ID: "E12", Title: "Streaming transactions: throughput vs partitions and contention (§4.2, S-Store)"}
+	txns := n(scale, 50_000)
+	const workers = 8
+	rep.Rows = append(rep.Rows, fmt.Sprintf("%-12s %-10s %14s %12s",
+		"partitions", "hot keys", "txns/sec", "final sum ok"))
+	for _, parts := range []int{1, 4, 16, 64} {
+		for _, hot := range []bool{false, true} {
+			store := txn.NewStore(parts)
+			accounts := 1_000
+			if hot {
+				accounts = 4 // everything contends
+			}
+			for i := 0; i < accounts; i++ {
+				k := fmt.Sprintf("acct%d", i)
+				store.Execute([]string{k}, func(tx *txn.Tx) error { return tx.Set(k, int64(1_000_000)) })
+			}
+			start := time.Now()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < txns/workers; i++ {
+						from := fmt.Sprintf("acct%d", rng.Intn(accounts))
+						to := fmt.Sprintf("acct%d", rng.Intn(accounts))
+						if from == to {
+							continue
+						}
+						store.Execute([]string{from, to}, func(tx *txn.Tx) error {
+							fv, _, _ := tx.Get(from)
+							tv, _, _ := tx.Get(to)
+							// Simulated business logic: without per-txn work,
+							// lock handoff rather than the critical section
+							// dominates and partitioning shows nothing.
+							work := int64(0)
+							for w := 0; w < 2000; w++ {
+								work += int64(w) * fv.(int64) % 7
+							}
+							// work>>62 is always zero here but defeats
+							// dead-code elimination of the loop.
+							tx.Set(from, fv.(int64)-1+(work>>62))
+							tx.Set(to, tv.(int64)+1)
+							return nil
+						})
+					}
+				}(int64(w + 1))
+			}
+			wg.Wait()
+			el := time.Since(start).Seconds()
+			var total int64
+			for _, v := range store.Snapshot() {
+				total += v.(int64)
+			}
+			rep.Rows = append(rep.Rows, fmt.Sprintf("%-12d %-10v %14.0f %12v",
+				parts, hot, float64(txns)/el, total == int64(accounts)*1_000_000))
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("%d workers issuing transfers concurrently on GOMAXPROCS=%d; money conservation checked per cell",
+			workers, runtime.GOMAXPROCS(0)),
+		"on a single core the partition axis is flat by construction; with cores it scales until hot-key contention binds",
+		"serializability additionally verified by TestConcurrentTransfersPreserveTotal")
+	return rep
+}
+
+// E13Rescale measures live reconfiguration (§3.3/§4.2): savepoint → key-group
+// redistribution → restore at higher parallelism, vs restarting from scratch.
+// Expected shape: migration moves only the state bytes and replays only the
+// post-savepoint tail, while a restart reprocesses everything.
+func E13Rescale(scale float64) Report {
+	rep := Report{ID: "E13", Title: "Elasticity & reconfiguration: rescale with key-group migration vs restart (§3.3)"}
+	events := n(scale, 20_000)
+	evs := make([]core.Event, events)
+	for i := range evs {
+		evs[i] = core.Event{Key: fmt.Sprintf("k%d", i%997), Timestamp: int64(i), Value: int64(1)}
+	}
+
+	store := core.NewMemorySnapshotStore()
+	build := func(par int, stopAt int, jobRef **core.Job) (*core.Job, *core.CollectSink) {
+		sink := core.NewCollectSink()
+		b := core.NewBuilder(core.Config{Name: "e13", SnapshotStore: store, ChannelCapacity: 8})
+		s := b.Source("src", core.NewSliceSourceFactory(evs))
+		if stopAt > 0 {
+			s = s.Process("mid", savepointAfter(stopAt, jobRef))
+		} else {
+			s = s.Map("mid", func(e core.Event) (core.Event, bool) { return e, true })
+		}
+		s.KeyBy(func(e core.Event) string { return e.Key }).
+			ProcessWith("count", countOpFactory(), par).
+			Sink("out", sink.Factory())
+		j, err := b.Build()
+		if err != nil {
+			panic(err)
+		}
+		return j, sink
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var j1 *core.Job
+	job1, _ := build(2, events/2, &j1)
+	j1 = job1
+	if err := job1.Run(ctx); err != nil {
+		rep.Rows = append(rep.Rows, "FAILED: "+err.Error())
+		return rep
+	}
+	cp := job1.LastCheckpoint()
+
+	t0 := time.Now()
+	stats, err := core.RescaleCheckpoint(store, cp, cp+100, "count", 8, state.DefaultKeyGroups)
+	migrate := time.Since(t0)
+	if err != nil {
+		rep.Rows = append(rep.Rows, "FAILED: "+err.Error())
+		return rep
+	}
+	t0 = time.Now()
+	job2, sink2 := build(8, 0, nil)
+	job2.RestoreFrom(cp + 100)
+	if err := job2.Run(ctx); err != nil {
+		rep.Rows = append(rep.Rows, "FAILED: "+err.Error())
+		return rep
+	}
+	resume := time.Since(t0)
+
+	// Baseline: full restart at parallelism 8 reprocesses everything.
+	t0 = time.Now()
+	job3, sink3 := build(8, 0, nil)
+	if err := job3.Run(ctx); err != nil {
+		rep.Rows = append(rep.Rows, "FAILED: "+err.Error())
+		return rep
+	}
+	restart := time.Since(t0)
+
+	total2 := sumCounts(sink2)
+	total3 := sumCounts(sink3)
+	rep.Rows = append(rep.Rows, fmt.Sprintf("rescale %d->%d instances: migrated %d state bytes, %d timers, in %v",
+		stats.OldParallelism, stats.NewParallelism, stats.StateBytes, stats.Timers, migrate))
+	rep.Rows = append(rep.Rows, fmt.Sprintf("%-22s %14s %16s %10s", "strategy", "wall time", "events replayed", "correct"))
+	rep.Rows = append(rep.Rows, fmt.Sprintf("%-22s %14v %16d %10v",
+		"migrate + resume", resume, events/2, total2 == int64(events)))
+	rep.Rows = append(rep.Rows, fmt.Sprintf("%-22s %14v %16d %10v",
+		"full restart", restart, events, total3 == int64(events)))
+	rep.Notes = append(rep.Notes,
+		"keyed state is organised in 128 key groups (Flink-style); rescaling reassigns contiguous group ranges")
+	return rep
+}
+
+func sumCounts(sink *core.CollectSink) int64 {
+	var total int64
+	for _, e := range sink.Events() {
+		total += e.Value.(int64)
+	}
+	return total
+}
+
+// countOpFactory builds the keyed counting operator used by E13.
+func countOpFactory() core.OperatorFactory {
+	return func() core.Operator { return &countOp{} }
+}
+
+type countOp struct {
+	core.BaseOperator
+}
+
+func (c *countOp) ProcessElement(e core.Event, ctx core.Context) error {
+	st := ctx.State().Value("count")
+	n := int64(0)
+	if v, ok := st.Get(); ok {
+		n = v.(int64)
+	}
+	st.Set(n + 1)
+	return nil
+}
+
+func (c *countOp) Close(ctx core.Context) error {
+	ctx.State().ForEachKey("count", func(key string, v any) bool {
+		ctx.Emit(core.Event{Key: key, Value: v})
+		return true
+	})
+	return nil
+}
+
+// savepointAfter builds a pass-through operator triggering a savepoint.
+func savepointAfter(at int, job **core.Job) core.OperatorFactory {
+	return func() core.Operator { return &savepointOp{at: at, job: job} }
+}
+
+type savepointOp struct {
+	core.BaseOperator
+	at   int
+	seen int
+	job  **core.Job
+}
+
+func (o *savepointOp) ProcessElement(e core.Event, ctx core.Context) error {
+	ctx.Emit(e)
+	o.seen++
+	if o.seen == o.at && o.job != nil && *o.job != nil {
+		(*o.job).TriggerSavepoint()
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cql"
+	"repro/internal/eventtime"
+	"repro/internal/gen"
+	"repro/internal/ml"
+	"repro/internal/statefun"
+	"repro/internal/synopsis"
+	"repro/internal/txn"
+	"repro/internal/window"
+)
+
+// E1Evolution regenerates Figure 1: the three generations of stream
+// processing, each demonstrated by a runnable mini-pipeline built from this
+// repository's implementation of that generation's signature techniques.
+func E1Evolution(scale float64) Report {
+	rep := Report{ID: "E1", Title: "Figure 1 — the evolution of stream processing (one runnable pipeline per generation)"}
+	events := n(scale, 50_000)
+
+	rep.Rows = append(rep.Rows,
+		"1st gen ('92-'10, DBs->DSMSs): continuous queries (internal/cql), synopses (internal/synopsis),",
+		"        sliding windows (internal/window), slack ordering + load shedding (internal/eventtime, internal/load), CEP (internal/cep)",
+		"2nd gen ('10-'18, scalable streaming): out-of-order + watermarks (internal/eventtime), managed partitioned",
+		"        state (internal/state, internal/lsm), exactly-once barriers (internal/core), reconfiguration (core.RescaleCheckpoint),",
+		"        backpressure + elasticity (internal/load), stream SQL (internal/cql), lineage baseline (internal/lineage)",
+		"3rd gen ('18-, beyond analytics): stateful functions/actors (internal/statefun), transactions (internal/txn),",
+		"        online ML serving+training (internal/ml), streaming graphs (internal/graphstream), loops (internal/iterate),",
+		"        queryable state (internal/queryable), state versioning (state.SchemaRegistry)",
+		"")
+
+	// --- Generation 1: single-threaded CQL query over an ordered stream,
+	// best-effort slack reordering, synopsis state.
+	{
+		spec := gen.FlowSpec(events, 10_000, 1)
+		ex := cql.MustPrepare("RSTREAM (SELECT proto, COUNT(*) AS n FROM flows [ROWS 1000] GROUP BY proto)")
+		cm := synopsis.NewCountMinWithSize(2048, 4)
+		slack := eventtime.NewSlackBuffer(64)
+		start := time.Now()
+		results := 0
+		for i := 0; i < events; i++ {
+			e := spec.At(int64(i))
+			flow := e.Value.(gen.NetFlow)
+			cm.Add(flow.SrcIP, 1)
+			for _, released := range slack.Push(e.Timestamp, flow) {
+				f := released.(gen.NetFlow)
+				out, err := ex.Push("flows", e.Timestamp, cql.Row{"proto": f.Protocol})
+				if err == nil {
+					results += len(out)
+				}
+			}
+		}
+		el := time.Since(start)
+		rep.Rows = append(rep.Rows, fmt.Sprintf(
+			"gen1 pipeline (CQL+synopsis+slack): %d flows in %v (%.0f ev/s), %d relation updates, CMS %dB, %d late-dropped",
+			events, el.Round(time.Millisecond), float64(events)/el.Seconds(), results, cm.Bytes(), slack.Dropped))
+	}
+
+	// --- Generation 2: parallel keyed event-time windows over disordered
+	// input with watermarks and exactly-once checkpoints.
+	{
+		spec := gen.Spec{N: events, Keys: 256, IntervalMs: 2, DisorderMs: 500, Seed: 2}
+		sink := core.NewCollectSink()
+		b := core.NewBuilder(core.Config{
+			Name:            "gen2",
+			SnapshotStore:   core.NewMemorySnapshotStore(),
+			CheckpointEvery: events / 4,
+			ChannelCapacity: 512,
+		})
+		s := b.Source("src", gen.SourceFactory(spec), core.WithBoundedDisorder(500), core.WithParallelism(2)).
+			KeyBy(func(e core.Event) string { return e.Key })
+		window.Apply(s, "win", window.NewTumbling(5_000),
+			window.FloatAggregate(window.Sum, func(e core.Event) float64 { return e.Value.(float64) })).
+			Sink("out", sink.Factory())
+		j, err := b.Build()
+		start := time.Now()
+		if err == nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+			err = j.Run(ctx)
+			cancel()
+		}
+		el := time.Since(start)
+		status := "ok"
+		if err != nil {
+			status = err.Error()
+		}
+		rep.Rows = append(rep.Rows, fmt.Sprintf(
+			"gen2 pipeline (parallel OOO windows + exactly-once): %d events in %v (%.0f ev/s), %d window results, checkpoint %d, %s",
+			events, el.Round(time.Millisecond), float64(events)/el.Seconds(), sink.Len(), j.LastCheckpoint(), status))
+	}
+
+	// --- Generation 3: stateful functions routing to a transactional store
+	// with a continuously served model.
+	{
+		store := txn.NewStore(8)
+		registry := ml.NewRegistry()
+		model := ml.NewLinearRegression(1)
+		for i := 0; i < 200; i++ {
+			model.Update(ml.Sample{Features: []float64{float64(i % 10)}, Label: float64(i%10) * 2}, 0.05)
+		}
+		registry.Publish(model)
+
+		rt := statefun.NewRuntime(4)
+		rt.Register("account", func(ctx statefun.Context, msg statefun.Message) error {
+			amt := msg.Payload.(int64)
+			key := "bal/" + ctx.Self().ID
+			return store.Execute([]string{key}, func(tx *txn.Tx) error {
+				v, _, _ := tx.Get(key)
+				cur, _ := v.(int64)
+				return tx.Set(key, cur+amt)
+			})
+		})
+		rt.Start()
+		nMsgs := events / 10
+		start := time.Now()
+		for i := 0; i < nMsgs; i++ {
+			rt.Send(statefun.Address{Type: "account", ID: fmt.Sprintf("a%d", i%50)}, int64(1))
+		}
+		rt.Stop()
+		el := time.Since(start)
+		m, v := registry.Current()
+		pred := m.Predict([]float64{4})
+		rep.Rows = append(rep.Rows, fmt.Sprintf(
+			"gen3 pipeline (actors+txn+ML serving): %d messages in %v (%.0f msg/s), %d commits, model v%d predicts f(4)=%.2f",
+			nMsgs, el.Round(time.Millisecond), float64(nMsgs)/el.Seconds(), store.Commits.Load(), v, pred))
+	}
+	return rep
+}
+
+// E2Table1 regenerates Table 1 ("Requirements for new applications"): the
+// requirement × application matrix, where every checkmark is backed by a
+// package and test in this repository. The per-cell checks are reconstructed
+// from the §4.2 prose (the tutorial's table is rendered ambiguously in the
+// source text; the row totals — 8 checks for Cloud Apps, 8 for ML, 4 for
+// Graph — match).
+func E2Table1() Report {
+	rep := Report{ID: "E2", Title: "Table 1 — requirements for new applications, mapped to implementations"}
+
+	type req struct {
+		name          string
+		cloud, ml, gr bool
+		impl          string
+	}
+	reqs := []req{
+		{"Programming Models", true, true, true, "core.Builder fluent API; statefun actors; cql SQL; iterate BSP"},
+		{"Transactions", true, false, false, "txn.Store (serializable 2PL), txn.Workflow (compensation)"},
+		{"Advanced State Backends", true, true, true, "state: memory / LSM (internal/lsm) / changelog; TTL"},
+		{"Loops & Cycles", true, true, true, "iterate.AsyncLoop (async), iterate.Pregel (bulk-synchronous)"},
+		{"Elasticity & Reconfiguration", true, true, false, "core.RescaleCheckpoint + load.ScalingPolicy (DS2-style)"},
+		{"Dynamic Topologies", true, true, false, "statefun: addresses spawn on first message (virtual actors)"},
+		{"Shared Mutable State", false, true, true, "txn.Store shared across operators; ml.Registry; graphstream"},
+		{"Queryable State", true, true, false, "queryable.Service + TCP server/client, snapshot isolation"},
+		{"State Versioning", true, true, false, "state.SchemaRegistry + VersionedValue; ml.Registry versions"},
+		{"Hardware Acceleration", false, false, false, "window.BatchTumbling vectorized kernels (CPU stand-in, E10)"},
+	}
+
+	mark := func(b bool) string {
+		if b {
+			return "Y"
+		}
+		return "."
+	}
+	rep.Rows = append(rep.Rows, fmt.Sprintf("%-30s %-6s %-4s %-6s %s",
+		"requirement", "cloud", "ml", "graph", "implemented by"))
+	cloudN, mlN, grN := 0, 0, 0
+	for _, r := range reqs {
+		rep.Rows = append(rep.Rows, fmt.Sprintf("%-30s %-6s %-4s %-6s %s",
+			r.name, mark(r.cloud), mark(r.ml), mark(r.gr), r.impl))
+		if r.cloud {
+			cloudN++
+		}
+		if r.ml {
+			mlN++
+		}
+		if r.gr {
+			grN++
+		}
+	}
+	rep.Rows = append(rep.Rows, fmt.Sprintf("checks per application: cloud=%d ml=%d graph=%d (paper row totals: 8 / 8 / 4)",
+		cloudN, mlN, grN))
+	rep.Notes = append(rep.Notes,
+		"every requirement row has a working implementation regardless of which cells the paper checks;",
+		"HW acceleration is simulated by CPU-vectorized kernels per the substitution rule (see DESIGN.md §2)")
+	return rep
+}

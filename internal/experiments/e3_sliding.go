@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/window"
+)
+
+// E3SlidingAggregation reproduces the "No pane, no gain" comparison: cost of
+// naive re-evaluation vs pane-based partial aggregation vs two-stacks
+// incremental aggregation, for invertible (sum) and non-invertible (min)
+// functions, across window/slide ratios. Expected shape: naive degrades with
+// range; panes amortise by the range/slide overlap factor; two-stacks is
+// near-constant per element.
+func E3SlidingAggregation(scale float64) Report {
+	rep := Report{ID: "E3", Title: "Sliding-window aggregation: naive vs panes vs two-stacks (§2.1, Li et al. 2005)"}
+	events := n(scale, 200_000)
+	rep.Rows = append(rep.Rows, fmt.Sprintf("%-8s %-6s %10s %14s %14s %14s",
+		"fn", "range", "slide", "naive ns/ev", "panes ns/ev", "2stacks ns/ev"))
+
+	for _, fn := range []window.AggFn{window.Sum, window.Min} {
+		for _, rng := range []int64{10_000, 60_000, 300_000} {
+			slide := int64(1_000)
+			na := timeAggregator(window.NewNaiveSliding(rng, slide, fn), events)
+			pa := timeAggregator(window.NewPaneSliding(rng, slide, fn), events)
+			ts := timeAggregator(window.NewTwoStacksSliding(rng, slide, fn), events)
+			rep.Rows = append(rep.Rows, fmt.Sprintf("%-8s %-6d %10d %14.1f %14.1f %14.1f",
+				fn.Name, rng/1000, slide/1000, na, pa, ts))
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"expected shape: naive grows with range; panes ~range/gcd(range,slide) partials; two-stacks O(1) amortised",
+		"all three strategies verified element-for-element equal in TestSlidingAggregatorsAgree")
+	return rep
+}
+
+// timeAggregator measures ns/event for one strategy over a synthetic
+// timestamp-ordered stream.
+func timeAggregator(agg window.SlidingAggregator, events int) float64 {
+	rng := rand.New(rand.NewSource(7))
+	start := time.Now()
+	ts := int64(0)
+	for i := 0; i < events; i++ {
+		ts += int64(rng.Intn(20))
+		agg.Add(ts, rng.Float64())
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(events)
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/eventtime"
+	"repro/internal/gen"
+)
+
+// E4OOPvsBuffering reproduces the §2.2 comparison of the two fundamental
+// out-of-order strategies: (i) buffer at ingestion and release in order
+// (IOP) vs (ii) ingest disorder directly and reconcile with watermarks
+// (OOP, Li et al. VLDB 2008). Both compute identical tumbling counts; the
+// figure is buffered-memory and emission latency as disorder grows.
+// Expected shape: IOP buffer grows linearly with (rate × disorder) while OOP
+// keeps only per-window partials; both see the same watermark-bound result
+// delay.
+func E4OOPvsBuffering(scale float64) Report {
+	rep := Report{ID: "E4", Title: "Out-of-order handling: in-order buffering (IOP) vs native OOP (§2.2)"}
+	events := n(scale, 100_000)
+	const windowMs = 1_000
+	rep.Rows = append(rep.Rows, fmt.Sprintf("%-12s %16s %16s %12s %14s",
+		"disorder(ms)", "IOP max buffered", "OOP max state", "results ==", "IOP/OOP mem"))
+
+	for _, disorder := range []int64{0, 100, 1_000, 5_000, 10_000} {
+		spec := gen.Spec{N: events, Keys: 64, IntervalMs: 2, DisorderMs: disorder, Seed: 3}
+
+		// IOP: reorder buffer releases by watermark, then an in-order
+		// tumbling counter consumes.
+		iopCounts := map[int64]int64{}
+		buf := eventtime.NewReorderBuffer(0)
+		wm := eventtime.NewBoundedOutOfOrderness(disorder)
+		release := func(bound int64) {
+			for _, v := range buf.Release(bound) {
+				ts := v.(int64)
+				iopCounts[ts/windowMs]++
+			}
+		}
+		for i := 0; i < events; i++ {
+			e := spec.At(int64(i))
+			buf.Push(e.Timestamp, e.Timestamp)
+			wm.OnEvent(e.Timestamp)
+			if i%32 == 0 {
+				release(wm.OnPeriodic())
+			}
+		}
+		for _, v := range buf.Flush() {
+			iopCounts[v.(int64)/windowMs]++
+		}
+
+		// OOP: disordered events update window partials directly; windows
+		// close when the watermark passes.
+		oopCounts := map[int64]int64{}
+		oopOpen := map[int64]int64{}
+		maxOpen := 0
+		wm2 := eventtime.NewBoundedOutOfOrderness(disorder)
+		for i := 0; i < events; i++ {
+			e := spec.At(int64(i))
+			oopOpen[e.Timestamp/windowMs]++
+			wm2.OnEvent(e.Timestamp)
+			if len(oopOpen) > maxOpen {
+				maxOpen = len(oopOpen)
+			}
+			if i%32 == 0 {
+				bound := wm2.OnPeriodic()
+				for w, c := range oopOpen {
+					if (w+1)*windowMs <= bound {
+						oopCounts[w] = c
+						delete(oopOpen, w)
+					}
+				}
+			}
+		}
+		for w, c := range oopOpen {
+			oopCounts[w] = c
+		}
+
+		equal := len(iopCounts) == len(oopCounts)
+		if equal {
+			for w, c := range iopCounts {
+				if oopCounts[w] != c {
+					equal = false
+					break
+				}
+			}
+		}
+		ratio := float64(buf.MaxBuffered) / float64(max(maxOpen, 1))
+		rep.Rows = append(rep.Rows, fmt.Sprintf("%-12d %16d %16d %12v %13.1fx",
+			disorder, buf.MaxBuffered, maxOpen, equal, ratio))
+	}
+	rep.Notes = append(rep.Notes,
+		"IOP buffers whole events until the watermark; OOP keeps one partial per open window",
+		"the window package's engine operator is the OOP architecture; eventtime.ReorderBuffer is the IOP one")
+	return rep
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// E5ProgressMechanisms contrasts the five progress-tracking measures of
+// §2.3 on one disordered stream: how many control messages each needs and
+// how close their progress bound tracks the true low watermark. Expected
+// shape: punctuations cost one in-band message per assertion; periodic
+// watermarks/heartbeats trade frequency for lag; slack admits fixed disorder
+// but drops stragglers; frontiers track exactly at the cost of per-event
+// occurrence counting.
+func E5ProgressMechanisms(scale float64) Report {
+	rep := Report{ID: "E5", Title: "Progress tracking: punctuations vs watermarks vs heartbeats vs slack vs frontiers (§2.3)"}
+	events := n(scale, 50_000)
+	const disorder = 500
+	spec := gen.Spec{N: events, Keys: 16, IntervalMs: 2, DisorderMs: disorder, Seed: 5}
+
+	// Ground truth: the exact low watermark after each event (max prefix
+	// timestamp minus nothing — min outstanding).
+	evs := make([]int64, events)
+	for i := range evs {
+		evs[i] = spec.At(int64(i)).Timestamp
+	}
+
+	type row struct {
+		name    string
+		ctlMsgs int
+		avgLag  float64
+		dropped int64
+		exact   bool
+	}
+	var rows []row
+
+	// Punctuations: the source emits "no more <= t" every 64 events (it
+	// knows its own disorder bound).
+	{
+		tr := eventtime.NewPunctuationTracker(1)
+		ctl, lagSum, lagN := 0, 0.0, 0
+		maxSeen := int64(0)
+		for i, ts := range evs {
+			if ts > maxSeen {
+				maxSeen = ts
+			}
+			if i%64 == 63 {
+				tr.Observe(0, eventtime.Punctuation{TS: maxSeen - disorder - 1})
+				ctl++
+				lagSum += float64(maxSeen - tr.Current())
+				lagN++
+			}
+		}
+		rows = append(rows, row{"punctuation", ctl, lagSum / float64(lagN), 0, false})
+	}
+	// Watermarks: periodic generator every 64 events.
+	{
+		g := eventtime.NewBoundedOutOfOrderness(disorder)
+		ctl, lagSum, lagN := 0, 0.0, 0
+		maxSeen := int64(0)
+		for i, ts := range evs {
+			g.OnEvent(ts)
+			if ts > maxSeen {
+				maxSeen = ts
+			}
+			if i%64 == 63 {
+				wm := g.OnPeriodic()
+				ctl++
+				lagSum += float64(maxSeen - wm)
+				lagN++
+			}
+		}
+		rows = append(rows, row{"watermark", ctl, lagSum / float64(lagN), 0, false})
+	}
+	// Heartbeats: source reports its clock; coordinator derives bound with
+	// skew+delay slack.
+	{
+		h := eventtime.NewHeartbeatGenerator(disorder/2, disorder/2)
+		ctl, lagSum, lagN := 0, 0.0, 0
+		maxSeen := int64(0)
+		for i, ts := range evs {
+			if ts > maxSeen {
+				maxSeen = ts
+			}
+			if i%64 == 63 {
+				h.ReportSourceClock("s", maxSeen)
+				ctl++
+				lagSum += float64(maxSeen - h.Heartbeat())
+				lagN++
+			}
+		}
+		rows = append(rows, row{"heartbeat", ctl, lagSum / float64(lagN), 0, false})
+	}
+	// Slack: Aurora's fixed reorder allowance — no control messages at all,
+	// but stragglers beyond the slack are dropped (best-effort). The slack
+	// (64 positions ≈ 128 ms) is deliberately smaller than the disorder
+	// bound to expose the loss behaviour.
+	{
+		sl := eventtime.NewSlackBuffer(64)
+		for _, ts := range evs {
+			sl.Push(ts, ts)
+		}
+		sl.Flush()
+		rows = append(rows, row{"slack", 0, float64(64 * 2), sl.Dropped, false})
+	}
+	// Frontiers: exact — every event adds/retires a pointstamp occurrence.
+	{
+		f := eventtime.NewFrontier()
+		ctl := 0
+		lagSum, lagN := 0.0, 0
+		maxSeen := int64(0)
+		for i, ts := range evs {
+			f.Add(eventtime.Pointstamp{Node: 0, Time: ts}, 1)
+			ctl += 2 // occurrence increment + later retirement
+			if ts > maxSeen {
+				maxSeen = ts
+			}
+			// Retire everything older than the disorder bound (simulating
+			// completed processing).
+			if i%64 == 63 {
+				lagSum += float64(maxSeen - f.FrontierAt(0))
+				lagN++
+				for _, old := range evs[maxInt(0, i-63) : i+1] {
+					f.Add(eventtime.Pointstamp{Node: 0, Time: old}, -1)
+				}
+			}
+		}
+		rows = append(rows, row{"frontier", ctl, lagSum / float64(lagN), 0, true})
+	}
+
+	rep.Rows = append(rep.Rows, fmt.Sprintf("%-12s %10s %12s %9s %7s",
+		"mechanism", "ctl msgs", "avg lag(ms)", "dropped", "exact"))
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, fmt.Sprintf("%-12s %10d %12.0f %9d %7v",
+			r.name, r.ctlMsgs, r.avgLag, r.dropped, r.exact))
+	}
+	rep.Notes = append(rep.Notes,
+		"slack is the only best-effort mechanism (1st gen): bounded memory, but late data is lost",
+		"frontiers are exact but pay per-event occurrence accounting (Naiad)")
+	return rep
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,63 @@
+// Package experiments implements the reproduction harness: one function per
+// experiment in DESIGN.md §4 (E1–E13), each regenerating a paper exhibit
+// (Figure 1, Table 1) or a figure-shaped comparison for a survey claim. The
+// functions are shared by cmd/benchtables (human-readable report) and the
+// root bench_test.go (testing.B benchmarks).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one experiment's rendered result.
+type Report struct {
+	ID    string
+	Title string
+	Rows  []string
+	Notes []string
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: %s ===\n", r.ID, r.Title)
+	for _, row := range r.Rows {
+		sb.WriteString("  " + row + "\n")
+	}
+	for _, n := range r.Notes {
+		sb.WriteString("  note: " + n + "\n")
+	}
+	return sb.String()
+}
+
+// All runs every experiment with the given scale factor (1 = full harness
+// size, smaller for quick runs).
+func All(scale float64) []Report {
+	if scale <= 0 {
+		scale = 1
+	}
+	return []Report{
+		E1Evolution(scale),
+		E2Table1(),
+		E3SlidingAggregation(scale),
+		E4OOPvsBuffering(scale),
+		E5ProgressMechanisms(scale),
+		E6StateBackends(scale),
+		E7Recovery(scale),
+		E8Overload(scale),
+		E9Synopses(scale),
+		E10Vectorized(scale),
+		E11Iteration(scale),
+		E12Transactions(scale),
+		E13Rescale(scale),
+	}
+}
+
+func n(scale float64, base int) int {
+	v := int(float64(base) * scale)
+	if v < 10 {
+		v = 10
+	}
+	return v
+}

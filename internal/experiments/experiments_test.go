@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunAtSmallScale smoke-tests every experiment and checks
+// structural invariants of the reports.
+func TestAllExperimentsRunAtSmallScale(t *testing.T) {
+	reports := All(0.02)
+	if len(reports) != 13 {
+		t.Fatalf("want 13 experiments, got %d", len(reports))
+	}
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+	for i, r := range reports {
+		if r.ID != wantIDs[i] {
+			t.Fatalf("report %d: want %s, got %s", i, wantIDs[i], r.ID)
+		}
+		if r.Title == "" || len(r.Rows) == 0 {
+			t.Fatalf("%s: empty report", r.ID)
+		}
+		if strings.Contains(r.String(), "FAILED") {
+			t.Fatalf("%s reported a failure:\n%s", r.ID, r)
+		}
+	}
+}
+
+// TestE2RowTotalsMatchPaper pins the Table 1 reconstruction to the paper's
+// row totals.
+func TestE2RowTotalsMatchPaper(t *testing.T) {
+	rep := E2Table1()
+	var totals string
+	for _, row := range rep.Rows {
+		if strings.HasPrefix(row, "checks per application:") {
+			totals = row
+		}
+	}
+	if !strings.Contains(totals, "cloud=8") || !strings.Contains(totals, "ml=8") || !strings.Contains(totals, "graph=4") {
+		t.Fatalf("Table 1 totals drifted from the paper: %q", totals)
+	}
+}
+
+// TestE4ShapeHolds verifies the claim E4 reproduces: IOP buffering grows
+// with disorder while OOP state stays near-constant, with equal results.
+func TestE4ShapeHolds(t *testing.T) {
+	rep := E4OOPvsBuffering(0.2)
+	type row struct {
+		disorder, iop, oop int
+		equal              bool
+	}
+	var rows []row
+	for _, line := range rep.Rows[1:] {
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		d, _ := strconv.Atoi(f[0])
+		iop, _ := strconv.Atoi(f[1])
+		oop, _ := strconv.Atoi(f[2])
+		rows = append(rows, row{d, iop, oop, f[3] == "true"})
+	}
+	if len(rows) < 4 {
+		t.Fatalf("missing rows: %v", rep.Rows)
+	}
+	for _, r := range rows {
+		if !r.equal {
+			t.Fatalf("disorder %d: IOP and OOP results differ", r.disorder)
+		}
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if last.iop <= first.iop*10 {
+		t.Fatalf("IOP buffering should grow strongly with disorder: %d -> %d", first.iop, last.iop)
+	}
+	if last.oop > first.oop*20 {
+		t.Fatalf("OOP state should stay near-constant: %d -> %d", first.oop, last.oop)
+	}
+}
+
+// TestE8ShapeHolds pins the §3.3 generational contrast.
+func TestE8ShapeHolds(t *testing.T) {
+	rep := E8Overload(0.3)
+	joined := strings.Join(rep.Rows, "\n")
+	for _, p := range []string{"shed-random", "shed-semantic", "backpressure", "elastic"} {
+		if !strings.Contains(joined, p) {
+			t.Fatalf("missing policy %s in:\n%s", p, joined)
+		}
+	}
+	// Backpressure and elastic rows must show zero loss.
+	for _, row := range rep.Rows {
+		if strings.Contains(row, "backpressure") || strings.Contains(row, "elastic") {
+			if !strings.Contains(row, "dropped=0") {
+				t.Fatalf("lossless policy dropped data: %s", row)
+			}
+		}
+		if strings.HasPrefix(strings.TrimSpace(row), "shed-") && strings.Contains(row, "dropped=0 ") {
+			t.Fatalf("shedding policy dropped nothing under overload: %s", row)
+		}
+	}
+}
+
+// TestReportString renders headers and notes.
+func TestReportString(t *testing.T) {
+	r := Report{ID: "EX", Title: "t", Rows: []string{"row"}, Notes: []string{"n"}}
+	s := r.String()
+	for _, want := range []string{"=== EX: t ===", "row", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in %q", want, s)
+		}
+	}
+}

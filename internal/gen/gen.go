@@ -1,0 +1,288 @@
+// Package gen provides the synthetic workloads of the experiment harness:
+// deterministic, replayable event generators with controllable rate, key
+// skew (zipf), disorder and bursts, plus the domain streams the paper's
+// introduction motivates — credit-card transactions (fraud detection),
+// ride-share trips (dynamic pricing), network flows (Gigascope's domain) and
+// sensor readings. Determinism matters twice: experiments are reproducible,
+// and generated sources are replayable (event i is a pure function of
+// (seed, i)), which is what exactly-once recovery requires of inputs.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+// Spec parameterises a generated stream.
+type Spec struct {
+	// N is the number of events.
+	N int
+	// Keys is the key-space size.
+	Keys int
+	// ZipfS > 1 skews key popularity (zipf exponent); 0 means uniform.
+	ZipfS float64
+	// IntervalMs is the event-time gap between consecutive events.
+	IntervalMs int64
+	// DisorderMs bounds random backward timestamp jitter (out-of-orderness).
+	DisorderMs int64
+	// StartTs is the first event's base timestamp.
+	StartTs int64
+	// Seed drives all randomness.
+	Seed int64
+	// Value builds the event payload; nil produces float64 values in [0,1).
+	Value func(i int64, key string, rng *rand.Rand) any
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.N <= 0 {
+		s.N = 1000
+	}
+	if s.Keys <= 0 {
+		s.Keys = 16
+	}
+	if s.IntervalMs <= 0 {
+		s.IntervalMs = 10
+	}
+	return s
+}
+
+// splitmix64 is an O(1)-seed rand.Source64. The stock math/rand source
+// initialises a 607-word table per seeding, which dominates any workload
+// that derives one generator per event; splitmix64 seeds in a single add.
+type splitmix64 struct {
+	s uint64
+}
+
+func (s *splitmix64) Seed(seed int64) { s.s = uint64(seed) }
+
+func (s *splitmix64) Uint64() uint64 {
+	s.s += 0x9e3779b97f4a7c15
+	z := s.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// At deterministically computes event i of the spec.
+func (s Spec) At(i int64) core.Event {
+	// A per-event RNG seeded from (Seed, i) makes events independent of
+	// iteration order — the property replayable offsets rely on.
+	rng := rand.New(&splitmix64{s: uint64(s.Seed*1_000_003 + i)})
+	var key string
+	if s.ZipfS > 1 {
+		z := rand.NewZipf(rng, s.ZipfS, 1, uint64(s.Keys-1))
+		key = fmt.Sprintf("k%d", z.Uint64())
+	} else {
+		key = fmt.Sprintf("k%d", rng.Intn(s.Keys))
+	}
+	ts := s.StartTs + i*s.IntervalMs
+	if s.DisorderMs > 0 {
+		ts -= rng.Int63n(s.DisorderMs + 1)
+		if ts < 0 {
+			ts = 0
+		}
+	}
+	var v any
+	if s.Value != nil {
+		v = s.Value(i, key, rng)
+	} else {
+		v = rng.Float64()
+	}
+	return core.Event{Key: key, Timestamp: ts, Value: v}
+}
+
+// Events materialises the whole stream (for SliceSource-based tests).
+func Events(spec Spec) []core.Event {
+	spec = spec.withDefaults()
+	out := make([]core.Event, spec.N)
+	for i := range out {
+		out[i] = spec.At(int64(i))
+	}
+	return out
+}
+
+// SourceFactory returns a replayable streaming source over the spec: each
+// parallel instance emits a strided partition, checkpointing its position.
+func SourceFactory(spec Spec) core.SourceFactory {
+	spec = spec.withDefaults()
+	return func(instance, parallelism int) core.Source {
+		return &genSource{spec: spec, instance: instance, par: parallelism}
+	}
+}
+
+type genSource struct {
+	spec     Spec
+	instance int
+	par      int
+	offset   int64 // next local index to emit
+}
+
+// Run emits the instance's strided share of the stream.
+func (g *genSource) Run(ctx core.SourceContext) error {
+	for {
+		globalIdx := int64(g.instance) + g.offset*int64(g.par)
+		if globalIdx >= int64(g.spec.N) {
+			return nil
+		}
+		if !ctx.Collect(g.spec.At(globalIdx)) {
+			return nil
+		}
+		g.offset++
+	}
+}
+
+// SnapshotOffset implements core.ReplayableSource.
+func (g *genSource) SnapshotOffset() ([]byte, error) {
+	o := g.offset
+	return []byte{byte(o >> 56), byte(o >> 48), byte(o >> 40), byte(o >> 32),
+		byte(o >> 24), byte(o >> 16), byte(o >> 8), byte(o)}, nil
+}
+
+// RestoreOffset implements core.ReplayableSource.
+func (g *genSource) RestoreOffset(data []byte) error {
+	if len(data) != 8 {
+		return nil
+	}
+	g.offset = 0
+	for _, b := range data {
+		g.offset = g.offset<<8 | int64(b)
+	}
+	return nil
+}
+
+var _ core.ReplayableSource = (*genSource)(nil)
+
+// --- Domain payloads ------------------------------------------------------
+
+// Transaction is one credit-card charge; Fraudulent marks injected fraud
+// (ground truth for the fraud-detection example).
+type Transaction struct {
+	Card       string
+	Amount     float64
+	MerchantID int
+	Fraudulent bool
+}
+
+// Trip is one ride-share trip event.
+type Trip struct {
+	Driver   string
+	Rider    string
+	ZoneFrom int
+	ZoneTo   int
+	Fare     float64
+	Surge    float64
+}
+
+// NetFlow is one network-flow record (the Gigascope workload shape).
+type NetFlow struct {
+	SrcIP, DstIP     string
+	SrcPort, DstPort int
+	Bytes            int64
+	Protocol         string
+}
+
+// SensorReading is one IoT measurement.
+type SensorReading struct {
+	Sensor string
+	Value  float64
+}
+
+func init() {
+	state.RegisterType(Transaction{})
+	state.RegisterType(Trip{})
+	state.RegisterType(NetFlow{})
+	state.RegisterType(SensorReading{})
+}
+
+// FraudSpec generates a transaction stream where ~fraudRate of events are
+// fraud: a burst of small "probe" charges followed by a large charge on the
+// same card — exactly the CEP pattern the fraud example hunts.
+func FraudSpec(n int, cards int, fraudRate float64, seed int64) Spec {
+	return Spec{
+		N: n, Keys: cards, IntervalMs: 20, Seed: seed,
+		Value: func(i int64, key string, rng *rand.Rand) any {
+			fraud := rng.Float64() < fraudRate
+			amount := 20 + rng.Float64()*180
+			if fraud {
+				amount = 600 + rng.Float64()*400
+			}
+			return Transaction{
+				Card:       key,
+				Amount:     amount,
+				MerchantID: rng.Intn(500),
+				Fraudulent: fraud,
+			}
+		},
+	}
+}
+
+// TripSpec generates ride-share trips over `zones` city zones with zipf
+// demand skew (rush zones are hot).
+func TripSpec(n int, drivers, zones int, seed int64) Spec {
+	return Spec{
+		N: n, Keys: drivers, ZipfS: 1.2, IntervalMs: 15, Seed: seed,
+		Value: func(i int64, key string, rng *rand.Rand) any {
+			from := rng.Intn(zones)
+			to := rng.Intn(zones)
+			dist := float64((from-to)*(from-to)%17 + 1)
+			return Trip{
+				Driver:   key,
+				Rider:    fmt.Sprintf("r%d", rng.Intn(drivers*10)),
+				ZoneFrom: from,
+				ZoneTo:   to,
+				Fare:     2.5 + dist*1.3,
+				Surge:    1,
+			}
+		},
+	}
+}
+
+// FlowSpec generates network flows with zipf-skewed source addresses
+// (heavy-hitter detection workload).
+func FlowSpec(n int, hosts int, seed int64) Spec {
+	return Spec{
+		N: n, Keys: hosts, ZipfS: 1.5, IntervalMs: 5, Seed: seed,
+		Value: func(i int64, key string, rng *rand.Rand) any {
+			return NetFlow{
+				SrcIP:    key,
+				DstIP:    fmt.Sprintf("10.0.%d.%d", rng.Intn(256), rng.Intn(256)),
+				SrcPort:  1024 + rng.Intn(60000),
+				DstPort:  []int{80, 443, 53, 22}[rng.Intn(4)],
+				Bytes:    int64(64 + rng.Intn(64000)),
+				Protocol: []string{"tcp", "udp"}[rng.Intn(2)],
+			}
+		},
+	}
+}
+
+// SensorSpec generates readings following a per-sensor random walk with
+// occasional spikes (anomaly workload).
+func SensorSpec(n int, sensors int, seed int64) Spec {
+	return Spec{
+		N: n, Keys: sensors, IntervalMs: 100, DisorderMs: 250, Seed: seed,
+		Value: func(i int64, key string, rng *rand.Rand) any {
+			base := 20 + 5*rng.NormFloat64()
+			if rng.Float64() < 0.01 {
+				base += 100 // spike
+			}
+			return SensorReading{Sensor: key, Value: base}
+		},
+	}
+}
+
+// WordSpec generates a skewed word stream (the canonical quickstart input).
+func WordSpec(n int, seed int64) Spec {
+	words := []string{"stream", "state", "window", "event", "time", "join",
+		"watermark", "snapshot", "actor", "query"}
+	return Spec{
+		N: n, Keys: len(words), ZipfS: 1.3, IntervalMs: 10, Seed: seed,
+		Value: func(i int64, key string, rng *rand.Rand) any {
+			return words[rng.Intn(len(words))]
+		},
+	}
+}

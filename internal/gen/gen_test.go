@@ -1,0 +1,157 @@
+package gen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestSpecDeterministic(t *testing.T) {
+	spec := Spec{N: 100, Keys: 8, Seed: 42}.withDefaults()
+	for i := int64(0); i < 100; i++ {
+		a := spec.At(i)
+		b := spec.At(i)
+		if a.Key != b.Key || a.Timestamp != b.Timestamp || a.Value != b.Value {
+			t.Fatalf("event %d not deterministic: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	events := Events(Spec{N: 20000, Keys: 100, ZipfS: 1.5, Seed: 1})
+	counts := map[string]int{}
+	for _, e := range events {
+		counts[e.Key]++
+	}
+	// The hottest key must dominate: zipf s=1.5 gives rank-1 a large share.
+	if counts["k0"] < len(events)/4 {
+		t.Fatalf("zipf skew absent: k0 has %d of %d", counts["k0"], len(events))
+	}
+}
+
+func TestUniformKeysCoverSpace(t *testing.T) {
+	events := Events(Spec{N: 5000, Keys: 10, Seed: 2})
+	counts := map[string]int{}
+	for _, e := range events {
+		counts[e.Key]++
+	}
+	if len(counts) != 10 {
+		t.Fatalf("want 10 keys, got %d", len(counts))
+	}
+	for k, c := range counts {
+		if c < 300 || c > 700 {
+			t.Fatalf("uniform distribution off for %s: %d", k, c)
+		}
+	}
+}
+
+func TestDisorderBounded(t *testing.T) {
+	spec := Spec{N: 1000, IntervalMs: 10, DisorderMs: 200, Seed: 3}
+	events := Events(spec)
+	disordered := 0
+	for i := 1; i < len(events); i++ {
+		if events[i].Timestamp < events[i-1].Timestamp {
+			disordered++
+			if d := events[i-1].Timestamp - events[i].Timestamp; d > 200+10 {
+				t.Fatalf("disorder exceeds bound: %d", d)
+			}
+		}
+	}
+	if disordered == 0 {
+		t.Fatal("no disorder injected")
+	}
+}
+
+func TestGeneratedSourceReplayable(t *testing.T) {
+	// Run with checkpoints, savepoint-stop, resume: exact once across the
+	// generated source.
+	spec := Spec{N: 400, Keys: 4, Seed: 9}
+	store := core.NewMemorySnapshotStore()
+
+	var jobRef *core.Job
+	mkTrig := func() core.Operator { return &trigOp{at: 150, job: &jobRef} }
+
+	run := func(restore int64, withTrigger bool) *core.CollectSink {
+		sink := core.NewCollectSink()
+		b := core.NewBuilder(core.Config{Name: "gen", SnapshotStore: store, ChannelCapacity: 2})
+		s := b.Source("src", SourceFactory(spec))
+		if withTrigger {
+			s = s.Process("mid", mkTrig)
+		} else {
+			s = s.Map("mid", func(e core.Event) (core.Event, bool) { return e, true })
+		}
+		s.Sink("out", sink.Factory())
+		j, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobRef = j
+		if restore >= 0 {
+			j.RestoreFrom(restore)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		if err := j.Run(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return sink
+	}
+
+	first := run(-1, true)
+	cp := jobRef.LastCheckpoint()
+	if cp < 0 {
+		t.Fatal("no savepoint")
+	}
+	second := run(cp, false)
+	if first.Len()+second.Len() != spec.N {
+		t.Fatalf("replay lost/duplicated: %d + %d != %d", first.Len(), second.Len(), spec.N)
+	}
+}
+
+type trigOp struct {
+	core.BaseOperator
+	at   int
+	seen int
+	job  **core.Job
+}
+
+func (o *trigOp) ProcessElement(e core.Event, ctx core.Context) error {
+	ctx.Emit(e)
+	o.seen++
+	if o.seen == o.at && *o.job != nil {
+		(*o.job).TriggerSavepoint()
+	}
+	return nil
+}
+
+func TestDomainSpecs(t *testing.T) {
+	for name, spec := range map[string]Spec{
+		"fraud":  FraudSpec(500, 20, 0.05, 1),
+		"trips":  TripSpec(500, 50, 20, 2),
+		"flows":  FlowSpec(500, 100, 3),
+		"sensor": SensorSpec(500, 10, 4),
+		"words":  WordSpec(500, 5),
+	} {
+		events := Events(spec)
+		if len(events) != 500 {
+			t.Fatalf("%s: want 500 events, got %d", name, len(events))
+		}
+		for _, e := range events[:10] {
+			if e.Value == nil {
+				t.Fatalf("%s: nil payload", name)
+			}
+		}
+	}
+	// Fraud ground truth present at roughly the configured rate.
+	frauds := 0
+	for _, e := range Events(FraudSpec(10000, 20, 0.05, 1)) {
+		if e.Value.(Transaction).Fraudulent {
+			frauds++
+		}
+	}
+	if frauds < 300 || frauds > 800 {
+		t.Fatalf("fraud rate off: %d/10000", frauds)
+	}
+}

@@ -1,0 +1,225 @@
+// Package graphstream implements continuous analysis of graph streams
+// (§4.1: "events indicate edge and vertex additions, deletions, and
+// modifications ... a prominent use-case is traffic and demand prediction
+// for ride sharing services [needing] shortest path queries with low
+// latency"). It provides a dynamic graph ingesting edge events, incremental
+// connected components (union-find with deletion-triggered rebuild),
+// incremental single-source shortest paths (delta relaxation on insertions),
+// and streaming random walks for online graph-embedding workloads.
+package graphstream
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// EdgeOp discriminates edge-stream events.
+type EdgeOp uint8
+
+const (
+	// AddEdge inserts or updates an edge.
+	AddEdge EdgeOp = iota
+	// RemoveEdge deletes an edge.
+	RemoveEdge
+)
+
+// EdgeEvent is one element of a graph stream.
+type EdgeEvent struct {
+	Op     EdgeOp
+	From   string
+	To     string
+	Weight float64
+	Ts     int64
+}
+
+// DynamicGraph is an adjacency-map graph maintained from an edge stream.
+// It is undirected when Undirected is set (edges mirrored).
+type DynamicGraph struct {
+	Undirected bool
+	adj        map[string]map[string]float64
+	edgeCount  int
+}
+
+// NewDynamicGraph returns an empty graph.
+func NewDynamicGraph(undirected bool) *DynamicGraph {
+	return &DynamicGraph{Undirected: undirected, adj: make(map[string]map[string]float64)}
+}
+
+// Apply ingests one edge event.
+func (g *DynamicGraph) Apply(e EdgeEvent) {
+	switch e.Op {
+	case AddEdge:
+		g.addHalf(e.From, e.To, e.Weight)
+		if g.Undirected {
+			g.addHalf(e.To, e.From, e.Weight)
+		}
+	case RemoveEdge:
+		g.removeHalf(e.From, e.To)
+		if g.Undirected {
+			g.removeHalf(e.To, e.From)
+		}
+	}
+}
+
+func (g *DynamicGraph) addHalf(from, to string, w float64) {
+	m := g.adj[from]
+	if m == nil {
+		m = make(map[string]float64)
+		g.adj[from] = m
+	}
+	if _, existed := m[to]; !existed {
+		g.edgeCount++
+	}
+	m[to] = w
+	if g.adj[to] == nil {
+		g.adj[to] = make(map[string]float64)
+	}
+}
+
+func (g *DynamicGraph) removeHalf(from, to string) {
+	if m := g.adj[from]; m != nil {
+		if _, ok := m[to]; ok {
+			delete(m, to)
+			g.edgeCount--
+		}
+	}
+}
+
+// Neighbors returns the adjacency map of a vertex (shared; do not mutate).
+func (g *DynamicGraph) Neighbors(v string) map[string]float64 { return g.adj[v] }
+
+// Vertices returns the known vertex ids.
+func (g *DynamicGraph) Vertices() []string {
+	out := make([]string, 0, len(g.adj))
+	for v := range g.adj {
+		out = append(out, v)
+	}
+	return out
+}
+
+// NumEdges returns the directed edge count (undirected edges count once per
+// direction stored).
+func (g *DynamicGraph) NumEdges() int { return g.edgeCount }
+
+// Degree returns the out-degree of a vertex.
+func (g *DynamicGraph) Degree(v string) int { return len(g.adj[v]) }
+
+// BFSComponents computes connected components from scratch (the reference
+// implementation the incremental structure is tested against).
+func (g *DynamicGraph) BFSComponents() map[string]string {
+	comp := make(map[string]string, len(g.adj))
+	for v := range g.adj {
+		if _, done := comp[v]; done {
+			continue
+		}
+		// Label the whole component with the minimum vertex id found.
+		queue := []string{v}
+		members := []string{}
+		seen := map[string]bool{v: true}
+		minID := v
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			members = append(members, u)
+			if u < minID {
+				minID = u
+			}
+			for n := range g.adj[u] {
+				if !seen[n] {
+					seen[n] = true
+					queue = append(queue, n)
+				}
+			}
+		}
+		for _, m := range members {
+			comp[m] = minID
+		}
+	}
+	return comp
+}
+
+// SampleWalks draws `count` random walks of length `length` starting at
+// uniformly chosen vertices — the primitive behind streaming graph
+// embeddings ("generating graph embeddings using streaming random walks").
+func (g *DynamicGraph) SampleWalks(rng *rand.Rand, count, length int) [][]string {
+	verts := g.Vertices()
+	if len(verts) == 0 {
+		return nil
+	}
+	// Deterministic vertex order for reproducibility.
+	sort.Strings(verts)
+	walks := make([][]string, 0, count)
+	for i := 0; i < count; i++ {
+		cur := verts[rng.Intn(len(verts))]
+		walk := []string{cur}
+		for step := 1; step < length; step++ {
+			nbrs := g.adj[cur]
+			if len(nbrs) == 0 {
+				break
+			}
+			keys := make([]string, 0, len(nbrs))
+			for n := range nbrs {
+				keys = append(keys, n)
+			}
+			sort.Strings(keys)
+			cur = keys[rng.Intn(len(keys))]
+			walk = append(walk, cur)
+		}
+		walks = append(walks, walk)
+	}
+	return walks
+}
+
+// Dijkstra computes shortest distances from src over the current graph (the
+// from-scratch reference for IncrementalSSSP).
+func (g *DynamicGraph) Dijkstra(src string) map[string]float64 {
+	dist := map[string]float64{src: 0}
+	pq := &distHeap{{v: src, d: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if d, ok := dist[it.v]; ok && it.d > d {
+			continue
+		}
+		for n, w := range g.adj[it.v] {
+			if w < 0 {
+				continue
+			}
+			nd := it.d + w
+			if cur, ok := dist[n]; !ok || nd < cur {
+				dist[n] = nd
+				heap.Push(pq, distItem{v: n, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distItem struct {
+	v string
+	d float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int           { return len(h) }
+func (h distHeap) Less(i, j int) bool { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)        { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Infinity is the distance of unreachable vertices.
+func Infinity() float64 { return math.Inf(1) }
+
+// String renders summary statistics.
+func (g *DynamicGraph) String() string {
+	return fmt.Sprintf("graph{vertices=%d edges=%d}", len(g.adj), g.edgeCount)
+}

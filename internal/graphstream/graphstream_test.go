@@ -1,0 +1,164 @@
+package graphstream
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDynamicGraphAddRemove(t *testing.T) {
+	g := NewDynamicGraph(true)
+	g.Apply(EdgeEvent{Op: AddEdge, From: "a", To: "b", Weight: 1})
+	if g.NumEdges() != 2 { // undirected stores both directions
+		t.Fatalf("edge count: %d", g.NumEdges())
+	}
+	if g.Degree("a") != 1 || g.Degree("b") != 1 {
+		t.Fatal("degrees wrong")
+	}
+	// Updating weight does not change count.
+	g.Apply(EdgeEvent{Op: AddEdge, From: "a", To: "b", Weight: 5})
+	if g.NumEdges() != 2 {
+		t.Fatalf("update changed edge count: %d", g.NumEdges())
+	}
+	g.Apply(EdgeEvent{Op: RemoveEdge, From: "a", To: "b"})
+	if g.NumEdges() != 0 {
+		t.Fatalf("removal failed: %d", g.NumEdges())
+	}
+}
+
+// TestIncrementalCCMatchesBFS is the property test: under a random stream of
+// insertions and deletions, the incremental structure always agrees with a
+// from-scratch BFS.
+func TestIncrementalCCMatchesBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := NewDynamicGraph(true)
+	cc := NewIncrementalCC(g)
+	vertices := 20
+	var live []EdgeEvent
+	for step := 0; step < 1500; step++ {
+		var e EdgeEvent
+		if len(live) > 0 && rng.Intn(4) == 0 {
+			i := rng.Intn(len(live))
+			e = live[i]
+			e.Op = RemoveEdge
+			live = append(live[:i], live[i+1:]...)
+		} else {
+			e = EdgeEvent{
+				Op:   AddEdge,
+				From: fmt.Sprintf("v%d", rng.Intn(vertices)),
+				To:   fmt.Sprintf("v%d", rng.Intn(vertices)),
+			}
+			live = append(live, e)
+		}
+		g.Apply(e)
+		cc.Apply(e)
+		if step%100 == 0 {
+			want := g.BFSComponents()
+			got := cc.Components()
+			if len(want) != len(got) {
+				t.Fatalf("step %d: vertex counts differ: %d vs %d", step, len(want), len(got))
+			}
+			for v, label := range want {
+				if got[v] != label {
+					t.Fatalf("step %d: component of %s: incremental=%s bfs=%s", step, v, got[v], label)
+				}
+			}
+		}
+	}
+	if cc.Rebuilds == 0 {
+		t.Fatal("expected deletion-triggered rebuilds")
+	}
+}
+
+// TestIncrementalSSSPMatchesDijkstra: same property for shortest paths.
+func TestIncrementalSSSPMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := NewDynamicGraph(false)
+	ss := NewIncrementalSSSP(g, "v0")
+	vertices := 15
+	var live []EdgeEvent
+	for step := 0; step < 800; step++ {
+		var e EdgeEvent
+		if len(live) > 0 && rng.Intn(5) == 0 {
+			i := rng.Intn(len(live))
+			e = live[i]
+			e.Op = RemoveEdge
+			live = append(live[:i], live[i+1:]...)
+		} else {
+			e = EdgeEvent{
+				Op:     AddEdge,
+				From:   fmt.Sprintf("v%d", rng.Intn(vertices)),
+				To:     fmt.Sprintf("v%d", rng.Intn(vertices)),
+				Weight: float64(1 + rng.Intn(9)),
+			}
+			live = append(live, e)
+		}
+		g.Apply(e)
+		ss.Apply(e)
+		if step%50 == 0 {
+			want := g.Dijkstra("v0")
+			for v, d := range want {
+				if got := ss.Distance(v); got != d {
+					t.Fatalf("step %d: dist[%s]: incremental=%v dijkstra=%v", step, v, got, d)
+				}
+			}
+			// And nothing unreachable is reported reachable.
+			for v, got := range ss.Distances() {
+				if _, ok := want[v]; !ok && !math.IsInf(got, 1) {
+					t.Fatalf("step %d: %s reported reachable (%v) but is not", step, v, got)
+				}
+			}
+		}
+	}
+	if ss.Relaxations == 0 || ss.Recomputes == 0 {
+		t.Fatalf("expected both incremental relaxations (%d) and recomputes (%d)",
+			ss.Relaxations, ss.Recomputes)
+	}
+}
+
+func TestIncrementalSSSPInsertionsAreCheap(t *testing.T) {
+	// Insert-only stream: zero full recomputations.
+	g := NewDynamicGraph(false)
+	ss := NewIncrementalSSSP(g, "v0")
+	for i := 0; i < 100; i++ {
+		e := EdgeEvent{Op: AddEdge, From: fmt.Sprintf("v%d", i), To: fmt.Sprintf("v%d", i+1), Weight: 1}
+		g.Apply(e)
+		ss.Apply(e)
+	}
+	if ss.Recomputes != 0 {
+		t.Fatalf("insert-only stream triggered %d recomputes", ss.Recomputes)
+	}
+	if d := ss.Distance("v100"); d != 100 {
+		t.Fatalf("chain distance: want 100, got %v", d)
+	}
+}
+
+func TestRandomWalks(t *testing.T) {
+	g := NewDynamicGraph(true)
+	for i := 0; i < 10; i++ {
+		g.Apply(EdgeEvent{Op: AddEdge, From: fmt.Sprintf("v%d", i), To: fmt.Sprintf("v%d", (i+1)%10), Weight: 1})
+	}
+	rng := rand.New(rand.NewSource(5))
+	walks := g.SampleWalks(rng, 20, 8)
+	if len(walks) != 20 {
+		t.Fatalf("want 20 walks, got %d", len(walks))
+	}
+	for _, w := range walks {
+		if len(w) != 8 {
+			t.Fatalf("ring walk should reach full length, got %d", len(w))
+		}
+		for i := 1; i < len(w); i++ {
+			if _, ok := g.Neighbors(w[i-1])[w[i]]; !ok {
+				t.Fatalf("walk step %s->%s is not an edge", w[i-1], w[i])
+			}
+		}
+	}
+}
+
+func TestWalksOnEmptyGraph(t *testing.T) {
+	g := NewDynamicGraph(true)
+	if walks := g.SampleWalks(rand.New(rand.NewSource(1)), 5, 3); walks != nil {
+		t.Fatal("walks on empty graph should be nil")
+	}
+}

@@ -1,0 +1,193 @@
+package graphstream
+
+import "container/heap"
+
+// IncrementalCC maintains connected components over an edge stream with a
+// union-find structure: edge insertions are O(α) unions; deletions mark the
+// structure dirty and trigger a rebuild on the next query (the standard
+// practical compromise for fully-dynamic connectivity).
+type IncrementalCC struct {
+	g      *DynamicGraph
+	parent map[string]string
+	rank   map[string]int
+	dirty  bool
+	// Rebuilds counts deletion-triggered recomputations.
+	Rebuilds int
+}
+
+// NewIncrementalCC tracks components of g; feed every edge event through
+// Apply (in addition to g.Apply, which the caller owns).
+func NewIncrementalCC(g *DynamicGraph) *IncrementalCC {
+	return &IncrementalCC{
+		g:      g,
+		parent: make(map[string]string),
+		rank:   make(map[string]int),
+	}
+}
+
+// Apply observes an edge event (after it was applied to the graph).
+func (c *IncrementalCC) Apply(e EdgeEvent) {
+	switch e.Op {
+	case AddEdge:
+		c.union(e.From, e.To)
+	case RemoveEdge:
+		// Deleting an edge may split a component; rebuild lazily.
+		c.dirty = true
+	}
+}
+
+func (c *IncrementalCC) find(v string) string {
+	p, ok := c.parent[v]
+	if !ok {
+		c.parent[v] = v
+		c.rank[v] = 0
+		return v
+	}
+	if p != v {
+		c.parent[v] = c.find(p)
+	}
+	return c.parent[v]
+}
+
+func (c *IncrementalCC) union(a, b string) {
+	ra, rb := c.find(a), c.find(b)
+	if ra == rb {
+		return
+	}
+	if c.rank[ra] < c.rank[rb] {
+		ra, rb = rb, ra
+	}
+	c.parent[rb] = ra
+	if c.rank[ra] == c.rank[rb] {
+		c.rank[ra]++
+	}
+}
+
+// rebuild reconstructs union-find from the live graph.
+func (c *IncrementalCC) rebuild() {
+	c.parent = make(map[string]string)
+	c.rank = make(map[string]int)
+	for _, v := range c.g.Vertices() {
+		c.find(v)
+		for n := range c.g.Neighbors(v) {
+			c.union(v, n)
+		}
+	}
+	c.dirty = false
+	c.Rebuilds++
+}
+
+// SameComponent reports whether two vertices are connected.
+func (c *IncrementalCC) SameComponent(a, b string) bool {
+	if c.dirty {
+		c.rebuild()
+	}
+	return c.find(a) == c.find(b)
+}
+
+// Components returns a canonical component label per vertex (the minimum
+// member id, matching DynamicGraph.BFSComponents).
+func (c *IncrementalCC) Components() map[string]string {
+	if c.dirty {
+		c.rebuild()
+	}
+	// Map each root to its minimum member.
+	minOf := map[string]string{}
+	for _, v := range c.g.Vertices() {
+		r := c.find(v)
+		if cur, ok := minOf[r]; !ok || v < cur {
+			minOf[r] = v
+		}
+	}
+	out := make(map[string]string, len(c.parent))
+	for _, v := range c.g.Vertices() {
+		out[v] = minOf[c.find(v)]
+	}
+	return out
+}
+
+// IncrementalSSSP maintains single-source shortest paths over an edge
+// stream: insertions trigger delta relaxation from the improved endpoint
+// (work proportional to the affected subgraph); deletions of relaxed edges
+// trigger a full recompute.
+type IncrementalSSSP struct {
+	g    *DynamicGraph
+	src  string
+	dist map[string]float64
+	// Recomputes counts deletion-triggered full recomputations; Relaxations
+	// counts incremental edge relaxations.
+	Recomputes  int
+	Relaxations int
+}
+
+// NewIncrementalSSSP tracks distances from src over g.
+func NewIncrementalSSSP(g *DynamicGraph, src string) *IncrementalSSSP {
+	return &IncrementalSSSP{g: g, src: src, dist: map[string]float64{src: 0}}
+}
+
+// Apply observes an edge event (after it was applied to the graph).
+func (s *IncrementalSSSP) Apply(e EdgeEvent) {
+	switch e.Op {
+	case AddEdge:
+		s.relaxFrom(e.From, e.To, e.Weight)
+		if s.g.Undirected {
+			s.relaxFrom(e.To, e.From, e.Weight)
+		}
+	case RemoveEdge:
+		// If the removed edge was on no shortest path the distances stay
+		// valid; detecting that cheaply requires parent pointers, so be
+		// conservative: recompute when either endpoint was reachable.
+		_, fromReach := s.dist[e.From]
+		_, toReach := s.dist[e.To]
+		if fromReach || toReach {
+			s.dist = s.g.Dijkstra(s.src)
+			s.Recomputes++
+		}
+	}
+}
+
+// relaxFrom performs Dijkstra-style relaxation seeded by the new edge.
+func (s *IncrementalSSSP) relaxFrom(u, v string, w float64) {
+	du, ok := s.dist[u]
+	if !ok {
+		return
+	}
+	nd := du + w
+	if cur, ok := s.dist[v]; ok && cur <= nd {
+		return
+	}
+	s.dist[v] = nd
+	s.Relaxations++
+	pq := &distHeap{{v: v, d: nd}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if d, ok := s.dist[it.v]; ok && it.d > d {
+			continue
+		}
+		for n, wt := range s.g.Neighbors(it.v) {
+			cand := it.d + wt
+			if cur, ok := s.dist[n]; !ok || cand < cur {
+				s.dist[n] = cand
+				s.Relaxations++
+				heap.Push(pq, distItem{v: n, d: cand})
+			}
+		}
+	}
+}
+
+// Distance returns the current distance to v (Infinity when unreachable).
+func (s *IncrementalSSSP) Distance(v string) float64 {
+	if d, ok := s.dist[v]; ok {
+		return d
+	}
+	return Infinity()
+}
+
+// Distances returns a copy of all finite distances.
+func (s *IncrementalSSSP) Distances() map[string]float64 {
+	out := make(map[string]float64, len(s.dist))
+	for k, v := range s.dist {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+// Package iterate implements the loops & cycles of §4.2: most dataflow
+// systems are DAG-bound, but ML and graph workloads need either
+// *asynchronous* feedback (request/response, actor-style cycles) or
+// *synchronous* bulk-iterative execution (BSP supersteps, "paramount for
+// bulk iterative algorithms ... and graph analytics that rely on iterative
+// superstep synchronization"). Both forms are provided here:
+//
+//   - AsyncLoop: a deadlock-free feedback queue around a processing
+//     function — events may re-enter the loop any number of times;
+//   - Pregel: a vertex-centric bulk-synchronous runner with superstep
+//     barriers, message passing and vote-to-halt semantics.
+package iterate
+
+import (
+	"fmt"
+)
+
+// AsyncLoop runs a function over an input stream where each invocation may
+// emit final outputs and/or feedback elements that re-enter the loop. The
+// feedback queue is unbounded, which removes the deadlock problem that makes
+// cycles hard in backpressured dataflows (§4.2 "limitations in flow control
+// (deadlock elimination)").
+type AsyncLoop struct {
+	// MaxSteps bounds total invocations as a divergence guard; 0 means
+	// 1e7.
+	MaxSteps int
+	// Steps counts invocations of the last Run.
+	Steps int
+}
+
+// Run processes the inputs to quiescence and returns the emitted outputs in
+// emission order.
+func (l *AsyncLoop) Run(inputs []any, fn func(v any, emit func(any), feedback func(any))) ([]any, error) {
+	limit := l.MaxSteps
+	if limit <= 0 {
+		limit = 10_000_000
+	}
+	queue := append([]any(nil), inputs...)
+	var out []any
+	l.Steps = 0
+	for len(queue) > 0 {
+		if l.Steps >= limit {
+			return out, fmt.Errorf("iterate: async loop exceeded %d steps (diverging feedback?)", limit)
+		}
+		v := queue[0]
+		queue = queue[1:]
+		l.Steps++
+		fn(v,
+			func(o any) { out = append(out, o) },
+			func(fb any) { queue = append(queue, fb) },
+		)
+	}
+	return out, nil
+}
+
+// Vertex is one node of a Pregel computation.
+type Vertex struct {
+	ID    string
+	Value any
+	Edges []Edge
+	// halted is the vote-to-halt flag; an incoming message reactivates the
+	// vertex.
+	halted bool
+}
+
+// Edge is an outgoing connection with an optional weight.
+type Edge struct {
+	To     string
+	Weight float64
+}
+
+// VertexContext is handed to the compute function each superstep.
+type VertexContext struct {
+	vertex    *Vertex
+	superstep int
+	outbox    map[string][]any
+	aggregate *float64
+}
+
+// Superstep returns the current superstep number (0-based).
+func (c *VertexContext) Superstep() int { return c.superstep }
+
+// Vertex returns the vertex under computation.
+func (c *VertexContext) Vertex() *Vertex { return c.vertex }
+
+// SendTo delivers a message to another vertex for the next superstep.
+func (c *VertexContext) SendTo(id string, msg any) {
+	c.outbox[id] = append(c.outbox[id], msg)
+}
+
+// SendToAllNeighbors broadcasts along out-edges.
+func (c *VertexContext) SendToAllNeighbors(msg any) {
+	for _, e := range c.vertex.Edges {
+		c.SendTo(e.To, msg)
+	}
+}
+
+// VoteToHalt deactivates the vertex until a message arrives.
+func (c *VertexContext) VoteToHalt() { c.vertex.halted = true }
+
+// Aggregate adds to the global (per-superstep) float aggregator.
+func (c *VertexContext) Aggregate(v float64) { *c.aggregate += v }
+
+// Compute is the per-vertex program, invoked for active vertices with their
+// incoming messages.
+type Compute func(ctx *VertexContext, msgs []any)
+
+// Pregel is a bulk-synchronous vertex-centric computation.
+type Pregel struct {
+	Vertices map[string]*Vertex
+	// Supersteps counts executed supersteps after Run.
+	Supersteps int
+	// AggregatorHistory records the global aggregate per superstep.
+	AggregatorHistory []float64
+}
+
+// NewPregel builds a computation over the given vertices.
+func NewPregel(vertices []*Vertex) *Pregel {
+	m := make(map[string]*Vertex, len(vertices))
+	for _, v := range vertices {
+		m[v.ID] = v
+	}
+	return &Pregel{Vertices: m}
+}
+
+// Run executes supersteps until all vertices halt with no messages in
+// flight, or maxSupersteps is reached.
+func (p *Pregel) Run(compute Compute, maxSupersteps int) error {
+	if maxSupersteps <= 0 {
+		maxSupersteps = 1000
+	}
+	inbox := map[string][]any{}
+	p.Supersteps = 0
+	p.AggregatorHistory = nil
+	for step := 0; step < maxSupersteps; step++ {
+		outbox := map[string][]any{}
+		var agg float64
+		active := 0
+		for _, v := range p.Vertices {
+			msgs := inbox[v.ID]
+			if v.halted && len(msgs) == 0 {
+				continue
+			}
+			v.halted = false
+			active++
+			ctx := &VertexContext{vertex: v, superstep: step, outbox: outbox, aggregate: &agg}
+			compute(ctx, msgs)
+		}
+		p.AggregatorHistory = append(p.AggregatorHistory, agg)
+		if active == 0 {
+			return nil
+		}
+		p.Supersteps++
+		// Barrier: deliver messages, dropping those to unknown vertices.
+		inbox = map[string][]any{}
+		for id, msgs := range outbox {
+			if _, ok := p.Vertices[id]; ok {
+				inbox[id] = msgs
+			}
+		}
+		if len(inbox) == 0 {
+			allHalted := true
+			for _, v := range p.Vertices {
+				if !v.halted {
+					allHalted = false
+					break
+				}
+			}
+			if allHalted {
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("iterate: pregel did not converge within %d supersteps", maxSupersteps)
+}

@@ -1,0 +1,168 @@
+package iterate
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestAsyncLoopCollatz(t *testing.T) {
+	// Feedback until each number reaches 1; outputs record step counts.
+	var loop AsyncLoop
+	type item struct{ n, steps int }
+	out, err := loop.Run([]any{item{6, 0}, item{7, 0}}, func(v any, emit func(any), feedback func(any)) {
+		it := v.(item)
+		if it.n == 1 {
+			emit(it.steps)
+			return
+		}
+		if it.n%2 == 0 {
+			feedback(item{it.n / 2, it.steps + 1})
+		} else {
+			feedback(item{3*it.n + 1, it.steps + 1})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("want 2 results, got %d", len(out))
+	}
+	// Collatz steps: 6→8 steps, 7→16 steps.
+	got := map[int]bool{out[0].(int): true, out[1].(int): true}
+	if !got[8] || !got[16] {
+		t.Fatalf("collatz steps wrong: %v", out)
+	}
+}
+
+func TestAsyncLoopDivergenceGuard(t *testing.T) {
+	loop := AsyncLoop{MaxSteps: 100}
+	_, err := loop.Run([]any{1}, func(v any, emit func(any), feedback func(any)) {
+		feedback(v) // never terminates
+	})
+	if err == nil {
+		t.Fatal("diverging loop not detected")
+	}
+}
+
+// ringGraph builds a ring of n vertices.
+func ringGraph(n int) []*Vertex {
+	vs := make([]*Vertex, n)
+	for i := range vs {
+		vs[i] = &Vertex{ID: fmt.Sprintf("v%d", i), Value: float64(i)}
+	}
+	for i := range vs {
+		vs[i].Edges = []Edge{{To: vs[(i+1)%n].ID, Weight: 1}}
+	}
+	return vs
+}
+
+func TestPregelMinLabelPropagation(t *testing.T) {
+	// Connected components by min-label propagation on a ring: everything
+	// converges to label 0.
+	g := NewPregel(ringGraph(10))
+	err := g.Run(func(ctx *VertexContext, msgs []any) {
+		v := ctx.Vertex()
+		cur := v.Value.(float64)
+		changed := ctx.Superstep() == 0
+		for _, m := range msgs {
+			if l := m.(float64); l < cur {
+				cur = l
+				changed = true
+			}
+		}
+		v.Value = cur
+		if changed {
+			ctx.SendToAllNeighbors(cur)
+		}
+		ctx.VoteToHalt()
+	}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, v := range g.Vertices {
+		if v.Value.(float64) != 0 {
+			t.Fatalf("vertex %s label %v, want 0", id, v.Value)
+		}
+	}
+	if g.Supersteps < 5 {
+		t.Fatalf("ring of 10 needs several supersteps, got %d", g.Supersteps)
+	}
+}
+
+func TestPregelSSSP(t *testing.T) {
+	// Weighted single-source shortest paths on a small graph.
+	inf := math.Inf(1)
+	vs := []*Vertex{
+		{ID: "a", Value: 0.0, Edges: []Edge{{To: "b", Weight: 1}, {To: "c", Weight: 4}}},
+		{ID: "b", Value: inf, Edges: []Edge{{To: "c", Weight: 2}, {To: "d", Weight: 6}}},
+		{ID: "c", Value: inf, Edges: []Edge{{To: "d", Weight: 3}}},
+		{ID: "d", Value: inf},
+	}
+	g := NewPregel(vs)
+	err := g.Run(func(ctx *VertexContext, msgs []any) {
+		v := ctx.Vertex()
+		dist := v.Value.(float64)
+		improved := ctx.Superstep() == 0 && dist == 0
+		for _, m := range msgs {
+			if d := m.(float64); d < dist {
+				dist = d
+				improved = true
+			}
+		}
+		v.Value = dist
+		if improved {
+			for _, e := range v.Edges {
+				ctx.SendTo(e.To, dist+e.Weight)
+			}
+		}
+		ctx.VoteToHalt()
+	}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"a": 0, "b": 1, "c": 3, "d": 6}
+	for id, d := range want {
+		if got := g.Vertices[id].Value.(float64); got != d {
+			t.Fatalf("dist[%s] = %v, want %v", id, got, d)
+		}
+	}
+}
+
+func TestPregelAggregator(t *testing.T) {
+	g := NewPregel(ringGraph(5))
+	err := g.Run(func(ctx *VertexContext, msgs []any) {
+		ctx.Aggregate(1) // count active vertices
+		ctx.VoteToHalt()
+	}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.AggregatorHistory) == 0 || g.AggregatorHistory[0] != 5 {
+		t.Fatalf("aggregator history wrong: %v", g.AggregatorHistory)
+	}
+}
+
+func TestPregelNonConvergenceDetected(t *testing.T) {
+	g := NewPregel(ringGraph(3))
+	err := g.Run(func(ctx *VertexContext, msgs []any) {
+		ctx.SendToAllNeighbors(1.0) // chatter forever
+	}, 10)
+	if err == nil {
+		t.Fatal("non-converging pregel not detected")
+	}
+}
+
+func TestPregelMessageToUnknownVertexDropped(t *testing.T) {
+	vs := []*Vertex{{ID: "only", Value: 0.0, Edges: []Edge{{To: "ghost"}}}}
+	g := NewPregel(vs)
+	err := g.Run(func(ctx *VertexContext, msgs []any) {
+		if ctx.Superstep() == 0 {
+			ctx.SendToAllNeighbors(1.0)
+		}
+		ctx.VoteToHalt()
+	}, 10)
+	if err != nil {
+		t.Fatalf("message to unknown vertex should be dropped silently: %v", err)
+	}
+}

@@ -1,0 +1,116 @@
+package lineage
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func srcEvents(n int) []core.Event {
+	events := make([]core.Event, n)
+	for i := range events {
+		events[i] = core.Event{Timestamp: int64(i), Value: int64(1)}
+	}
+	return events
+}
+
+// runningSum folds a running total and emits it once per batch.
+func runningSum(state any, in []core.Event) ([]core.Event, any) {
+	total := state.(int64)
+	for _, e := range in {
+		total += e.Value.(int64)
+	}
+	return []core.Event{{Timestamp: in[len(in)-1].Timestamp, Value: total}}, total
+}
+
+func TestMicroBatchProducesSameResultWithAndWithoutFailure(t *testing.T) {
+	mk := func() *Job {
+		j, err := NewJob(Config{BatchSize: 10, CheckpointEveryBatches: 4}, srcEvents(100),
+			[]Transform{func(in []core.Event) []core.Event { return in }}, runningSum, int64(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	clean, err := mk().Run(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed, err := mk().Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) != len(failed) {
+		t.Fatalf("output lengths differ: %d vs %d", len(clean), len(failed))
+	}
+	for i := range clean {
+		if clean[i].Value.(int64) != failed[i].Value.(int64) {
+			t.Fatalf("batch %d differs after lineage recovery: %v vs %v", i, clean[i], failed[i])
+		}
+	}
+	if final := failed[len(failed)-1].Value.(int64); final != 100 {
+		t.Fatalf("final running sum: want 100, got %d", final)
+	}
+}
+
+func TestLineageRecomputationBoundedByCheckpointInterval(t *testing.T) {
+	j, err := NewJob(Config{BatchSize: 10, CheckpointEveryBatches: 4}, srcEvents(100),
+		nil, runningSum, int64(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail at batch 7; last checkpoint at batch 4 → recompute batches 4..6.
+	if _, err := j.Run(7); err != nil {
+		t.Fatal(err)
+	}
+	if j.RecomputedBatches != 3 {
+		t.Fatalf("recomputed batches: want 3, got %d", j.RecomputedBatches)
+	}
+}
+
+func TestLineageFullReplayWithoutCheckpoints(t *testing.T) {
+	j, err := NewJob(Config{BatchSize: 10}, srcEvents(100), nil, runningSum, int64(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without state checkpoints, failing at batch 9 recomputes 0..8.
+	if _, err := j.Run(9); err != nil {
+		t.Fatal(err)
+	}
+	if j.RecomputedBatches != 9 {
+		t.Fatalf("recomputed batches: want 9 (full lineage), got %d", j.RecomputedBatches)
+	}
+}
+
+func TestStatelessTransformChain(t *testing.T) {
+	double := func(in []core.Event) []core.Event {
+		out := make([]core.Event, len(in))
+		for i, e := range in {
+			e.Value = e.Value.(int64) * 2
+			out[i] = e
+		}
+		return out
+	}
+	j, err := NewJob(Config{BatchSize: 5}, srcEvents(20), []Transform{double, double}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := j.Run(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 20 {
+		t.Fatalf("want 20 outputs, got %d", len(out))
+	}
+	for _, e := range out {
+		if e.Value.(int64) != 4 {
+			t.Fatalf("transform chain: want 4, got %v", e.Value)
+		}
+	}
+}
+
+func TestBatchSizeValidation(t *testing.T) {
+	if _, err := NewJob(Config{}, nil, nil, nil, nil); err == nil {
+		t.Fatal("zero batch size accepted")
+	}
+}

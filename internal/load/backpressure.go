@@ -1,0 +1,84 @@
+package load
+
+import (
+	"sync"
+)
+
+// CreditController implements credit-based flow control, the mechanism behind
+// modern backpressure (§3.3): a receiver grants credits matching its free
+// buffer space; a sender may only transmit while holding credits. When the
+// receiver stalls, credits dry up and the stall propagates upstream hop by
+// hop until the sources slow down — no data is dropped.
+type CreditController struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	credits int
+	max     int
+	closed  bool
+	// WaitCount counts how many sends had to block — the backpressure signal
+	// monitoring systems expose.
+	WaitCount int64
+}
+
+// NewCreditController returns a controller with the given buffer budget.
+func NewCreditController(buffers int) *CreditController {
+	c := &CreditController{credits: buffers, max: buffers}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Acquire takes one credit, blocking while none are available. It returns
+// false if the controller was closed while waiting.
+func (c *CreditController) Acquire() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	waited := false
+	for c.credits == 0 && !c.closed {
+		if !waited {
+			c.WaitCount++
+			waited = true
+		}
+		c.cond.Wait()
+	}
+	if c.closed {
+		return false
+	}
+	c.credits--
+	return true
+}
+
+// TryAcquire takes a credit without blocking.
+func (c *CreditController) TryAcquire() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.credits == 0 || c.closed {
+		return false
+	}
+	c.credits--
+	return true
+}
+
+// Grant returns one credit (the receiver freed a buffer).
+func (c *CreditController) Grant() {
+	c.mu.Lock()
+	if c.credits < c.max {
+		c.credits++
+	}
+	c.mu.Unlock()
+	c.cond.Signal()
+}
+
+// Available returns the current credit count.
+func (c *CreditController) Available() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.credits
+}
+
+// Close releases all waiters.
+func (c *CreditController) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}

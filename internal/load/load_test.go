@@ -1,0 +1,214 @@
+package load
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRandomShedderApproximatesFraction(t *testing.T) {
+	s := NewRandomShedder(1)
+	kept := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Keep(0, 0.3) {
+			kept++
+		}
+	}
+	frac := float64(kept) / n
+	if frac < 0.67 || frac > 0.73 {
+		t.Fatalf("random shedder kept %.3f, want ~0.70", frac)
+	}
+}
+
+func TestSemanticShedderDropsLowUtilityFirst(t *testing.T) {
+	s := NewSemanticShedder(1000)
+	// Warm the sample with uniform utilities.
+	for i := 0; i < 1000; i++ {
+		s.Keep(float64(i%100), 0)
+	}
+	// With 30% drop, utilities clearly above the 30th percentile survive and
+	// clearly below are dropped.
+	if !s.Keep(90, 0.3) {
+		t.Fatal("high-utility tuple dropped")
+	}
+	if s.Keep(5, 0.3) {
+		t.Fatal("low-utility tuple kept")
+	}
+}
+
+func TestSheddingControllerActivatesOnlyUnderOverload(t *testing.T) {
+	c := NewSheddingController(100, 0.95)
+	for i := 0; i < 20; i++ {
+		if f := c.ObserveArrivals(50); f != 0 {
+			t.Fatalf("shedding under low load: %v", f)
+		}
+	}
+	var f float64
+	for i := 0; i < 20; i++ {
+		f = c.ObserveArrivals(200)
+	}
+	if f < 0.4 || f > 0.6 {
+		t.Fatalf("drop fraction under 2x overload: want ~0.525, got %v", f)
+	}
+}
+
+func TestRateEstimatorConverges(t *testing.T) {
+	e := NewRateEstimator(0.5)
+	for i := 0; i < 30; i++ {
+		e.Observe(100)
+	}
+	if r := e.Rate(); r < 99 || r > 101 {
+		t.Fatalf("EWMA did not converge: %v", r)
+	}
+}
+
+func TestCreditControllerBlocksAndGrants(t *testing.T) {
+	c := NewCreditController(2)
+	if !c.TryAcquire() || !c.TryAcquire() {
+		t.Fatal("initial credits unavailable")
+	}
+	if c.TryAcquire() {
+		t.Fatal("acquired beyond budget")
+	}
+	done := make(chan bool)
+	go func() { done <- c.Acquire() }()
+	// Wait for the acquirer to actually block (WaitCount is set before the
+	// goroutine parks), then grant a credit.
+	for {
+		c.mu.Lock()
+		waiting := c.WaitCount > 0
+		c.mu.Unlock()
+		if waiting {
+			break
+		}
+	}
+	c.Grant()
+	if !<-done {
+		t.Fatal("blocked acquire failed after grant")
+	}
+}
+
+func TestCreditControllerCloseReleasesWaiters(t *testing.T) {
+	c := NewCreditController(0)
+	var wg sync.WaitGroup
+	results := make([]bool, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.Acquire()
+		}(i)
+	}
+	c.Close()
+	wg.Wait()
+	for i, r := range results {
+		if r {
+			t.Fatalf("waiter %d acquired after close", i)
+		}
+	}
+}
+
+func TestCreditControllerGrantCapped(t *testing.T) {
+	c := NewCreditController(1)
+	c.Grant()
+	c.Grant()
+	if c.Available() != 1 {
+		t.Fatalf("credits exceeded max: %d", c.Available())
+	}
+}
+
+func TestScalingPolicyComputesTarget(t *testing.T) {
+	p := NewScalingPolicy(0.8, 1, 16)
+	// 1000 events/s input, 150/s per instance at 80% target → ceil(8.33)=9.
+	if got := p.Decide(1000, 150, 2); got != 9 {
+		t.Fatalf("scale-out: want 9, got %d", got)
+	}
+}
+
+func TestScalingPolicyHysteresisOnScaleDown(t *testing.T) {
+	p := NewScalingPolicy(0.8, 1, 16)
+	// Scale-down requires persistence.
+	if got := p.Decide(100, 150, 8); got != 8 {
+		t.Fatal("scaled down immediately")
+	}
+	p.Decide(100, 150, 8)
+	if got := p.Decide(100, 150, 8); got == 8 {
+		t.Fatal("did not scale down after hysteresis")
+	}
+}
+
+func TestScalingPolicyClamps(t *testing.T) {
+	p := NewScalingPolicy(0.8, 2, 4)
+	if got := p.Decide(1e9, 1, 2); got != 4 {
+		t.Fatalf("max clamp: want 4, got %d", got)
+	}
+}
+
+// TestOverloadSimulationShapes is the E8 shape test: the generational claims
+// of §3.3 must hold on the standard workload.
+func TestOverloadSimulationShapes(t *testing.T) {
+	cfg := SimConfig{
+		BaseRate:            100,
+		BurstFactor:         2.5,
+		BurstStart:          50,
+		BurstEnd:            150,
+		Ticks:               300,
+		CapacityPerInstance: 120,
+		QueueBound:          500,
+		Instances:           1,
+		MaxInstances:        8,
+		Seed:                7,
+	}
+	results := map[Policy]SimResult{}
+	for _, r := range CompareOverloadPolicies(cfg) {
+		results[r.Policy] = r
+	}
+
+	shed := results[PolicyShedRandom]
+	sem := results[PolicyShedSemantic]
+	bp := results[PolicyBackpressure]
+	el := results[PolicyElastic]
+
+	// Shedding loses data; backpressure and elastic lose none.
+	if shed.Dropped == 0 || sem.Dropped == 0 {
+		t.Fatalf("shedding policies should drop under overload: %v / %v", shed, sem)
+	}
+	if bp.Dropped != 0 || el.Dropped != 0 {
+		t.Fatalf("backpressure/elastic must not drop: %v / %v", bp, el)
+	}
+	// Everything offered is accounted for.
+	for _, r := range []SimResult{shed, sem, bp, el} {
+		if r.Delivered+r.Dropped != r.Offered {
+			t.Fatalf("%s: delivered+dropped != offered: %v", r.Policy, r)
+		}
+	}
+	// Shedding keeps latency low; backpressure pays with queueing latency.
+	if shed.AvgLatency >= bp.AvgLatency {
+		t.Fatalf("shedding latency (%v) should be below backpressure latency (%v)",
+			shed.AvgLatency, bp.AvgLatency)
+	}
+	// Elasticity scales out and recovers latency versus fixed-capacity
+	// backpressure.
+	if el.FinalInstances <= 1 && el.Rescales == 0 {
+		t.Fatalf("elastic policy never scaled: %v", el)
+	}
+	if el.AvgLatency >= bp.AvgLatency {
+		t.Fatalf("elastic latency (%v) should beat fixed backpressure (%v)", el.AvgLatency, bp.AvgLatency)
+	}
+	// Semantic shedding preserves more utility than random shedding for the
+	// same overload (it drops the cheapest tuples).
+	if sem.UtilityLost >= shed.UtilityLost {
+		t.Fatalf("semantic shedding should lose less utility: semantic=%v random=%v",
+			sem.UtilityLost, shed.UtilityLost)
+	}
+}
+
+func TestSimulationDrainsCompletely(t *testing.T) {
+	cfg := SimConfig{BaseRate: 50, BurstFactor: 3, BurstStart: 10, BurstEnd: 60,
+		Ticks: 100, CapacityPerInstance: 60, Instances: 1, MaxInstances: 4, Seed: 1}
+	for _, r := range CompareOverloadPolicies(cfg) {
+		if r.Delivered+r.Dropped != r.Offered {
+			t.Fatalf("%s leaked events: %+v", r.Policy, r)
+		}
+	}
+}

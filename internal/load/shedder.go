@@ -1,0 +1,170 @@
+// Package load implements the load-management techniques whose evolution
+// §3.3 of the paper traces: 1st-generation load shedding (Aurora/Tatbul et
+// al. — dynamically dropping tuples, deciding when, where, how many and
+// which), and the 2nd/3rd-generation replacements — credit-based
+// backpressure and rate-based elasticity with key-group state migration.
+// A deterministic discrete-time simulation (sim.go) reproduces the E8
+// comparison of the three policies under overload.
+package load
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Shedder decides, per tuple, whether to drop it under the current shedding
+// rate. Implementations correspond to the "which tuples" axis of the load
+// shedding design space: random (drop uniformly) vs semantic (drop lowest
+// utility first).
+type Shedder interface {
+	// Keep reports whether a tuple with the given utility survives when the
+	// shedder is configured to drop `dropFraction` of the load.
+	Keep(utility float64, dropFraction float64) bool
+	Name() string
+}
+
+// RandomShedder drops tuples uniformly at random.
+type RandomShedder struct {
+	rng *rand.Rand
+}
+
+// NewRandomShedder returns a seeded random shedder.
+func NewRandomShedder(seed int64) *RandomShedder {
+	return &RandomShedder{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Shedder.
+func (s *RandomShedder) Name() string { return "random" }
+
+// Keep implements Shedder.
+func (s *RandomShedder) Keep(_ float64, dropFraction float64) bool {
+	return s.rng.Float64() >= dropFraction
+}
+
+// SemanticShedder drops the lowest-utility tuples first. It learns the
+// utility distribution online (a sliding sample) and converts the drop
+// fraction into a utility threshold — the QoS-driven "which" decision of the
+// Aurora load shedder.
+type SemanticShedder struct {
+	mu      sync.Mutex
+	sample  []float64
+	maxSize int
+	pos     int
+	// sorted is a cached copy of sample, refreshed every refreshEvery
+	// observations so threshold lookup is O(1) amortised.
+	sorted       []float64
+	sinceRefresh int
+}
+
+const shedderRefreshEvery = 128
+
+// NewSemanticShedder returns a shedder estimating the utility distribution
+// from a sliding sample of the given size.
+func NewSemanticShedder(sampleSize int) *SemanticShedder {
+	if sampleSize <= 0 {
+		sampleSize = 1024
+	}
+	return &SemanticShedder{maxSize: sampleSize}
+}
+
+// Name implements Shedder.
+func (s *SemanticShedder) Name() string { return "semantic" }
+
+// Keep implements Shedder.
+func (s *SemanticShedder) Keep(utility float64, dropFraction float64) bool {
+	s.mu.Lock()
+	if len(s.sample) < s.maxSize {
+		s.sample = append(s.sample, utility)
+	} else {
+		s.sample[s.pos] = utility
+		s.pos = (s.pos + 1) % s.maxSize
+	}
+	s.sinceRefresh++
+	if s.sorted == nil || s.sinceRefresh >= shedderRefreshEvery {
+		s.sorted = append(s.sorted[:0], s.sample...)
+		sort.Float64s(s.sorted)
+		s.sinceRefresh = 0
+	}
+	threshold := s.thresholdLocked(dropFraction)
+	s.mu.Unlock()
+	return utility >= threshold
+}
+
+// thresholdLocked returns the utility quantile below which tuples are shed.
+func (s *SemanticShedder) thresholdLocked(dropFraction float64) float64 {
+	if dropFraction <= 0 || len(s.sorted) == 0 {
+		return -1e308
+	}
+	if dropFraction >= 1 {
+		return 1e308
+	}
+	idx := int(dropFraction * float64(len(s.sorted)))
+	if idx >= len(s.sorted) {
+		idx = len(s.sorted) - 1
+	}
+	return s.sorted[idx]
+}
+
+// SheddingController implements the when/where/how-many decisions: it
+// monitors the input rate against the system capacity and computes the drop
+// fraction needed to bring load below capacity, with headroom.
+type SheddingController struct {
+	// Capacity is the sustainable processing rate (tuples per tick).
+	Capacity float64
+	// Headroom is the target utilisation (e.g. 0.9 sheds down to 90% of
+	// capacity).
+	Headroom float64
+	est      *RateEstimator
+}
+
+// NewSheddingController returns a controller for the given capacity.
+func NewSheddingController(capacity, headroom float64) *SheddingController {
+	if headroom <= 0 || headroom > 1 {
+		headroom = 0.95
+	}
+	return &SheddingController{Capacity: capacity, Headroom: headroom, est: NewRateEstimator(0.3)}
+}
+
+// ObserveArrivals records the arrivals of one tick and returns the drop
+// fraction to apply next tick ("when": whenever estimated rate exceeds
+// capacity; "how many": the excess fraction).
+func (c *SheddingController) ObserveArrivals(n float64) float64 {
+	rate := c.est.Observe(n)
+	target := c.Capacity * c.Headroom
+	if rate <= target {
+		return 0
+	}
+	return 1 - target/rate
+}
+
+// RateEstimator is an exponentially weighted moving average of per-tick
+// counts.
+type RateEstimator struct {
+	alpha   float64
+	rate    float64
+	started bool
+}
+
+// NewRateEstimator returns an EWMA estimator with the given smoothing factor
+// in (0, 1].
+func NewRateEstimator(alpha float64) *RateEstimator {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	return &RateEstimator{alpha: alpha}
+}
+
+// Observe folds one tick's count and returns the smoothed rate.
+func (e *RateEstimator) Observe(n float64) float64 {
+	if !e.started {
+		e.rate = n
+		e.started = true
+		return e.rate
+	}
+	e.rate = e.alpha*n + (1-e.alpha)*e.rate
+	return e.rate
+}
+
+// Rate returns the current estimate.
+func (e *RateEstimator) Rate() float64 { return e.rate }

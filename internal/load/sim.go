@@ -1,0 +1,278 @@
+package load
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Policy selects the overload-handling strategy for the simulation.
+type Policy int
+
+// Overload policies, in historical order (§3.3).
+const (
+	// PolicyShedRandom is 1st-gen load shedding with random victim choice.
+	PolicyShedRandom Policy = iota
+	// PolicyShedSemantic is 1st-gen shedding dropping lowest utility first.
+	PolicyShedSemantic
+	// PolicyBackpressure is 2nd-gen flow control: bounded buffers, the
+	// source is throttled, nothing is dropped.
+	PolicyBackpressure
+	// PolicyElastic is 2nd/3rd-gen: backpressure plus rate-based scale-out
+	// with a migration pause.
+	PolicyElastic
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyShedRandom:
+		return "shed-random"
+	case PolicyShedSemantic:
+		return "shed-semantic"
+	case PolicyBackpressure:
+		return "backpressure"
+	case PolicyElastic:
+		return "elastic"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// SimConfig parameterises the overload simulation. All quantities are in
+// abstract ticks and events; determinism makes the E8 experiment exactly
+// reproducible.
+type SimConfig struct {
+	// BaseRate is the steady arrival rate (events/tick).
+	BaseRate int
+	// BurstFactor multiplies the rate during the burst window.
+	BurstFactor float64
+	// BurstStart and BurstEnd delimit the burst (ticks).
+	BurstStart, BurstEnd int64
+	// Ticks is the workload duration; the simulation then drains.
+	Ticks int64
+	// CapacityPerInstance is the per-tick processing rate of one instance.
+	CapacityPerInstance int
+	// QueueBound bounds the operator input queue for
+	// backpressure/elastic policies (shedding queues are unbounded —
+	// early systems shed because they could not push back).
+	QueueBound int
+	// Instances is the initial operator parallelism.
+	Instances int
+	// MaxInstances caps elastic scale-out.
+	MaxInstances int
+	// DecideEvery is the elastic controller period (ticks).
+	DecideEvery int64
+	// MigrationPause is the processing stall during a rescale (ticks) —
+	// the cost of moving key groups.
+	MigrationPause int64
+	// Seed drives the shedders and utility generator.
+	Seed int64
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.BaseRate <= 0 {
+		c.BaseRate = 100
+	}
+	if c.BurstFactor <= 0 {
+		c.BurstFactor = 2
+	}
+	if c.Ticks <= 0 {
+		c.Ticks = 300
+	}
+	if c.CapacityPerInstance <= 0 {
+		c.CapacityPerInstance = 120
+	}
+	if c.QueueBound <= 0 {
+		c.QueueBound = 1000
+	}
+	if c.Instances <= 0 {
+		c.Instances = 1
+	}
+	if c.MaxInstances < c.Instances {
+		c.MaxInstances = c.Instances * 8
+	}
+	if c.DecideEvery <= 0 {
+		c.DecideEvery = 10
+	}
+	if c.MigrationPause <= 0 {
+		c.MigrationPause = 5
+	}
+	return c
+}
+
+// SimResult aggregates one policy's behaviour under the workload.
+type SimResult struct {
+	Policy         Policy
+	Offered        int64 // events generated
+	Delivered      int64 // events fully processed
+	Dropped        int64 // events shed
+	UtilityLost    float64
+	AvgLatency     float64 // ticks spent queued, averaged
+	P99Latency     int64
+	MaxQueue       int
+	MaxBacklog     int // source-side throttled backlog (backpressure)
+	FinalInstances int
+	Rescales       int
+	DrainTicks     int64 // ticks past the workload needed to drain
+}
+
+// String renders one result row.
+func (r SimResult) String() string {
+	return fmt.Sprintf("%-14s offered=%-7d delivered=%-7d dropped=%-6d lossPct=%5.1f avgLat=%7.2f p99Lat=%-5d maxQ=%-6d instances=%d rescales=%d",
+		r.Policy, r.Offered, r.Delivered, r.Dropped,
+		100*float64(r.Dropped)/float64(max64(r.Offered, 1)),
+		r.AvgLatency, r.P99Latency, r.MaxQueue, r.FinalInstances, r.Rescales)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+type simEvent struct {
+	arrived int64
+	utility float64
+}
+
+// RunOverloadSim executes the discrete-time overload simulation for one
+// policy and returns its metrics. The same config drives all policies in E8
+// so the comparison is apples to apples.
+func RunOverloadSim(policy Policy, cfg SimConfig) SimResult {
+	cfg = cfg.withDefaults()
+	res := SimResult{Policy: policy, FinalInstances: cfg.Instances}
+	lat := metrics.NewHistogram()
+
+	var queue []simEvent   // operator input queue
+	var backlog []simEvent // source-side throttled events (backpressure)
+	instances := cfg.Instances
+
+	var shedder Shedder
+	switch policy {
+	case PolicyShedRandom:
+		shedder = NewRandomShedder(cfg.Seed + 1)
+	case PolicyShedSemantic:
+		shedder = NewSemanticShedder(2048)
+	}
+	shedCtl := NewSheddingController(float64(cfg.CapacityPerInstance*instances), 0.95)
+	arrivalEst := NewRateEstimator(0.3)
+	scaler := NewScalingPolicy(0.8, 1, cfg.MaxInstances)
+	var migratePauseLeft int64
+	var totalLatency float64
+
+	// Deterministic utility sequence: utilities cycle 0..99.
+	utilOf := func(i int64) float64 { return float64(i % 100) }
+
+	var produced int64
+	tick := int64(0)
+	for {
+		workloadActive := tick < cfg.Ticks
+		// 1. Arrivals.
+		var arrivals int
+		if workloadActive {
+			arrivals = cfg.BaseRate
+			if tick >= cfg.BurstStart && tick < cfg.BurstEnd {
+				arrivals = int(float64(cfg.BaseRate) * cfg.BurstFactor)
+			}
+		}
+		dropFraction := shedCtl.ObserveArrivals(float64(arrivals))
+		arrivalEst.Observe(float64(arrivals))
+
+		for i := 0; i < arrivals; i++ {
+			ev := simEvent{arrived: tick, utility: utilOf(produced)}
+			produced++
+			res.Offered++
+			switch policy {
+			case PolicyShedRandom, PolicyShedSemantic:
+				if !shedder.Keep(ev.utility, dropFraction) {
+					res.Dropped++
+					res.UtilityLost += ev.utility
+					continue
+				}
+				queue = append(queue, ev)
+			default:
+				// Backpressure/elastic: bounded queue, excess is throttled
+				// at the source (replayable input, nothing lost).
+				backlog = append(backlog, ev)
+			}
+		}
+
+		// 2. Admit from backlog into the bounded queue.
+		if policy == PolicyBackpressure || policy == PolicyElastic {
+			free := cfg.QueueBound - len(queue)
+			n := len(backlog)
+			if n > free {
+				n = free
+			}
+			if n > 0 {
+				queue = append(queue, backlog[:n]...)
+				backlog = backlog[n:]
+			}
+		}
+
+		// 3. Elastic control loop.
+		if policy == PolicyElastic && tick > 0 && tick%cfg.DecideEvery == 0 && migratePauseLeft == 0 {
+			target := scaler.Decide(arrivalEst.Rate(), float64(cfg.CapacityPerInstance), instances)
+			if target != instances {
+				instances = target
+				res.Rescales++
+				migratePauseLeft = cfg.MigrationPause
+			}
+		}
+
+		// 4. Processing.
+		capacity := cfg.CapacityPerInstance * instances
+		if migratePauseLeft > 0 {
+			migratePauseLeft--
+			capacity = 0
+		}
+		n := len(queue)
+		if n > capacity {
+			n = capacity
+		}
+		for i := 0; i < n; i++ {
+			d := tick - queue[i].arrived
+			lat.Observe(d)
+			totalLatency += float64(d)
+			res.Delivered++
+		}
+		queue = queue[n:]
+
+		if len(queue) > res.MaxQueue {
+			res.MaxQueue = len(queue)
+		}
+		if len(backlog) > res.MaxBacklog {
+			res.MaxBacklog = len(backlog)
+		}
+
+		tick++
+		if !workloadActive && len(queue) == 0 && len(backlog) == 0 {
+			break
+		}
+		if tick > cfg.Ticks*100 {
+			break // safety: pathological configuration cannot drain
+		}
+	}
+
+	res.DrainTicks = tick - cfg.Ticks
+	if res.DrainTicks < 0 {
+		res.DrainTicks = 0
+	}
+	if res.Delivered > 0 {
+		res.AvgLatency = totalLatency / float64(res.Delivered)
+	}
+	res.P99Latency = lat.Quantile(0.99)
+	res.FinalInstances = instances
+	return res
+}
+
+// CompareOverloadPolicies runs every policy on the same workload (E8).
+func CompareOverloadPolicies(cfg SimConfig) []SimResult {
+	policies := []Policy{PolicyShedRandom, PolicyShedSemantic, PolicyBackpressure, PolicyElastic}
+	out := make([]SimResult, 0, len(policies))
+	for _, p := range policies {
+		out = append(out, RunOverloadSim(p, cfg))
+	}
+	return out
+}

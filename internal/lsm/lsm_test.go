@@ -1,0 +1,285 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func openTest(t *testing.T, opts Options) *Tree {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	tree, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestPutGetDelete(t *testing.T) {
+	tr := openTest(t, Options{})
+	if err := tr.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := tr.Get([]byte("a"))
+	if err != nil || !found || string(v) != "1" {
+		t.Fatalf("get: %q %v %v", v, found, err)
+	}
+	if err := tr.Delete([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := tr.Get([]byte("a")); found {
+		t.Fatal("deleted key still found")
+	}
+	if _, found, _ := tr.Get([]byte("missing")); found {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestFlushAndReadFromSSTable(t *testing.T) {
+	tr := openTest(t, Options{MemtableBytes: 1 << 30})
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		if err := tr.Put(k, []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.FlushCount != 1 {
+		t.Fatalf("want 1 flush, got %d", tr.FlushCount)
+	}
+	for i := 0; i < 1000; i += 37 {
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		v, found, err := tr.Get(k)
+		if err != nil || !found {
+			t.Fatalf("get %s after flush: found=%v err=%v", k, found, err)
+		}
+		if string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("wrong value for %s: %s", k, v)
+		}
+	}
+}
+
+func TestCompactionPreservesData(t *testing.T) {
+	tr := openTest(t, Options{MemtableBytes: 2048, CompactionFanIn: 3})
+	want := map[string]string{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("k%04d", rng.Intn(500))
+		v := fmt.Sprintf("v%d", i)
+		want[k] = v
+		if err := tr.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.CompactCount == 0 {
+		t.Fatal("expected compactions to run")
+	}
+	for k, v := range want {
+		got, found, err := tr.Get([]byte(k))
+		if err != nil || !found || string(got) != v {
+			t.Fatalf("after compaction %s: got %q found=%v err=%v want %q", k, got, found, err, v)
+		}
+	}
+}
+
+func TestWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	tr := openTest(t, Options{Dir: dir, MemtableBytes: 1 << 30})
+	for i := 0; i < 100; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Delete([]byte("k5"))
+	// Simulate a crash: reopen without Close (no flush).
+	tr2 := openTest(t, Options{Dir: dir})
+	v, found, err := tr2.Get([]byte("k42"))
+	if err != nil || !found || string(v) != "v42" {
+		t.Fatalf("WAL recovery lost k42: %q %v %v", v, found, err)
+	}
+	if _, found, _ := tr2.Get([]byte("k5")); found {
+		t.Fatal("WAL recovery resurrected deleted key")
+	}
+}
+
+func TestReopenAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	tr := openTest(t, Options{Dir: dir, MemtableBytes: 4096})
+	for i := 0; i < 500; i++ {
+		tr.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("x"))
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr2 := openTest(t, Options{Dir: dir})
+	count := 0
+	err := tr2.Scan(nil, nil, func(k, v []byte) bool {
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 500 {
+		t.Fatalf("reopen: want 500 keys, got %d", count)
+	}
+}
+
+func TestScanRangeAndOrder(t *testing.T) {
+	tr := openTest(t, Options{MemtableBytes: 1024})
+	for i := 0; i < 200; i++ {
+		tr.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	var keys [][]byte
+	err := tr.Scan([]byte("k050"), []byte("k100"), func(k, v []byte) bool {
+		keys = append(keys, append([]byte(nil), k...))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 50 {
+		t.Fatalf("range scan: want 50, got %d", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if bytes.Compare(keys[i-1], keys[i]) >= 0 {
+			t.Fatal("scan not in key order")
+		}
+	}
+}
+
+// TestTreeMatchesModelMap is the property test: a long random op sequence
+// against the tree and a plain map must agree, across flushes & compactions.
+func TestTreeMatchesModelMap(t *testing.T) {
+	tr := openTest(t, Options{MemtableBytes: 512, CompactionFanIn: 3, Seed: 9})
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(300))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := fmt.Sprintf("v%d", i)
+			model[k] = v
+			if err := tr.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			delete(model, k)
+			if err := tr.Delete([]byte(k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%500 == 0 {
+			for mk, mv := range model {
+				v, found, err := tr.Get([]byte(mk))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !found || string(v) != mv {
+					t.Fatalf("iter %d: model mismatch on %s: tree=%q/%v model=%q", i, mk, v, found, mv)
+				}
+			}
+		}
+	}
+	// Final full comparison via scan.
+	got := map[string]string{}
+	tr.Scan(nil, nil, func(k, v []byte) bool {
+		got[string(k)] = string(v)
+		return true
+	})
+	if len(got) != len(model) {
+		t.Fatalf("live key counts differ: tree=%d model=%d", len(got), len(model))
+	}
+	for k, v := range model {
+		if got[k] != v {
+			t.Fatalf("final mismatch on %s: %q vs %q", k, got[k], v)
+		}
+	}
+}
+
+func TestManifestListsTables(t *testing.T) {
+	tr := openTest(t, Options{MemtableBytes: 1 << 30})
+	tr.Put([]byte("a"), []byte("1"))
+	if n := len(tr.Manifest()); n != 0 {
+		t.Fatalf("manifest before flush: want 0 tables, got %d", n)
+	}
+	tr.Flush()
+	if n := len(tr.Manifest()); n != 1 {
+		t.Fatalf("manifest after flush: want 1 table, got %d", n)
+	}
+	st := tr.Stats()
+	if st.DiskBytes == 0 || len(st.Levels) == 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+}
+
+func TestOpenRequiresDir(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("Open without dir must fail")
+	}
+}
+
+func TestLargeValues(t *testing.T) {
+	tr := openTest(t, Options{MemtableBytes: 1 << 20})
+	big := bytes.Repeat([]byte("x"), 100_000)
+	if err := tr.Put([]byte("big"), big); err != nil {
+		t.Fatal(err)
+	}
+	tr.Flush()
+	v, found, err := tr.Get([]byte("big"))
+	if err != nil || !found || !bytes.Equal(v, big) {
+		t.Fatalf("large value roundtrip failed: len=%d found=%v err=%v", len(v), found, err)
+	}
+}
+
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	// One writer, several readers: the mutex discipline must keep reads
+	// consistent across flushes and compactions.
+	tr := openTest(t, Options{MemtableBytes: 2048, CompactionFanIn: 3})
+	done := make(chan struct{})
+	var writerErr error
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			k := []byte(fmt.Sprintf("k%03d", i%100))
+			if err := tr.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+				writerErr = err
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			// Bounded read count with scheduling yields so the writer is not
+			// starved on single-core runners.
+			for i := 0; i < 500; i++ {
+				k := []byte(fmt.Sprintf("k%03d", rng.Intn(100)))
+				if v, found, err := tr.Get(k); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				} else if found && len(v) == 0 {
+					t.Error("found key with empty value")
+					return
+				}
+				runtime.Gosched()
+			}
+		}(int64(r))
+	}
+	<-done
+	wg.Wait()
+	if writerErr != nil {
+		t.Fatal(writerErr)
+	}
+}

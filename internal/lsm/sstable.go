@@ -1,0 +1,295 @@
+package lsm
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+)
+
+// SSTable file format (all integers little-endian):
+//
+//	magic         uint32
+//	entryCount    uint32
+//	entries       entryCount × { keyLen u32, key, valLen u32, val, tombstone u8 }
+//	bloomLen      uint32
+//	bloom         bloomLen bytes (bit array)
+//	bloomHashes   uint32
+//	indexCount    uint32
+//	index         indexCount × { keyLen u32, key, offset u64 }  (every Nth key)
+//	footer        { indexOffset u64, crc u32 }
+//
+// Tables are immutable once written; reads use the bloom filter to skip
+// tables that cannot contain the key, then binary-search the sparse index and
+// scan at most indexInterval entries.
+
+const (
+	ssMagic       = 0x4C534D31 // "LSM1"
+	indexInterval = 16
+)
+
+type sstable struct {
+	path    string
+	minKey  []byte
+	maxKey  []byte
+	count   int
+	size    int64
+	bloom   []byte
+	hashes  uint32
+	index   []indexEntry
+	dataOff int64
+}
+
+type indexEntry struct {
+	key    []byte
+	offset int64
+}
+
+// writeSSTable persists sorted entries to path and returns the table handle.
+func writeSSTable(path string, entries []entry) (*sstable, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("lsm: refusing to write empty sstable %s", path)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: create sstable: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+
+	// Bloom filter sized at ~10 bits/key, 7 hashes. The bit count must equal
+	// len(bloom)*8 exactly — mayContain derives the modulus from the byte
+	// slice length, so any slack bits would shift every index.
+	bloomBits := len(entries) * 10
+	if bloomBits < 64 {
+		bloomBits = 64
+	}
+	bloom := make([]byte, (bloomBits+7)/8)
+	bloomBits = len(bloom) * 8
+	const bloomHashes = 7
+	addBloom := func(key []byte) {
+		h1 := crc32.ChecksumIEEE(key)
+		h2 := crc32.Checksum(key, crc32.MakeTable(crc32.Castagnoli))
+		for i := uint32(0); i < bloomHashes; i++ {
+			idx := (h1 + i*h2) % uint32(bloomBits)
+			bloom[idx/8] |= 1 << (idx % 8)
+		}
+	}
+
+	var buf bytes.Buffer
+	writeU32 := func(b *bytes.Buffer, v uint32) {
+		var tmp [4]byte
+		binary.LittleEndian.PutUint32(tmp[:], v)
+		b.Write(tmp[:])
+	}
+	writeU64 := func(b *bytes.Buffer, v uint64) {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		b.Write(tmp[:])
+	}
+
+	writeU32(&buf, ssMagic)
+	writeU32(&buf, uint32(len(entries)))
+	t := &sstable{path: path, count: len(entries)}
+	var index []indexEntry
+	for i, e := range entries {
+		if i%indexInterval == 0 {
+			index = append(index, indexEntry{key: e.key, offset: int64(buf.Len())})
+		}
+		writeU32(&buf, uint32(len(e.key)))
+		buf.Write(e.key)
+		writeU32(&buf, uint32(len(e.value)))
+		buf.Write(e.value)
+		if e.tombstone {
+			buf.WriteByte(1)
+		} else {
+			buf.WriteByte(0)
+		}
+		addBloom(e.key)
+	}
+	writeU32(&buf, uint32(len(bloom)))
+	buf.Write(bloom)
+	writeU32(&buf, bloomHashes)
+	indexOffset := int64(buf.Len())
+	writeU32(&buf, uint32(len(index)))
+	for _, ie := range index {
+		writeU32(&buf, uint32(len(ie.key)))
+		buf.Write(ie.key)
+		writeU64(&buf, uint64(ie.offset))
+	}
+	writeU64(&buf, uint64(indexOffset))
+	crc := crc32.ChecksumIEEE(buf.Bytes())
+	writeU32(&buf, crc)
+
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return nil, fmt.Errorf("lsm: write sstable: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		return nil, fmt.Errorf("lsm: flush sstable: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return nil, fmt.Errorf("lsm: sync sstable: %w", err)
+	}
+	t.minKey = append([]byte(nil), entries[0].key...)
+	t.maxKey = append([]byte(nil), entries[len(entries)-1].key...)
+	t.size = int64(buf.Len())
+	t.bloom = bloom
+	t.hashes = bloomHashes
+	t.index = index
+	return t, nil
+}
+
+// openSSTable loads the metadata (bloom + index) of an existing table file.
+func openSSTable(path string) (*sstable, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: open sstable: %w", err)
+	}
+	if len(data) < 20 {
+		return nil, fmt.Errorf("lsm: sstable %s truncated", path)
+	}
+	crcStored := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(data[:len(data)-4]) != crcStored {
+		return nil, fmt.Errorf("lsm: sstable %s checksum mismatch", path)
+	}
+	if binary.LittleEndian.Uint32(data[0:4]) != ssMagic {
+		return nil, fmt.Errorf("lsm: sstable %s bad magic", path)
+	}
+	entries, err := readAllEntries(data)
+	if err != nil {
+		return nil, err
+	}
+	t := &sstable{path: path, count: len(entries), size: int64(len(data))}
+	if len(entries) > 0 {
+		t.minKey = entries[0].key
+		t.maxKey = entries[len(entries)-1].key
+	}
+	// Reconstruct bloom/index from the file tail.
+	pos := 8
+	for i := 0; i < len(entries); i++ {
+		kl := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4 + kl
+		vl := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4 + vl + 1
+	}
+	bl := int(binary.LittleEndian.Uint32(data[pos:]))
+	pos += 4
+	t.bloom = append([]byte(nil), data[pos:pos+bl]...)
+	pos += bl
+	t.hashes = binary.LittleEndian.Uint32(data[pos:])
+	pos += 4
+	ic := int(binary.LittleEndian.Uint32(data[pos:]))
+	pos += 4
+	for i := 0; i < ic; i++ {
+		kl := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		key := append([]byte(nil), data[pos:pos+kl]...)
+		pos += kl
+		off := int64(binary.LittleEndian.Uint64(data[pos:]))
+		pos += 8
+		t.index = append(t.index, indexEntry{key: key, offset: off})
+	}
+	return t, nil
+}
+
+// readAllEntries decodes every entry in an sstable byte image.
+func readAllEntries(data []byte) ([]entry, error) {
+	count := int(binary.LittleEndian.Uint32(data[4:8]))
+	pos := 8
+	out := make([]entry, 0, count)
+	for i := 0; i < count; i++ {
+		if pos+4 > len(data) {
+			return nil, fmt.Errorf("lsm: sstable truncated at entry %d", i)
+		}
+		kl := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		key := append([]byte(nil), data[pos:pos+kl]...)
+		pos += kl
+		vl := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		val := append([]byte(nil), data[pos:pos+vl]...)
+		pos += vl
+		tomb := data[pos] == 1
+		pos++
+		out = append(out, entry{key: key, value: val, tombstone: tomb})
+	}
+	return out, nil
+}
+
+// mayContain consults the bloom filter.
+func (t *sstable) mayContain(key []byte) bool {
+	if len(t.bloom) == 0 {
+		return true
+	}
+	bits := uint32(len(t.bloom) * 8)
+	h1 := crc32.ChecksumIEEE(key)
+	h2 := crc32.Checksum(key, crc32.MakeTable(crc32.Castagnoli))
+	for i := uint32(0); i < t.hashes; i++ {
+		idx := (h1 + i*h2) % bits
+		if t.bloom[idx/8]&(1<<(idx%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// get looks up key in the table by seeking via the sparse index.
+func (t *sstable) get(key []byte) (value []byte, deleted, found bool, err error) {
+	if bytes.Compare(key, t.minKey) < 0 || bytes.Compare(key, t.maxKey) > 0 {
+		return nil, false, false, nil
+	}
+	if !t.mayContain(key) {
+		return nil, false, false, nil
+	}
+	data, err := os.ReadFile(t.path)
+	if err != nil {
+		return nil, false, false, fmt.Errorf("lsm: read sstable: %w", err)
+	}
+	// Find the index block whose key is <= target.
+	i := sort.Search(len(t.index), func(i int) bool {
+		return bytes.Compare(t.index[i].key, key) > 0
+	}) - 1
+	if i < 0 {
+		return nil, false, false, nil
+	}
+	pos := int(t.index[i].offset)
+	// Scan at most to the next index block, clamped by the number of entries
+	// actually remaining — running further would misread the bloom/index
+	// sections as entries.
+	limit := indexInterval
+	if rem := t.count - i*indexInterval; rem < limit {
+		limit = rem
+	}
+	for scanned := 0; scanned < limit && pos+4 <= len(data); scanned++ {
+		kl := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		k := data[pos : pos+kl]
+		pos += kl
+		vl := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		v := data[pos : pos+vl]
+		pos += vl
+		tomb := data[pos] == 1
+		pos++
+		c := bytes.Compare(k, key)
+		if c == 0 {
+			return append([]byte(nil), v...), tomb, true, nil
+		}
+		if c > 0 {
+			return nil, false, false, nil
+		}
+	}
+	return nil, false, false, nil
+}
+
+// allEntries reads every entry from disk (used by compaction and scans).
+func (t *sstable) allEntries() ([]entry, error) {
+	data, err := os.ReadFile(t.path)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: read sstable: %w", err)
+	}
+	return readAllEntries(data)
+}

@@ -1,0 +1,353 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Options configures a Tree.
+type Options struct {
+	// Dir is the directory holding the WAL and SSTable files.
+	Dir string
+	// MemtableBytes is the flush threshold for the in-memory table.
+	// Defaults to 1 MiB.
+	MemtableBytes int
+	// CompactionFanIn is the number of tables in a level that triggers
+	// compaction into the next level. Defaults to 4.
+	CompactionFanIn int
+	// DisableWAL skips write-ahead logging (used when durability is provided
+	// by an outer mechanism such as engine checkpoints).
+	DisableWAL bool
+	// Seed seeds the skiplist height RNG for determinism in tests.
+	Seed int64
+}
+
+// Tree is a log-structured merge tree supporting Put/Get/Delete/Scan,
+// crash recovery from the WAL, and snapshot-style file manifests for
+// incremental checkpoints.
+type Tree struct {
+	mu     sync.RWMutex
+	opts   Options
+	mem    *skiplist
+	wal    *wal
+	levels [][]*sstable // levels[0] newest first; deeper levels older
+	nextID int
+	// flushedTables counts tables ever written; compactions counts merges.
+	FlushCount   int
+	CompactCount int
+}
+
+// Open creates or reopens a tree in opts.Dir, replaying the WAL if present.
+func Open(opts Options) (*Tree, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("lsm: Options.Dir is required")
+	}
+	if opts.MemtableBytes <= 0 {
+		opts.MemtableBytes = 1 << 20
+	}
+	if opts.CompactionFanIn <= 0 {
+		opts.CompactionFanIn = 4
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lsm: create dir: %w", err)
+	}
+	t := &Tree{opts: opts, mem: newSkiplist(opts.Seed)}
+
+	// Load existing SSTables (named tbl-<level>-<id>.sst).
+	names, err := filepath.Glob(filepath.Join(opts.Dir, "tbl-*.sst"))
+	if err != nil {
+		return nil, fmt.Errorf("lsm: glob tables: %w", err)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var level, id int
+		base := filepath.Base(name)
+		if _, err := fmt.Sscanf(base, "tbl-%d-%d.sst", &level, &id); err != nil {
+			continue
+		}
+		tbl, err := openSSTable(name)
+		if err != nil {
+			return nil, err
+		}
+		for len(t.levels) <= level {
+			t.levels = append(t.levels, nil)
+		}
+		t.levels[level] = append(t.levels[level], tbl)
+		if id >= t.nextID {
+			t.nextID = id + 1
+		}
+	}
+	// Within each level, newest (highest id) first.
+	for _, lvl := range t.levels {
+		sort.Slice(lvl, func(i, j int) bool { return lvl[i].path > lvl[j].path })
+	}
+
+	if !opts.DisableWAL {
+		w, records, err := openWAL(filepath.Join(opts.Dir, "wal.log"))
+		if err != nil {
+			return nil, err
+		}
+		t.wal = w
+		for _, r := range records {
+			t.mem.put(r.key, r.value, r.tombstone)
+		}
+	}
+	return t, nil
+}
+
+// Put stores key -> value.
+func (t *Tree) Put(key, value []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wal != nil {
+		if err := t.wal.append(key, value, false); err != nil {
+			return err
+		}
+	}
+	t.mem.put(append([]byte(nil), key...), append([]byte(nil), value...), false)
+	return t.maybeFlushLocked()
+}
+
+// Delete removes key (via tombstone).
+func (t *Tree) Delete(key []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wal != nil {
+		if err := t.wal.append(key, nil, true); err != nil {
+			return err
+		}
+	}
+	t.mem.put(append([]byte(nil), key...), nil, true)
+	return t.maybeFlushLocked()
+}
+
+// Get returns the value for key, or found=false.
+func (t *Tree) Get(key []byte) (value []byte, found bool, err error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if v, del, ok := t.mem.get(key); ok {
+		if del {
+			return nil, false, nil
+		}
+		return v, true, nil
+	}
+	for _, lvl := range t.levels {
+		for _, tbl := range lvl {
+			v, del, ok, err := tbl.get(key)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				if del {
+					return nil, false, nil
+				}
+				return v, true, nil
+			}
+		}
+	}
+	return nil, false, nil
+}
+
+// Scan calls fn for every live key in [start, end) in key order. A nil end
+// means unbounded. fn returning false stops the scan.
+func (t *Tree) Scan(start, end []byte, fn func(key, value []byte) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	merged, err := t.mergedEntriesLocked()
+	if err != nil {
+		return err
+	}
+	for _, e := range merged {
+		if e.tombstone {
+			continue
+		}
+		if start != nil && bytes.Compare(e.key, start) < 0 {
+			continue
+		}
+		if end != nil && bytes.Compare(e.key, end) >= 0 {
+			break
+		}
+		if !fn(e.key, e.value) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// mergedEntriesLocked merges memtable + all levels, newest version winning.
+func (t *Tree) mergedEntriesLocked() ([]entry, error) {
+	// Gather sources newest-first: memtable, L0 newest..oldest, L1, ...
+	sources := [][]entry{t.mem.entries()}
+	for _, lvl := range t.levels {
+		for _, tbl := range lvl {
+			es, err := tbl.allEntries()
+			if err != nil {
+				return nil, err
+			}
+			sources = append(sources, es)
+		}
+	}
+	return mergeEntrySets(sources), nil
+}
+
+// mergeEntrySets merges sorted entry sets; earlier sets shadow later ones.
+func mergeEntrySets(sources [][]entry) []entry {
+	seen := make(map[string]struct{})
+	var out []entry
+	for _, src := range sources {
+		for _, e := range src {
+			k := string(e.key)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i].key, out[j].key) < 0 })
+	return out
+}
+
+func (t *Tree) maybeFlushLocked() error {
+	if t.mem.size < t.opts.MemtableBytes {
+		return nil
+	}
+	return t.flushLocked()
+}
+
+// Flush forces the memtable to disk as a new L0 table.
+func (t *Tree) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flushLocked()
+}
+
+func (t *Tree) flushLocked() error {
+	entries := t.mem.entries()
+	if len(entries) == 0 {
+		return nil
+	}
+	path := filepath.Join(t.opts.Dir, fmt.Sprintf("tbl-%d-%08d.sst", 0, t.nextID))
+	t.nextID++
+	tbl, err := writeSSTable(path, entries)
+	if err != nil {
+		return err
+	}
+	t.FlushCount++
+	if len(t.levels) == 0 {
+		t.levels = append(t.levels, nil)
+	}
+	t.levels[0] = append([]*sstable{tbl}, t.levels[0]...)
+	t.mem = newSkiplist(t.opts.Seed + int64(t.nextID))
+	if t.wal != nil {
+		if err := t.wal.reset(); err != nil {
+			return err
+		}
+	}
+	return t.maybeCompactLocked()
+}
+
+func (t *Tree) maybeCompactLocked() error {
+	for level := 0; level < len(t.levels); level++ {
+		if len(t.levels[level]) < t.opts.CompactionFanIn {
+			continue
+		}
+		// Merge every table in this level into one table in the next level.
+		var sources [][]entry
+		for _, tbl := range t.levels[level] {
+			es, err := tbl.allEntries()
+			if err != nil {
+				return err
+			}
+			sources = append(sources, es)
+		}
+		merged := mergeEntrySets(sources)
+		// Drop tombstones when compacting into the last level.
+		lastLevel := level+1 >= len(t.levels)
+		if lastLevel {
+			live := merged[:0]
+			for _, e := range merged {
+				if !e.tombstone {
+					live = append(live, e)
+				}
+			}
+			merged = live
+		}
+		old := t.levels[level]
+		t.levels[level] = nil
+		if len(merged) > 0 {
+			path := filepath.Join(t.opts.Dir, fmt.Sprintf("tbl-%d-%08d.sst", level+1, t.nextID))
+			t.nextID++
+			tbl, err := writeSSTable(path, merged)
+			if err != nil {
+				return err
+			}
+			for len(t.levels) <= level+1 {
+				t.levels = append(t.levels, nil)
+			}
+			t.levels[level+1] = append([]*sstable{tbl}, t.levels[level+1]...)
+		}
+		for _, tbl := range old {
+			if err := os.Remove(tbl.path); err != nil {
+				return fmt.Errorf("lsm: remove compacted table: %w", err)
+			}
+		}
+		t.CompactCount++
+	}
+	return nil
+}
+
+// Manifest lists the immutable table files currently composing the tree.
+// Incremental checkpoints ship only files not present in the previous
+// manifest.
+func (t *Tree) Manifest() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var files []string
+	for _, lvl := range t.levels {
+		for _, tbl := range lvl {
+			files = append(files, tbl.path)
+		}
+	}
+	sort.Strings(files)
+	return files
+}
+
+// Stats summarises the tree shape.
+type Stats struct {
+	MemtableBytes int
+	MemtableKeys  int
+	Levels        []int // tables per level
+	DiskBytes     int64
+}
+
+// Stats returns current tree statistics.
+func (t *Tree) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s := Stats{MemtableBytes: t.mem.size, MemtableKeys: t.mem.count}
+	for _, lvl := range t.levels {
+		s.Levels = append(s.Levels, len(lvl))
+		for _, tbl := range lvl {
+			s.DiskBytes += tbl.size
+		}
+	}
+	return s
+}
+
+// Close flushes and releases the WAL.
+func (t *Tree) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.flushLocked(); err != nil {
+		return err
+	}
+	if t.wal != nil {
+		return t.wal.close()
+	}
+	return nil
+}

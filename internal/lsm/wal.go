@@ -1,0 +1,110 @@
+package lsm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// wal is a write-ahead log of put/delete records. Record format:
+//
+//	crc u32 | keyLen u32 | valLen u32 | tombstone u8 | key | val
+//
+// The crc covers everything after itself. Replay stops at the first corrupt
+// or truncated record (standard torn-write handling).
+type wal struct {
+	f    *os.File
+	w    *bufio.Writer
+	path string
+}
+
+type walRecord struct {
+	key       []byte
+	value     []byte
+	tombstone bool
+}
+
+func openWAL(path string) (*wal, []walRecord, error) {
+	var records []walRecord
+	if data, err := os.ReadFile(path); err == nil {
+		records = decodeWAL(data)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("lsm: read wal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lsm: open wal: %w", err)
+	}
+	return &wal{f: f, w: bufio.NewWriter(f), path: path}, records, nil
+}
+
+func decodeWAL(data []byte) []walRecord {
+	var records []walRecord
+	pos := 0
+	for pos+13 <= len(data) {
+		crc := binary.LittleEndian.Uint32(data[pos:])
+		kl := int(binary.LittleEndian.Uint32(data[pos+4:]))
+		vl := int(binary.LittleEndian.Uint32(data[pos+8:]))
+		tomb := data[pos+12] == 1
+		end := pos + 13 + kl + vl
+		if end > len(data) {
+			break // truncated tail
+		}
+		body := data[pos+4 : end]
+		if crc32.ChecksumIEEE(body) != crc {
+			break // torn write
+		}
+		key := append([]byte(nil), data[pos+13:pos+13+kl]...)
+		val := append([]byte(nil), data[pos+13+kl:end]...)
+		records = append(records, walRecord{key: key, value: val, tombstone: tomb})
+		pos = end
+	}
+	return records
+}
+
+func (w *wal) append(key, value []byte, tombstone bool) error {
+	hdr := make([]byte, 13)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(value)))
+	if tombstone {
+		hdr[12] = 1
+	}
+	body := make([]byte, 0, 9+len(key)+len(value))
+	body = append(body, hdr[4:]...)
+	body = append(body, key...)
+	body = append(body, value...)
+	binary.LittleEndian.PutUint32(hdr[:4], crc32.ChecksumIEEE(body))
+	if _, err := w.w.Write(hdr[:4]); err != nil {
+		return fmt.Errorf("lsm: wal write: %w", err)
+	}
+	if _, err := w.w.Write(body); err != nil {
+		return fmt.Errorf("lsm: wal write: %w", err)
+	}
+	return w.w.Flush()
+}
+
+// reset truncates the log (called after a successful memtable flush).
+func (w *wal) reset() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("lsm: wal truncate: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("lsm: wal seek: %w", err)
+	}
+	w.w.Reset(w.f)
+	return nil
+}
+
+func (w *wal) close() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}

@@ -1,0 +1,278 @@
+// Package metrics provides lightweight, concurrency-safe counters, gauges,
+// throughput meters and log-bucketed latency histograms used by the engine
+// and the experiment harness. It is intentionally dependency-free so every
+// subsystem can report measurements without pulling in the engine itself.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the given value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta to the gauge.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram records observations into exponential (log2) buckets. It is
+// designed for latency measurements spanning nanoseconds to minutes and keeps
+// exact min/max/sum alongside bucket counts so quantiles can be approximated
+// without storing samples.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [64]int64 // bucket i holds values v with 2^i <= v < 2^(i+1); bucket 0 holds v <= 1
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxInt64}
+}
+
+// Observe records a single non-negative value. Negative values are clamped
+// to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b := 0
+	if v > 1 {
+		b = 63 - bits.LeadingZeros64(uint64(v))
+	}
+	h.mu.Lock()
+	h.buckets[b]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the arithmetic mean of the observations, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest observation, or 0 if empty.
+func (h *Histogram) Min() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation, or 0 if empty.
+func (h *Histogram) Max() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns an approximation of the q-th quantile (0 <= q <= 1).
+// The approximation returns the upper bound of the bucket containing the
+// quantile, which overestimates by at most 2x.
+func (h *Histogram) Quantile(q float64) int64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > rank {
+			if i == 0 {
+				return 1
+			}
+			ub := int64(1) << uint(i+1)
+			if ub > h.max {
+				ub = h.max
+			}
+			return ub
+		}
+	}
+	return h.max
+}
+
+// Snapshot returns a human-readable summary of the histogram.
+func (h *Histogram) Snapshot() string {
+	return fmt.Sprintf("count=%d mean=%.1f p50=%d p95=%d p99=%d max=%d",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+}
+
+// Meter measures the rate of events over its lifetime.
+type Meter struct {
+	count atomic.Int64
+	start time.Time
+}
+
+// NewMeter returns a meter whose rate window starts now.
+func NewMeter() *Meter { return &Meter{start: time.Now()} }
+
+// Mark records n events.
+func (m *Meter) Mark(n int64) { m.count.Add(n) }
+
+// Count returns the total events marked.
+func (m *Meter) Count() int64 { return m.count.Load() }
+
+// Rate returns events per second since the meter was created.
+func (m *Meter) Rate() float64 {
+	el := time.Since(m.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.count.Load()) / el
+}
+
+// Registry is a named collection of metrics. A Registry is safe for
+// concurrent use; metric constructors return the existing instrument when the
+// name is already registered.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	meters     map[string]*Meter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		meters:     make(map[string]*Meter),
+	}
+}
+
+// Counter returns the counter with the given name, creating it if absent.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it if absent.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it if absent.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Meter returns the meter with the given name, creating it if absent.
+func (r *Registry) Meter(name string) *Meter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.meters[name]
+	if !ok {
+		m = NewMeter()
+		r.meters[name] = m
+	}
+	return m
+}
+
+// Dump renders every registered metric, sorted by name, one per line.
+func (r *Registry) Dump() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lines []string
+	for n, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("counter %s = %d", n, c.Value()))
+	}
+	for n, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s = %d", n, g.Value()))
+	}
+	for n, h := range r.histograms {
+		lines = append(lines, fmt.Sprintf("histogram %s: %s", n, h.Snapshot()))
+	}
+	for n, m := range r.meters {
+		lines = append(lines, fmt.Sprintf("meter %s: count=%d rate=%.1f/s", n, m.Count(), m.Rate()))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("want 8000, got %d", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(42)
+	g.Add(-2)
+	if g.Value() != 40 {
+		t.Fatalf("want 40, got %d", g.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count: want 1000, got %d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("min/max: got %d/%d", h.Min(), h.Max())
+	}
+	if m := h.Mean(); m < 500 || m > 501 {
+		t.Fatalf("mean: want ~500.5, got %v", m)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 256 || p50 > 1024 {
+		t.Fatalf("p50 bucket bound out of range: %d", p50)
+	}
+}
+
+func TestHistogramQuantileWithinBucketBound(t *testing.T) {
+	// Property: the quantile approximation is an upper bound within 2x of an
+	// exact value for power-of-two-ish data.
+	check := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		max := int64(0)
+		for _, v := range vals {
+			h.Observe(int64(v))
+			if int64(v) > max {
+				max = int64(v)
+			}
+		}
+		q := h.Quantile(1.0)
+		return q <= max*2+2 && q >= 0
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5)
+	if h.Min() != 0 {
+		t.Fatalf("negative observation should clamp to 0, got min %d", h.Min())
+	}
+}
+
+func TestRegistryReuse(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x")
+	c1.Inc()
+	c2 := r.Counter("x")
+	if c2.Value() != 1 {
+		t.Fatal("registry did not reuse counter")
+	}
+	r.Gauge("g").Set(1)
+	r.Histogram("h").Observe(1)
+	r.Meter("m").Mark(3)
+	dump := r.Dump()
+	for _, want := range []string{"counter x = 1", "gauge g = 1", "histogram h:", "meter m:"} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestMeterRate(t *testing.T) {
+	m := NewMeter()
+	m.Mark(100)
+	if m.Count() != 100 {
+		t.Fatalf("count: want 100, got %d", m.Count())
+	}
+	if m.Rate() <= 0 {
+		t.Fatal("rate should be positive after marks")
+	}
+}

@@ -1,0 +1,214 @@
+package ml
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestLinearRegressionConverges(t *testing.T) {
+	// y = 2x1 - 3x2 + 1 with noise.
+	rng := rand.New(rand.NewSource(1))
+	m := NewLinearRegression(2)
+	for i := 0; i < 20000; i++ {
+		x := []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2}
+		y := 2*x[0] - 3*x[1] + 1 + rng.NormFloat64()*0.01
+		m.Update(Sample{Features: x, Label: y}, 0.05)
+	}
+	if math.Abs(m.W[0]-2) > 0.1 || math.Abs(m.W[1]+3) > 0.1 || math.Abs(m.B-1) > 0.1 {
+		t.Fatalf("did not converge: W=%v B=%v", m.W, m.B)
+	}
+}
+
+func TestLogisticRegressionSeparates(t *testing.T) {
+	// Linearly separable data: positive iff x1 + x2 > 0.
+	rng := rand.New(rand.NewSource(2))
+	m := NewLogisticRegression(2)
+	for i := 0; i < 20000; i++ {
+		x := []float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		label := 0.0
+		if x[0]+x[1] > 0 {
+			label = 1
+		}
+		m.Update(Sample{Features: x, Label: label}, 0.1)
+	}
+	correct := 0
+	const probes = 2000
+	for i := 0; i < probes; i++ {
+		x := []float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		want := x[0]+x[1] > 0
+		if (m.Predict(x) > 0.5) == want {
+			correct++
+		}
+	}
+	if acc := float64(correct) / probes; acc < 0.95 {
+		t.Fatalf("accuracy too low: %v", acc)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	m := NewLinearRegression(1)
+	m.Update(Sample{Features: []float64{1}, Label: 5}, 0.1)
+	c := m.Clone().(*LinearRegression)
+	m.Update(Sample{Features: []float64{1}, Label: 5}, 0.1)
+	if c.W[0] == m.W[0] {
+		t.Fatal("clone shares weights with original")
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	s := NewStandardizer(1)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		s.Observe([]float64{rng.NormFloat64()*5 + 100})
+	}
+	// Transformed values should be ~N(0,1).
+	var sum, sumSq float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		v := s.Transform([]float64{rng.NormFloat64()*5 + 100})[0]
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.1 || math.Abs(variance-1) > 0.15 {
+		t.Fatalf("standardizer off: mean=%v var=%v", mean, variance)
+	}
+}
+
+func TestRegistryVersioningAndRollback(t *testing.T) {
+	r := NewRegistry()
+	if m, v := r.Current(); m != nil || v != 0 {
+		t.Fatal("empty registry should have no current model")
+	}
+	m := NewLinearRegression(1)
+	m.W[0] = 1
+	v1 := r.Publish(m)
+	m.W[0] = 2
+	v2 := r.Publish(m)
+	if v1 != 1 || v2 != 2 {
+		t.Fatalf("versions: %d %d", v1, v2)
+	}
+	cur, v := r.Current()
+	if v != 2 || cur.(*LinearRegression).W[0] != 2 {
+		t.Fatalf("current wrong: v=%d w=%v", v, cur.(*LinearRegression).W)
+	}
+	// Published snapshots are immutable w.r.t. later training.
+	m.W[0] = 99
+	cur, _ = r.Current()
+	if cur.(*LinearRegression).W[0] != 2 {
+		t.Fatal("published snapshot mutated by training")
+	}
+	if err := r.Rollback(1); err != nil {
+		t.Fatal(err)
+	}
+	cur, v = r.Current()
+	if v != 1 || cur.(*LinearRegression).W[0] != 1 {
+		t.Fatalf("rollback wrong: v=%d", v)
+	}
+	if err := r.Rollback(9); err == nil {
+		t.Fatal("rollback to missing version accepted")
+	}
+}
+
+func TestTrainAndServeInOnePipeline(t *testing.T) {
+	// One stream carries labelled samples; the training operator learns
+	// y = 3x and publishes every 200 samples; a serving operator scores a
+	// parallel probe stream; later predictions must use later model
+	// versions and be more accurate.
+	rng := rand.New(rand.NewSource(4))
+	var samples []core.Event
+	for i := 0; i < 2000; i++ {
+		x := rng.Float64()*2 - 1
+		samples = append(samples, core.Event{
+			Timestamp: int64(i),
+			Value:     Sample{Features: []float64{x}, Label: 3 * x},
+		})
+	}
+
+	registry := NewRegistry()
+	trainSink := core.NewCollectSink()
+	b := core.NewBuilder(core.Config{Name: "train-serve"})
+	src := b.Source("samples", core.NewSliceSourceFactory(samples))
+	TrainOperator(src, "train", NewLinearRegression(1), registry, 0.1, 200).
+		Sink("train-log", trainSink.Factory())
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := j.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if registry.NumVersions() < 10 {
+		t.Fatalf("want >= 10 published versions, got %d", registry.NumVersions())
+	}
+
+	// Serve with the final model: prediction for x=0.5 should be ~1.5.
+	serveSink := core.NewCollectSink()
+	b2 := core.NewBuilder(core.Config{Name: "serve"})
+	probe := b2.Source("probes", core.NewSliceSourceFactory([]core.Event{
+		{Key: "p", Timestamp: 1, Value: []float64{0.5}},
+	}))
+	ServeOperator(probe, "serve", registry).Sink("out", serveSink.Factory())
+	j2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if serveSink.Len() != 1 {
+		t.Fatalf("want 1 prediction, got %d", serveSink.Len())
+	}
+	pred := serveSink.Events()[0].Value.(Prediction)
+	if math.Abs(pred.Score-1.5) > 0.1 {
+		t.Fatalf("prediction off: %v", pred.Score)
+	}
+	if pred.ModelVersion < 10 {
+		t.Fatalf("serving should use a late model version, got %d", pred.ModelVersion)
+	}
+
+	// Training loss must decrease between early and late publications.
+	events := trainSink.Events()
+	var first, last PublishEvent
+	for _, e := range events {
+		pe, ok := e.Value.(PublishEvent)
+		if !ok || pe.AvgLoss == 0 {
+			continue
+		}
+		if first.Version == 0 {
+			first = pe
+		}
+		last = pe
+	}
+	if first.Version == 0 || last.AvgLoss >= first.AvgLoss {
+		t.Fatalf("loss did not decrease: first=%+v last=%+v", first, last)
+	}
+}
+
+func TestServeWithoutModelPassesSilently(t *testing.T) {
+	registry := NewRegistry()
+	sink := core.NewCollectSink()
+	b := core.NewBuilder(core.Config{Name: "serve-empty"})
+	src := b.Source("probes", core.NewSliceSourceFactory([]core.Event{
+		{Timestamp: 1, Value: []float64{1}},
+	}))
+	ServeOperator(src, "serve", registry).Sink("out", sink.Factory())
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 0 {
+		t.Fatal("predictions emitted without a model")
+	}
+}

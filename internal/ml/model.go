@@ -1,0 +1,231 @@
+// Package ml implements online machine learning inside the stream processor
+// (§4.1: "the stream processor can cover the needs for online training, by
+// offering constructs such as iterations, dynamic tasks, and shared state";
+// "consider a continuous model serving pipeline where a ML model needs to be
+// updated while the pipeline is running"). It provides SGD-trained linear
+// and logistic models, a feature standardiser, a versioned model registry
+// with atomic hot swap, and engine operators for training and serving in the
+// same pipeline.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Sample is one labelled observation.
+type Sample struct {
+	Features []float64
+	Label    float64
+}
+
+// Model is an online-trainable predictor.
+type Model interface {
+	// Predict scores a feature vector.
+	Predict(x []float64) float64
+	// Update performs one SGD step on a sample and returns the loss before
+	// the step.
+	Update(s Sample, lr float64) float64
+	// Clone returns an independent deep copy (for publishing snapshots).
+	Clone() Model
+}
+
+// LinearRegression is a linear model trained with squared-loss SGD.
+type LinearRegression struct {
+	W []float64
+	B float64
+}
+
+// NewLinearRegression returns a zero model of the given dimension.
+func NewLinearRegression(dim int) *LinearRegression {
+	return &LinearRegression{W: make([]float64, dim)}
+}
+
+// Predict implements Model.
+func (m *LinearRegression) Predict(x []float64) float64 {
+	return dot(m.W, x) + m.B
+}
+
+// Update implements Model: one squared-loss gradient step.
+func (m *LinearRegression) Update(s Sample, lr float64) float64 {
+	pred := m.Predict(s.Features)
+	err := pred - s.Label
+	for i := range m.W {
+		if i < len(s.Features) {
+			m.W[i] -= lr * err * s.Features[i]
+		}
+	}
+	m.B -= lr * err
+	return err * err
+}
+
+// Clone implements Model.
+func (m *LinearRegression) Clone() Model {
+	return &LinearRegression{W: append([]float64(nil), m.W...), B: m.B}
+}
+
+// LogisticRegression is a binary classifier trained with log-loss SGD;
+// Predict returns the positive-class probability.
+type LogisticRegression struct {
+	W []float64
+	B float64
+}
+
+// NewLogisticRegression returns a zero model of the given dimension.
+func NewLogisticRegression(dim int) *LogisticRegression {
+	return &LogisticRegression{W: make([]float64, dim)}
+}
+
+// Predict implements Model.
+func (m *LogisticRegression) Predict(x []float64) float64 {
+	return sigmoid(dot(m.W, x) + m.B)
+}
+
+// Update implements Model: one log-loss gradient step (label in {0,1}).
+func (m *LogisticRegression) Update(s Sample, lr float64) float64 {
+	p := m.Predict(s.Features)
+	grad := p - s.Label
+	for i := range m.W {
+		if i < len(s.Features) {
+			m.W[i] -= lr * grad * s.Features[i]
+		}
+	}
+	m.B -= lr * grad
+	// Log loss, clamped for numerical safety.
+	eps := 1e-12
+	if s.Label > 0.5 {
+		return -math.Log(math.Max(p, eps))
+	}
+	return -math.Log(math.Max(1-p, eps))
+}
+
+// Clone implements Model.
+func (m *LogisticRegression) Clone() Model {
+	return &LogisticRegression{W: append([]float64(nil), m.W...), B: m.B}
+}
+
+func dot(w, x []float64) float64 {
+	n := len(w)
+	if len(x) < n {
+		n = len(x)
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += w[i] * x[i]
+	}
+	return s
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// Standardizer maintains running mean/variance per feature (Welford) and
+// scales features online — the preprocessing step of a streaming ML
+// pipeline.
+type Standardizer struct {
+	n    float64
+	mean []float64
+	m2   []float64
+}
+
+// NewStandardizer returns a standardiser for the given dimension.
+func NewStandardizer(dim int) *Standardizer {
+	return &Standardizer{mean: make([]float64, dim), m2: make([]float64, dim)}
+}
+
+// Observe folds a feature vector into the running statistics.
+func (s *Standardizer) Observe(x []float64) {
+	s.n++
+	for i := range s.mean {
+		if i >= len(x) {
+			break
+		}
+		d := x[i] - s.mean[i]
+		s.mean[i] += d / s.n
+		s.m2[i] += d * (x[i] - s.mean[i])
+	}
+}
+
+// Transform returns the standardised copy of x.
+func (s *Standardizer) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		if i >= len(s.mean) || s.n < 2 {
+			out[i] = x[i]
+			continue
+		}
+		sd := math.Sqrt(s.m2[i] / (s.n - 1))
+		if sd == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = (x[i] - s.mean[i]) / sd
+	}
+	return out
+}
+
+// Registry is a versioned model store supporting atomic hot swap: training
+// publishes immutable snapshots; serving reads the current version without
+// locking (§4.2 State Versioning applied to models).
+type Registry struct {
+	mu       sync.Mutex
+	versions []Model
+	current  atomic.Pointer[registryEntry]
+}
+
+type registryEntry struct {
+	version int
+	model   Model
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Publish stores a snapshot of the model and makes it current; it returns
+// the new version number (1-based).
+func (r *Registry) Publish(m Model) int {
+	snap := m.Clone()
+	r.mu.Lock()
+	r.versions = append(r.versions, snap)
+	v := len(r.versions)
+	r.mu.Unlock()
+	r.current.Store(&registryEntry{version: v, model: snap})
+	return v
+}
+
+// Current returns the live model and its version (nil, 0 when empty).
+func (r *Registry) Current() (Model, int) {
+	e := r.current.Load()
+	if e == nil {
+		return nil, 0
+	}
+	return e.model, e.version
+}
+
+// Version retrieves a historical snapshot.
+func (r *Registry) Version(v int) (Model, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v < 1 || v > len(r.versions) {
+		return nil, fmt.Errorf("ml: no model version %d (have %d)", v, len(r.versions))
+	}
+	return r.versions[v-1], nil
+}
+
+// Rollback makes a historical version current again.
+func (r *Registry) Rollback(v int) error {
+	m, err := r.Version(v)
+	if err != nil {
+		return err
+	}
+	r.current.Store(&registryEntry{version: v, model: m})
+	return nil
+}
+
+// NumVersions returns how many snapshots were published.
+func (r *Registry) NumVersions() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.versions)
+}

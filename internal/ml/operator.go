@@ -1,0 +1,106 @@
+package ml
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// TrainOperator consumes Sample-valued events, updates a model with SGD, and
+// publishes a snapshot to the registry every PublishEvery samples — the
+// "training within the same pipeline as model serving" design of §4.1.
+// Run it with parallelism 1 (the model is instance-local shared state).
+func TrainOperator(s *core.Stream, name string, model Model, registry *Registry, lr float64, publishEvery int) *core.Stream {
+	fac := func() core.Operator {
+		return &trainOp{model: model, registry: registry, lr: lr, publishEvery: publishEvery}
+	}
+	return s.ProcessWith(name, fac, 1)
+}
+
+type trainOp struct {
+	core.BaseOperator
+	model        Model
+	registry     *Registry
+	lr           float64
+	publishEvery int
+	seen         int
+	lossSum      float64
+}
+
+func (o *trainOp) ProcessElement(e core.Event, ctx core.Context) error {
+	sample, ok := e.Value.(Sample)
+	if !ok {
+		return fmt.Errorf("ml: train operator expects Sample values, got %T", e.Value)
+	}
+	loss := o.model.Update(sample, o.lr)
+	o.lossSum += loss
+	o.seen++
+	if o.publishEvery > 0 && o.seen%o.publishEvery == 0 {
+		v := o.registry.Publish(o.model)
+		avg := o.lossSum / float64(o.publishEvery)
+		o.lossSum = 0
+		ctx.Emit(core.Event{
+			Key:       "model",
+			Timestamp: e.Timestamp,
+			Value:     PublishEvent{Version: v, AvgLoss: avg, Samples: o.seen},
+		})
+	}
+	return nil
+}
+
+// Close publishes the final model so short streams still serve something.
+func (o *trainOp) Close(ctx core.Context) error {
+	if o.seen > 0 {
+		v := o.registry.Publish(o.model)
+		ctx.Emit(core.Event{Key: "model", Value: PublishEvent{Version: v, Samples: o.seen}})
+	}
+	return nil
+}
+
+// PublishEvent reports a model publication downstream.
+type PublishEvent struct {
+	Version int
+	AvgLoss float64
+	Samples int
+}
+
+// ServeOperator scores each event's feature vector ([]float64 value) with
+// the registry's current model, emitting Prediction values; the model hot
+// swaps under the pipeline as training publishes new versions.
+func ServeOperator(s *core.Stream, name string, registry *Registry) *core.Stream {
+	fac := func() core.Operator { return &serveOp{registry: registry} }
+	return s.Process(name, fac)
+}
+
+type serveOp struct {
+	core.BaseOperator
+	registry *Registry
+}
+
+// Prediction is one scored event.
+type Prediction struct {
+	Score        float64
+	ModelVersion int
+}
+
+func (o *serveOp) ProcessElement(e core.Event, ctx core.Context) error {
+	features, ok := e.Value.([]float64)
+	if !ok {
+		if s, ok := e.Value.(Sample); ok {
+			features = s.Features
+		} else {
+			return fmt.Errorf("ml: serve operator expects []float64 or Sample, got %T", e.Value)
+		}
+	}
+	m, v := o.registry.Current()
+	if m == nil {
+		// No model yet: pass through unscored.
+		return nil
+	}
+	ctx.Emit(core.Event{
+		Key:       e.Key,
+		Timestamp: e.Timestamp,
+		Value:     Prediction{Score: m.Predict(features), ModelVersion: v},
+	})
+	return nil
+}

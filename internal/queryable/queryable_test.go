@@ -1,0 +1,162 @@
+package queryable
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func init() { gob.Register(int64(0)) }
+
+func TestServiceSnapshotIsolation(t *testing.T) {
+	svc := NewService()
+	src := map[string]any{"a": int64(1)}
+	svc.PublishSnapshot("t", src)
+	// Mutating the source map must not affect the published snapshot.
+	src["a"] = int64(99)
+	v, ok := svc.Get("t", "a")
+	if !ok || v.(int64) != 1 {
+		t.Fatalf("snapshot not isolated: %v %v", v, ok)
+	}
+	// Missing table/key.
+	if _, ok := svc.Get("missing", "a"); ok {
+		t.Fatal("phantom table")
+	}
+	if _, ok := svc.Get("t", "missing"); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestServerClientRoundtrip(t *testing.T) {
+	svc := NewService()
+	svc.PublishSnapshot("counts", map[string]any{"x": int64(7), "y": int64(8)})
+	srv, err := Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	v, found, err := c.Get("counts", "x")
+	if err != nil || !found || v.(int64) != 7 {
+		t.Fatalf("get: %v %v %v", v, found, err)
+	}
+	_, found, err = c.Get("counts", "zzz")
+	if err != nil || found {
+		t.Fatalf("missing key: found=%v err=%v", found, err)
+	}
+	keys, err := c.Keys("counts")
+	if err != nil || len(keys) != 2 || keys[0] != "x" || keys[1] != "y" {
+		t.Fatalf("keys: %v %v", keys, err)
+	}
+}
+
+func TestMultipleClientsAndRepublish(t *testing.T) {
+	svc := NewService()
+	srv, err := Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		svc.PublishSnapshot("v", map[string]any{"n": int64(i)})
+		c, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _, err := c.Get("v", "n")
+		c.Close()
+		if err != nil || v.(int64) != int64(i) {
+			t.Fatalf("republish %d: %v %v", i, v, err)
+		}
+	}
+}
+
+func TestQueryableStateFromPipeline(t *testing.T) {
+	// A keyed counting pipeline publishes its state; an external TCP client
+	// reads consistent per-key counts.
+	var events []core.Event
+	for i := 0; i < 300; i++ {
+		events = append(events, core.Event{
+			Key:       fmt.Sprintf("k%d", i%3),
+			Timestamp: int64(i * 10),
+			Value:     int64(1),
+		})
+	}
+
+	svc := NewService()
+	b := core.NewBuilder(core.Config{Name: "qs", WatermarkInterval: 16})
+	s := b.Source("src", core.NewSliceSourceFactory(events), core.WithBoundedDisorder(0)).
+		KeyBy(func(e core.Event) string { return e.Key })
+	PublishOperator(s, "count", svc, "counts", "n", func(e core.Event, ctx core.Context) {
+		st := ctx.State().Value("n")
+		n := int64(0)
+		if v, ok := st.Get(); ok {
+			n = v.(int64)
+		}
+		st.Set(n + 1)
+	}).Sink("out", core.NewCollectSink().Factory())
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := j.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	total := int64(0)
+	for i := 0; i < 3; i++ {
+		v, found, err := c.Get("counts", fmt.Sprintf("k%d", i))
+		if err != nil || !found {
+			t.Fatalf("key k%d: %v %v", i, found, err)
+		}
+		total += v.(int64)
+	}
+	if total != 300 {
+		t.Fatalf("queryable counts: want 300 total, got %d", total)
+	}
+}
+
+func TestClientAgainstClosedServer(t *testing.T) {
+	svc := NewService()
+	srv, err := Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	// The in-flight connection errors out on next use.
+	if _, _, err := c.Get("t", "k"); err == nil {
+		// A get may succeed if the close raced; a second must fail.
+		if _, _, err := c.Get("t", "k"); err == nil {
+			t.Fatal("client kept working against closed server")
+		}
+	}
+	c.Close()
+}

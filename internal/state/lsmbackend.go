@@ -1,0 +1,295 @@
+package state
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/lsm"
+)
+
+// LSMBackend stores keyed state in a log-structured merge tree on disk,
+// letting state grow beyond main memory (§3.1: "the ability to store state
+// beyond main memory ... log-structured merge trees"). Keys are laid out as
+//
+//	group (2 bytes big-endian) | nameLen (2 bytes) | name | key
+//
+// so that a key-group export is a contiguous range scan — exactly why
+// RocksDB-style backends make rescaling and incremental checkpoints cheap.
+type LSMBackend struct {
+	numGroups  int
+	currentKey string
+	tree       *lsm.Tree
+}
+
+// NewLSMBackend opens (or creates) an LSM-backed state store in dir.
+func NewLSMBackend(dir string, numGroups int) (*LSMBackend, error) {
+	if numGroups <= 0 {
+		numGroups = DefaultKeyGroups
+	}
+	tree, err := lsm.Open(lsm.Options{Dir: dir})
+	if err != nil {
+		return nil, fmt.Errorf("state: open lsm backend: %w", err)
+	}
+	return &LSMBackend{numGroups: numGroups, tree: tree}, nil
+}
+
+// Tree exposes the underlying LSM tree (used by incremental checkpoints).
+func (b *LSMBackend) Tree() *lsm.Tree { return b.tree }
+
+// SetCurrentKey scopes subsequent state access.
+func (b *LSMBackend) SetCurrentKey(key string) { b.currentKey = key }
+
+// CurrentKey returns the scoped key.
+func (b *LSMBackend) CurrentKey() string { return b.currentKey }
+
+// NumKeyGroups returns the key-group fan-out.
+func (b *LSMBackend) NumKeyGroups() int { return b.numGroups }
+
+func (b *LSMBackend) storageKey(name, key string) []byte {
+	g := KeyGroupFor(key, b.numGroups)
+	buf := make([]byte, 0, 4+len(name)+len(key))
+	var hdr [4]byte
+	binary.BigEndian.PutUint16(hdr[0:2], uint16(g))
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(len(name)))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, name...)
+	buf = append(buf, key...)
+	return buf
+}
+
+func (b *LSMBackend) get(name, key string) (any, bool) {
+	raw, found, err := b.tree.Get(b.storageKey(name, key))
+	if err != nil || !found {
+		return nil, false
+	}
+	v, err := decodeAny(raw)
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+func (b *LSMBackend) put(name, key string, v any) {
+	raw, err := encodeAny(v)
+	if err != nil {
+		panic(fmt.Sprintf("state: unencodable value in LSM backend: %v", err))
+	}
+	if err := b.tree.Put(b.storageKey(name, key), raw); err != nil {
+		panic(fmt.Sprintf("state: lsm put: %v", err))
+	}
+}
+
+func (b *LSMBackend) del(name, key string) {
+	if err := b.tree.Delete(b.storageKey(name, key)); err != nil {
+		panic(fmt.Sprintf("state: lsm delete: %v", err))
+	}
+}
+
+// Value returns the named single-value state handle.
+func (b *LSMBackend) Value(name string) ValueState { return &lsmValue{b: b, name: name} }
+
+// List returns the named list state handle (stored as one encoded blob).
+func (b *LSMBackend) List(name string) ListState { return &lsmList{b: b, name: name} }
+
+// Map returns the named map state handle (stored as one encoded blob).
+func (b *LSMBackend) Map(name string) MapState { return &lsmMap{b: b, name: name} }
+
+// Reducing returns the named reducing state handle.
+func (b *LSMBackend) Reducing(name string, reduce func(a, b any) any) ReducingState {
+	return &lsmReducing{b: b, name: name, reduce: reduce}
+}
+
+type lsmValue struct {
+	b    *LSMBackend
+	name string
+}
+
+func (s *lsmValue) Get() (any, bool) { return s.b.get(s.name, s.b.currentKey) }
+func (s *lsmValue) Set(v any)        { s.b.put(s.name, s.b.currentKey, v) }
+func (s *lsmValue) Clear()           { s.b.del(s.name, s.b.currentKey) }
+
+type lsmList struct {
+	b    *LSMBackend
+	name string
+}
+
+func (s *lsmList) Append(v any) {
+	cur, _ := s.b.get(s.name, s.b.currentKey)
+	list, _ := cur.([]any)
+	s.b.put(s.name, s.b.currentKey, append(list, v))
+}
+
+func (s *lsmList) Get() []any {
+	cur, _ := s.b.get(s.name, s.b.currentKey)
+	list, _ := cur.([]any)
+	return list
+}
+
+func (s *lsmList) Clear() { s.b.del(s.name, s.b.currentKey) }
+
+type lsmMap struct {
+	b    *LSMBackend
+	name string
+}
+
+func (s *lsmMap) inner() map[string]any {
+	cur, ok := s.b.get(s.name, s.b.currentKey)
+	if ok {
+		if m, ok := cur.(map[string]any); ok {
+			return m
+		}
+	}
+	return map[string]any{}
+}
+
+func (s *lsmMap) Put(mapKey string, v any) {
+	m := s.inner()
+	m[mapKey] = v
+	s.b.put(s.name, s.b.currentKey, m)
+}
+
+func (s *lsmMap) Get(mapKey string) (any, bool) {
+	v, ok := s.inner()[mapKey]
+	return v, ok
+}
+
+func (s *lsmMap) Remove(mapKey string) {
+	m := s.inner()
+	delete(m, mapKey)
+	s.b.put(s.name, s.b.currentKey, m)
+}
+
+func (s *lsmMap) Keys() []string {
+	m := s.inner()
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (s *lsmMap) Clear() { s.b.del(s.name, s.b.currentKey) }
+
+type lsmReducing struct {
+	b      *LSMBackend
+	name   string
+	reduce func(a, b any) any
+}
+
+func (s *lsmReducing) Add(v any) {
+	cur, ok := s.b.get(s.name, s.b.currentKey)
+	if !ok {
+		s.b.put(s.name, s.b.currentKey, v)
+		return
+	}
+	s.b.put(s.name, s.b.currentKey, s.reduce(cur, v))
+}
+
+func (s *lsmReducing) Get() (any, bool) { return s.b.get(s.name, s.b.currentKey) }
+func (s *lsmReducing) Clear()           { s.b.del(s.name, s.b.currentKey) }
+
+// parseStorageKey splits a composite LSM key into (group, name, key).
+func parseStorageKey(k []byte) (group int, name, key string, ok bool) {
+	if len(k) < 4 {
+		return 0, "", "", false
+	}
+	group = int(binary.BigEndian.Uint16(k[0:2]))
+	nameLen := int(binary.BigEndian.Uint16(k[2:4]))
+	if len(k) < 4+nameLen {
+		return 0, "", "", false
+	}
+	return group, string(k[4 : 4+nameLen]), string(k[4+nameLen:]), true
+}
+
+// Snapshot serialises all records into the canonical Image format, so LSM
+// snapshots are portable to other backends.
+func (b *LSMBackend) Snapshot() ([]byte, error) {
+	all := make([]int, b.numGroups)
+	for i := range all {
+		all[i] = i
+	}
+	return b.ExportGroups(all)
+}
+
+// Restore replaces contents from a snapshot image.
+func (b *LSMBackend) Restore(data []byte) error { return b.ImportGroups(data) }
+
+// ExportGroups serialises the given key groups into the canonical Image.
+func (b *LSMBackend) ExportGroups(groups []int) ([]byte, error) {
+	want := make(map[int]bool, len(groups))
+	for _, g := range groups {
+		want[g] = true
+	}
+	img := Image{NumGroups: b.numGroups, Groups: make(map[int]map[string]map[string]any)}
+	var scanErr error
+	err := b.tree.Scan(nil, nil, func(k, v []byte) bool {
+		g, name, key, ok := parseStorageKey(k)
+		if !ok || !want[g] {
+			return true
+		}
+		val, err := decodeAny(v)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if img.Groups[g] == nil {
+			img.Groups[g] = make(map[string]map[string]any)
+		}
+		if img.Groups[g][name] == nil {
+			img.Groups[g][name] = make(map[string]any)
+		}
+		img.Groups[g][name][key] = val
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("state: lsm export scan: %w", err)
+	}
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return EncodeImage(img)
+}
+
+// ImportGroups merges an exported image into this backend.
+func (b *LSMBackend) ImportGroups(data []byte) error {
+	img, err := DecodeImage(data)
+	if err != nil {
+		return err
+	}
+	for _, names := range img.Groups {
+		for name, kvs := range names {
+			for key, val := range kvs {
+				raw, err := encodeAny(val)
+				if err != nil {
+					return err
+				}
+				if err := b.tree.Put(b.storageKey(name, key), raw); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ForEachKey iterates all keys under the named value state.
+func (b *LSMBackend) ForEachKey(name string, fn func(key string, value any) bool) {
+	_ = b.tree.Scan(nil, nil, func(k, v []byte) bool {
+		_, n, key, ok := parseStorageKey(k)
+		if !ok || n != name {
+			return true
+		}
+		val, err := decodeAny(v)
+		if err != nil {
+			return true
+		}
+		return fn(key, val)
+	})
+}
+
+// Dispose closes the LSM tree.
+func (b *LSMBackend) Dispose() error { return b.tree.Close() }
+
+var _ Backend = (*LSMBackend)(nil)

@@ -1,0 +1,59 @@
+package state
+
+import (
+	"repro/internal/eventtime"
+)
+
+// ttlEntry wraps a stored value with its last-write time.
+type ttlEntry struct {
+	V       any
+	Written int64 // processing time of last write, Unix millis
+}
+
+func init() { RegisterType(ttlEntry{}) }
+
+// TTLValue decorates a ValueState with a time-to-live expiration policy
+// (§3.1 "state expiration policies"): reads of entries older than TTL behave
+// as if the value were absent and lazily clear it. Expiration is measured in
+// processing time against the supplied clock.
+type TTLValue struct {
+	inner ValueState
+	ttl   int64
+	clock eventtime.Clock
+}
+
+// NewTTLValue wraps inner with the given TTL in milliseconds.
+func NewTTLValue(inner ValueState, ttlMillis int64, clock eventtime.Clock) *TTLValue {
+	if clock == nil {
+		clock = eventtime.SystemClock{}
+	}
+	return &TTLValue{inner: inner, ttl: ttlMillis, clock: clock}
+}
+
+// Get returns the value if present and unexpired.
+func (s *TTLValue) Get() (any, bool) {
+	raw, ok := s.inner.Get()
+	if !ok {
+		return nil, false
+	}
+	e, ok := raw.(ttlEntry)
+	if !ok {
+		// Value written without TTL wrapping; treat as fresh.
+		return raw, true
+	}
+	if s.clock.Now()-e.Written >= s.ttl {
+		s.inner.Clear()
+		return nil, false
+	}
+	return e.V, true
+}
+
+// Set stores the value stamped with the current time.
+func (s *TTLValue) Set(v any) {
+	s.inner.Set(ttlEntry{V: v, Written: s.clock.Now()})
+}
+
+// Clear removes the value.
+func (s *TTLValue) Clear() { s.inner.Clear() }
+
+var _ ValueState = (*TTLValue)(nil)

@@ -1,0 +1,155 @@
+package state
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file implements state versioning and schema evolution (§4.2 "State
+// Versioning"): applications change the shape of their state over their
+// lifecycle, and a running pipeline must keep reading state written by older
+// code. A SchemaRegistry records, per state name, a chain of versions with
+// migration functions; VersionedValue wraps a ValueState so that reads
+// transparently upgrade old payloads through the chain.
+
+// Migration upgrades a value from one schema version to the next.
+type Migration func(old any) (any, error)
+
+// versioned wraps a stored payload with its schema version.
+type versioned struct {
+	Version int
+	V       any
+}
+
+func init() { RegisterType(versioned{}) }
+
+// SchemaRegistry tracks schema versions and migrations per state name.
+// It is safe for concurrent use.
+type SchemaRegistry struct {
+	mu      sync.Mutex
+	current map[string]int
+	// migrations[name][v] upgrades version v to v+1.
+	migrations map[string]map[int]Migration
+}
+
+// NewSchemaRegistry returns an empty registry.
+func NewSchemaRegistry() *SchemaRegistry {
+	return &SchemaRegistry{
+		current:    make(map[string]int),
+		migrations: make(map[string]map[int]Migration),
+	}
+}
+
+// Register declares that state `name` is currently at `version`. Versions
+// must only move forward.
+func (r *SchemaRegistry) Register(name string, version int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cur, ok := r.current[name]; ok && version < cur {
+		return fmt.Errorf("state: cannot downgrade schema %q from v%d to v%d", name, cur, version)
+	}
+	r.current[name] = version
+	return nil
+}
+
+// AddMigration installs the upgrade function from version v to v+1 for the
+// named state.
+func (r *SchemaRegistry) AddMigration(name string, fromVersion int, m Migration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.migrations[name] == nil {
+		r.migrations[name] = make(map[int]Migration)
+	}
+	r.migrations[name][fromVersion] = m
+}
+
+// CurrentVersion returns the registered version for name (0 if unknown).
+func (r *SchemaRegistry) CurrentVersion(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.current[name]
+}
+
+// Upgrade migrates a payload from its stored version to the current one.
+func (r *SchemaRegistry) Upgrade(name string, storedVersion int, v any) (any, error) {
+	r.mu.Lock()
+	target := r.current[name]
+	chain := r.migrations[name]
+	r.mu.Unlock()
+	for ver := storedVersion; ver < target; ver++ {
+		m, ok := chain[ver]
+		if !ok {
+			return nil, fmt.Errorf("state: no migration for %q from v%d to v%d", name, ver, ver+1)
+		}
+		var err error
+		v, err = m(v)
+		if err != nil {
+			return nil, fmt.Errorf("state: migration %q v%d->v%d: %w", name, ver, ver+1, err)
+		}
+	}
+	return v, nil
+}
+
+// Versions returns the known state names and their current versions, sorted.
+func (r *SchemaRegistry) Versions() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.current))
+	for n, v := range r.current {
+		out = append(out, fmt.Sprintf("%s@v%d", n, v))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VersionedValue wraps a ValueState so writes are stamped with the current
+// schema version and reads transparently upgrade older payloads.
+type VersionedValue struct {
+	inner    ValueState
+	name     string
+	registry *SchemaRegistry
+	// LastError records the most recent migration failure, if any; reads
+	// that fail migration behave as absent.
+	LastError error
+}
+
+// NewVersionedValue wraps inner under the registry's schema for name.
+func NewVersionedValue(inner ValueState, name string, registry *SchemaRegistry) *VersionedValue {
+	return &VersionedValue{inner: inner, name: name, registry: registry}
+}
+
+// Get returns the value upgraded to the current schema version.
+func (s *VersionedValue) Get() (any, bool) {
+	raw, ok := s.inner.Get()
+	if !ok {
+		return nil, false
+	}
+	vv, ok := raw.(versioned)
+	if !ok {
+		// Unversioned legacy payload: treat as version 0.
+		vv = versioned{Version: 0, V: raw}
+	}
+	cur := s.registry.CurrentVersion(s.name)
+	if vv.Version == cur {
+		return vv.V, true
+	}
+	up, err := s.registry.Upgrade(s.name, vv.Version, vv.V)
+	if err != nil {
+		s.LastError = err
+		return nil, false
+	}
+	// Write back the upgraded payload so migration is one-time.
+	s.inner.Set(versioned{Version: cur, V: up})
+	return up, true
+}
+
+// Set stores the value at the current schema version.
+func (s *VersionedValue) Set(v any) {
+	s.inner.Set(versioned{Version: s.registry.CurrentVersion(s.name), V: v})
+}
+
+// Clear removes the value.
+func (s *VersionedValue) Clear() { s.inner.Clear() }
+
+var _ ValueState = (*VersionedValue)(nil)

@@ -1,0 +1,66 @@
+package statefun
+
+import (
+	"repro/internal/core"
+)
+
+// Bridge embeds a stateful-functions universe inside a dataflow pipeline —
+// the "streams on Actors vs Actors on streams" convergence §4.1 describes.
+// Each stream event becomes a function invocation (routed by toMsg); values
+// the functions Egress are emitted downstream when the operator observes a
+// watermark (the universe is drained first, so emissions are causally
+// complete up to that point) and at end of stream.
+//
+// Run with parallelism 1: the runtime already parallelises across addresses
+// internally.
+func Bridge(s *core.Stream, name string, rt *Runtime,
+	toMsg func(e core.Event) (Address, any, bool),
+	toEvent func(egress any) (core.Event, bool)) *core.Stream {
+	fac := func() core.Operator {
+		return &bridgeOp{rt: rt, toMsg: toMsg, toEvent: toEvent}
+	}
+	return s.ProcessWith(name, fac, 1)
+}
+
+type bridgeOp struct {
+	core.BaseOperator
+	rt      *Runtime
+	toMsg   func(e core.Event) (Address, any, bool)
+	toEvent func(egress any) (core.Event, bool)
+	drained int // egress values already forwarded
+}
+
+func (o *bridgeOp) Open(core.Context) error {
+	o.rt.Start()
+	return nil
+}
+
+func (o *bridgeOp) ProcessElement(e core.Event, ctx core.Context) error {
+	if addr, payload, ok := o.toMsg(e); ok {
+		o.rt.Send(addr, payload)
+	}
+	return nil
+}
+
+// OnWatermark drains the function universe and forwards new egress values.
+func (o *bridgeOp) OnWatermark(_ int64, ctx core.Context) error {
+	o.rt.Drain()
+	o.flush(ctx)
+	return nil
+}
+
+// Close drains one final time.
+func (o *bridgeOp) Close(ctx core.Context) error {
+	o.rt.Drain()
+	o.flush(ctx)
+	return nil
+}
+
+func (o *bridgeOp) flush(ctx core.Context) {
+	values := o.rt.EgressValues()
+	for ; o.drained < len(values); o.drained++ {
+		if ev, ok := o.toEvent(values[o.drained]); ok {
+			ctx.Emit(ev)
+		}
+	}
+}

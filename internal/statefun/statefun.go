@@ -1,0 +1,255 @@
+// Package statefun implements a stateful-functions / virtual-actor runtime —
+// the §4.1 observation that "stream processing technology is being used as a
+// backend for Actor-like abstractions such as Stateful Functions tailored
+// for Cloud deployment". Functions are addressable by (type, id); each
+// address owns durable state and processes its messages serially, while
+// different addresses run in parallel across workers; messages between
+// functions are asynchronous feedback (the loops of §4.2), and request/
+// response is expressed with Reply.
+package statefun
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/state"
+)
+
+// Address identifies one logical function instance (virtual actor).
+type Address struct {
+	Type string
+	ID   string
+}
+
+// String renders the address.
+func (a Address) String() string { return a.Type + "/" + a.ID }
+
+// Message is one delivery to a function.
+type Message struct {
+	From    Address
+	To      Address
+	Payload any
+}
+
+// Context is handed to a function per invocation.
+type Context interface {
+	// Self returns the invoked address.
+	Self() Address
+	// Caller returns the sending address (zero for ingress messages).
+	Caller() Address
+	// State returns the address's durable value state.
+	State() state.ValueState
+	// Send delivers a message to another function asynchronously.
+	Send(to Address, payload any)
+	// Reply sends back to the caller; it is a no-op for ingress messages.
+	Reply(payload any)
+	// Egress emits a value out of the function universe (to the enclosing
+	// pipeline or test harness).
+	Egress(payload any)
+}
+
+// Function is user logic bound to an address type.
+type Function func(ctx Context, msg Message) error
+
+// Runtime hosts functions over a worker pool: per-address serial execution,
+// cross-address parallelism, durable per-address state in a managed backend.
+type Runtime struct {
+	mu        sync.Mutex
+	functions map[string]Function
+	backends  []*state.MemoryBackend // one per worker: single-writer state
+	workers   int
+	queues    []chan Message
+	wg        sync.WaitGroup
+	inflight  atomic.Int64
+	idleCond  *sync.Cond
+	started   bool
+	stopped   bool
+
+	egressMu sync.Mutex
+	egress   []any
+
+	// Invocations counts function executions.
+	Invocations atomic.Int64
+	failMu      sync.Mutex
+	failures    []error
+}
+
+// NewRuntime returns a runtime with the given worker parallelism.
+func NewRuntime(workers int) *Runtime {
+	if workers < 1 {
+		workers = 1
+	}
+	r := &Runtime{
+		functions: make(map[string]Function),
+		workers:   workers,
+	}
+	r.idleCond = sync.NewCond(&r.mu)
+	for i := 0; i < workers; i++ {
+		r.backends = append(r.backends, state.NewMemoryBackend(0))
+		r.queues = append(r.queues, make(chan Message, 1024))
+	}
+	return r
+}
+
+// Register binds a function to an address type. Must be called before Start.
+func (r *Runtime) Register(fnType string, fn Function) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		return fmt.Errorf("statefun: cannot register %q after start", fnType)
+	}
+	if _, dup := r.functions[fnType]; dup {
+		return fmt.Errorf("statefun: function type %q already registered", fnType)
+	}
+	r.functions[fnType] = fn
+	return nil
+}
+
+// Start launches the workers.
+func (r *Runtime) Start() {
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	r.mu.Unlock()
+	for i := 0; i < r.workers; i++ {
+		r.wg.Add(1)
+		go r.worker(i)
+	}
+}
+
+// workerFor routes an address to its worker: all messages of one address
+// land on one worker, giving per-address serial execution.
+func (r *Runtime) workerFor(a Address) int {
+	return state.KeyGroupFor(a.String(), r.workers)
+}
+
+// Send delivers an ingress message into the function universe.
+func (r *Runtime) Send(to Address, payload any) {
+	r.enqueue(Message{To: to, Payload: payload})
+}
+
+func (r *Runtime) enqueue(m Message) {
+	r.inflight.Add(1)
+	r.queues[r.workerFor(m.To)] <- m
+}
+
+func (r *Runtime) worker(idx int) {
+	defer r.wg.Done()
+	backend := r.backends[idx]
+	for m := range r.queues[idx] {
+		r.invoke(backend, m)
+		if r.inflight.Add(-1) == 0 {
+			// Broadcast under the mutex so a Drain that just checked the
+			// counter cannot miss the wakeup.
+			r.mu.Lock()
+			r.idleCond.Broadcast()
+			r.mu.Unlock()
+		}
+	}
+}
+
+func (r *Runtime) invoke(backend *state.MemoryBackend, m Message) {
+	r.mu.Lock()
+	fn, ok := r.functions[m.To.Type]
+	r.mu.Unlock()
+	if !ok {
+		r.recordFailure(fmt.Errorf("statefun: no function registered for type %q", m.To.Type))
+		return
+	}
+	backend.SetCurrentKey(m.To.String())
+	ctx := &fnContext{rt: r, backend: backend, self: m.To, caller: m.From}
+	r.Invocations.Add(1)
+	if err := fn(ctx, m); err != nil {
+		r.recordFailure(fmt.Errorf("statefun: %s: %w", m.To, err))
+	}
+}
+
+func (r *Runtime) recordFailure(err error) {
+	r.failMu.Lock()
+	r.failures = append(r.failures, err)
+	r.failMu.Unlock()
+}
+
+// Failures returns function errors recorded so far.
+func (r *Runtime) Failures() []error {
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
+	return append([]error(nil), r.failures...)
+}
+
+// Drain blocks until the universe is quiescent: no message in flight and no
+// function running.
+func (r *Runtime) Drain() {
+	r.mu.Lock()
+	for r.inflight.Load() != 0 {
+		r.idleCond.Wait()
+	}
+	r.mu.Unlock()
+}
+
+// Stop drains and terminates the workers.
+func (r *Runtime) Stop() {
+	r.Drain()
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	r.mu.Unlock()
+	for _, q := range r.queues {
+		close(q)
+	}
+	r.wg.Wait()
+}
+
+// EgressValues returns everything emitted via Context.Egress.
+func (r *Runtime) EgressValues() []any {
+	r.egressMu.Lock()
+	defer r.egressMu.Unlock()
+	return append([]any(nil), r.egress...)
+}
+
+// StateOf reads a function instance's state directly (tests, queryable
+// state). It must only be called while the runtime is quiescent.
+func (r *Runtime) StateOf(a Address) (any, bool) {
+	b := r.backends[r.workerFor(a)]
+	b.SetCurrentKey(a.String())
+	return b.Value("state").Get()
+}
+
+type fnContext struct {
+	rt      *Runtime
+	backend *state.MemoryBackend
+	self    Address
+	caller  Address
+}
+
+func (c *fnContext) Self() Address   { return c.self }
+func (c *fnContext) Caller() Address { return c.caller }
+
+func (c *fnContext) State() state.ValueState {
+	c.backend.SetCurrentKey(c.self.String())
+	return c.backend.Value("state")
+}
+
+func (c *fnContext) Send(to Address, payload any) {
+	c.rt.enqueue(Message{From: c.self, To: to, Payload: payload})
+}
+
+func (c *fnContext) Reply(payload any) {
+	if c.caller == (Address{}) {
+		return
+	}
+	c.rt.enqueue(Message{From: c.self, To: c.caller, Payload: payload})
+}
+
+func (c *fnContext) Egress(payload any) {
+	c.rt.egressMu.Lock()
+	c.rt.egress = append(c.rt.egress, payload)
+	c.rt.egressMu.Unlock()
+}

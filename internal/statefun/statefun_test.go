@@ -1,0 +1,222 @@
+package statefun
+
+import (
+	"context"
+	"time"
+
+	"fmt"
+	"repro/internal/core"
+	"testing"
+)
+
+func TestCounterFunction(t *testing.T) {
+	rt := NewRuntime(4)
+	err := rt.Register("counter", func(ctx Context, msg Message) error {
+		st := ctx.State()
+		n := int64(0)
+		if v, ok := st.Get(); ok {
+			n = v.(int64)
+		}
+		n++
+		st.Set(n)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Stop()
+	for i := 0; i < 100; i++ {
+		rt.Send(Address{Type: "counter", ID: fmt.Sprintf("c%d", i%3)}, "tick")
+	}
+	rt.Drain()
+	total := int64(0)
+	for i := 0; i < 3; i++ {
+		v, ok := rt.StateOf(Address{Type: "counter", ID: fmt.Sprintf("c%d", i)})
+		if !ok {
+			t.Fatalf("counter c%d has no state", i)
+		}
+		total += v.(int64)
+	}
+	if total != 100 {
+		t.Fatalf("want 100 total increments, got %d", total)
+	}
+	if rt.Invocations.Load() != 100 {
+		t.Fatalf("want 100 invocations, got %d", rt.Invocations.Load())
+	}
+}
+
+func TestRequestResponseBetweenFunctions(t *testing.T) {
+	// "client" asks "doubler" to double a number; doubler replies; client
+	// egresses the answer — the async request/response loop of §4.2.
+	rt := NewRuntime(2)
+	rt.Register("doubler", func(ctx Context, msg Message) error {
+		n := msg.Payload.(int)
+		ctx.Reply(n * 2)
+		return nil
+	})
+	rt.Register("client", func(ctx Context, msg Message) error {
+		switch v := msg.Payload.(type) {
+		case int:
+			if ctx.Caller().Type == "doubler" {
+				ctx.Egress(v)
+			} else {
+				ctx.Send(Address{Type: "doubler", ID: "d1"}, v)
+			}
+		}
+		return nil
+	})
+	rt.Start()
+	defer rt.Stop()
+	rt.Send(Address{Type: "client", ID: "c1"}, 21)
+	rt.Drain()
+	out := rt.EgressValues()
+	if len(out) != 1 || out[0].(int) != 42 {
+		t.Fatalf("request/response failed: %v", out)
+	}
+}
+
+func TestPerAddressSerialExecution(t *testing.T) {
+	// Many concurrent sends to ONE address must serialise: the final count
+	// is exact without any locking in user code.
+	rt := NewRuntime(8)
+	rt.Register("acc", func(ctx Context, msg Message) error {
+		st := ctx.State()
+		n := int64(0)
+		if v, ok := st.Get(); ok {
+			n = v.(int64)
+		}
+		st.Set(n + 1)
+		return nil
+	})
+	rt.Start()
+	defer rt.Stop()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		rt.Send(Address{Type: "acc", ID: "single"}, nil)
+	}
+	rt.Drain()
+	v, _ := rt.StateOf(Address{Type: "acc", ID: "single"})
+	if v.(int64) != n {
+		t.Fatalf("lost updates: want %d, got %d", n, v.(int64))
+	}
+}
+
+func TestFanOutFanIn(t *testing.T) {
+	// A coordinator scatters work to workers and gathers replies —
+	// the microservice orchestration shape of §4.1.
+	rt := NewRuntime(4)
+	rt.Register("worker", func(ctx Context, msg Message) error {
+		ctx.Reply(msg.Payload.(int) * msg.Payload.(int))
+		return nil
+	})
+	rt.Register("coord", func(ctx Context, msg Message) error {
+		st := ctx.State()
+		if caller := ctx.Caller(); caller.Type == "worker" {
+			acc := int64(0)
+			if v, ok := st.Get(); ok {
+				acc = v.(int64)
+			}
+			acc += int64(msg.Payload.(int))
+			st.Set(acc)
+			return nil
+		}
+		for i := 1; i <= msg.Payload.(int); i++ {
+			ctx.Send(Address{Type: "worker", ID: fmt.Sprintf("w%d", i%4)}, i)
+		}
+		return nil
+	})
+	rt.Start()
+	defer rt.Stop()
+	rt.Send(Address{Type: "coord", ID: "c"}, 10)
+	rt.Drain()
+	v, _ := rt.StateOf(Address{Type: "coord", ID: "c"})
+	if v.(int64) != 385 { // sum of squares 1..10
+		t.Fatalf("fan-in sum: want 385, got %v", v)
+	}
+}
+
+func TestUnknownTypeRecordsFailure(t *testing.T) {
+	rt := NewRuntime(1)
+	rt.Start()
+	defer rt.Stop()
+	rt.Send(Address{Type: "ghost", ID: "x"}, nil)
+	rt.Drain()
+	if len(rt.Failures()) != 1 {
+		t.Fatalf("want 1 failure, got %d", len(rt.Failures()))
+	}
+}
+
+func TestRegisterAfterStartRejected(t *testing.T) {
+	rt := NewRuntime(1)
+	rt.Start()
+	defer rt.Stop()
+	if err := rt.Register("late", nil); err == nil {
+		t.Fatal("late registration accepted")
+	}
+}
+
+func TestDuplicateRegistrationRejected(t *testing.T) {
+	rt := NewRuntime(1)
+	rt.Register("x", func(Context, Message) error { return nil })
+	if err := rt.Register("x", func(Context, Message) error { return nil }); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestBridgeEmbedsFunctionsInPipeline(t *testing.T) {
+	// Stream events drive a counting function; egressed milestones flow back
+	// into the pipeline as events.
+	rt := NewRuntime(2)
+	rt.Register("tally", func(ctx Context, msg Message) error {
+		st := ctx.State()
+		n := int64(0)
+		if v, ok := st.Get(); ok {
+			n = v.(int64)
+		}
+		n++
+		st.Set(n)
+		if n%10 == 0 {
+			ctx.Egress(fmt.Sprintf("%s:%d", ctx.Self().ID, n))
+		}
+		return nil
+	})
+	defer rt.Stop()
+
+	var events []core.Event
+	for i := 0; i < 100; i++ {
+		events = append(events, core.Event{
+			Key:       fmt.Sprintf("u%d", i%2),
+			Timestamp: int64(i),
+			Value:     int64(1),
+		})
+	}
+	sink := core.NewCollectSink()
+	b := core.NewBuilder(core.Config{Name: "bridge", WatermarkInterval: 8})
+	s := b.Source("src", core.NewSliceSourceFactory(events), core.WithBoundedDisorder(0))
+	Bridge(s, "functions", rt,
+		func(e core.Event) (Address, any, bool) {
+			return Address{Type: "tally", ID: e.Key}, e.Value, true
+		},
+		func(egress any) (core.Event, bool) {
+			return core.Event{Key: "milestone", Value: egress}, true
+		}).Sink("out", sink.Factory())
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := j.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// 50 events per user -> milestones at 10,20,30,40,50 for each of 2 users.
+	if sink.Len() != 10 {
+		t.Fatalf("want 10 milestones, got %d: %v", sink.Len(), sink.Events())
+	}
+	v0, _ := rt.StateOf(Address{Type: "tally", ID: "u0"})
+	v1, _ := rt.StateOf(Address{Type: "tally", ID: "u1"})
+	if v0.(int64)+v1.(int64) != 100 {
+		t.Fatalf("function state wrong: %v + %v", v0, v1)
+	}
+}

@@ -1,0 +1,68 @@
+package synopsis
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bloom is a Bloom filter: a set-membership summary with no false negatives
+// and a tunable false-positive probability.
+type Bloom struct {
+	bits  []uint64
+	m     uint64 // number of bits
+	k     int    // number of hash functions
+	added uint64
+}
+
+// NewBloom returns a filter sized for the expected number of items and the
+// target false-positive probability.
+func NewBloom(expectedItems int, fpProb float64) (*Bloom, error) {
+	if expectedItems <= 0 {
+		return nil, fmt.Errorf("synopsis: expectedItems must be positive, got %d", expectedItems)
+	}
+	if fpProb <= 0 || fpProb >= 1 {
+		return nil, fmt.Errorf("synopsis: fpProb must be in (0,1), got %v", fpProb)
+	}
+	n := float64(expectedItems)
+	m := math.Ceil(-n * math.Log(fpProb) / (math.Ln2 * math.Ln2))
+	k := int(math.Round(m / n * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	mb := uint64(m)
+	if mb < 64 {
+		mb = 64
+	}
+	return &Bloom{bits: make([]uint64, (mb+63)/64), m: mb, k: k}, nil
+}
+
+// Add inserts key into the filter.
+func (b *Bloom) Add(key string) {
+	h1 := hash64(key, 0x51ed2701)
+	h2 := hash64(key, 0xb5297a4d)
+	for i := 0; i < b.k; i++ {
+		idx := (h1 + uint64(i)*h2) % b.m
+		b.bits[idx/64] |= 1 << (idx % 64)
+	}
+	b.added++
+}
+
+// MayContain reports whether key may have been added; false means definitely
+// not present.
+func (b *Bloom) MayContain(key string) bool {
+	h1 := hash64(key, 0x51ed2701)
+	h2 := hash64(key, 0xb5297a4d)
+	for i := 0; i < b.k; i++ {
+		idx := (h1 + uint64(i)*h2) % b.m
+		if b.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bytes returns the memory footprint in bytes.
+func (b *Bloom) Bytes() int { return len(b.bits) * 8 }
+
+// Added returns how many keys were inserted (duplicates counted).
+func (b *Bloom) Added() uint64 { return b.added }

@@ -1,0 +1,124 @@
+// Package synopsis implements the bounded-memory approximate summaries that
+// 1st-generation stream systems used as operator state (§3.1 of the paper:
+// "summary", "synopsis", "sketch"): Count-Min sketches, Bloom filters,
+// HyperLogLog cardinality estimators, reservoir samples, and exponential
+// histograms for sliding-window counts. Experiment E9 compares them against
+// exact state on memory and accuracy.
+package synopsis
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// CountMin is a Count-Min sketch: a frequency summary answering point queries
+// with additive error at most ε·N with probability 1-δ, using
+// width=ceil(e/ε) × depth=ceil(ln 1/δ) counters.
+type CountMin struct {
+	width  int
+	depth  int
+	counts [][]uint64
+	seeds  []uint64
+	total  uint64
+}
+
+// NewCountMin returns a sketch with the given error bound ε and failure
+// probability δ.
+func NewCountMin(epsilon, delta float64) (*CountMin, error) {
+	if epsilon <= 0 || epsilon >= 1 {
+		return nil, fmt.Errorf("synopsis: epsilon must be in (0,1), got %v", epsilon)
+	}
+	if delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("synopsis: delta must be in (0,1), got %v", delta)
+	}
+	width := int(math.Ceil(math.E / epsilon))
+	depth := int(math.Ceil(math.Log(1 / delta)))
+	return NewCountMinWithSize(width, depth), nil
+}
+
+// NewCountMinWithSize returns a sketch with explicit dimensions.
+func NewCountMinWithSize(width, depth int) *CountMin {
+	if width < 1 {
+		width = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	cm := &CountMin{
+		width:  width,
+		depth:  depth,
+		counts: make([][]uint64, depth),
+		seeds:  make([]uint64, depth),
+	}
+	for i := range cm.counts {
+		cm.counts[i] = make([]uint64, width)
+		cm.seeds[i] = uint64(i)*0x9e3779b97f4a7c15 + 0x1234567890abcdef
+	}
+	return cm
+}
+
+func hash64(s string, seed uint64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], seed)
+	h.Write(b[:])
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is a splitmix64-style finalizer. FNV's high bits avalanche poorly for
+// short keys, which would skew any consumer that indexes by high bits (the
+// HyperLogLog register index in particular); the finalizer spreads entropy
+// across the whole word.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add increments the count of key by n.
+func (cm *CountMin) Add(key string, n uint64) {
+	for i := 0; i < cm.depth; i++ {
+		idx := hash64(key, cm.seeds[i]) % uint64(cm.width)
+		cm.counts[i][idx] += n
+	}
+	cm.total += n
+}
+
+// Estimate returns an upper-bounded estimate of key's count.
+func (cm *CountMin) Estimate(key string) uint64 {
+	min := uint64(math.MaxUint64)
+	for i := 0; i < cm.depth; i++ {
+		idx := hash64(key, cm.seeds[i]) % uint64(cm.width)
+		if c := cm.counts[i][idx]; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Total returns the total weight added.
+func (cm *CountMin) Total() uint64 { return cm.total }
+
+// Bytes returns the approximate memory footprint of the sketch in bytes.
+func (cm *CountMin) Bytes() int { return cm.width * cm.depth * 8 }
+
+// Merge adds another sketch with identical dimensions into this one.
+func (cm *CountMin) Merge(other *CountMin) error {
+	if cm.width != other.width || cm.depth != other.depth {
+		return fmt.Errorf("synopsis: cannot merge sketches of different sizes (%dx%d vs %dx%d)",
+			cm.width, cm.depth, other.width, other.depth)
+	}
+	for i := range cm.counts {
+		for j := range cm.counts[i] {
+			cm.counts[i][j] += other.counts[i][j]
+		}
+	}
+	cm.total += other.total
+	return nil
+}

@@ -1,0 +1,107 @@
+package synopsis
+
+import "fmt"
+
+// ExpHistogram is an exponential histogram (Datar-Gionis-Indyk-Motwani) that
+// approximates the count of 1s in a sliding time window of width W using
+// O(1/ε · log²W) space, with relative error at most ε. It is the classic
+// synopsis for sliding-window aggregation under bounded memory (§3.1).
+type ExpHistogram struct {
+	window int64 // window width in time units
+	k      int   // buckets per size class = ceil(1/eps); error <= 1/(k+1)
+	// buckets ordered from newest to oldest; each bucket covers `size` ones
+	// with the latest at time `ts`.
+	buckets []ehBucket
+	total   int64 // sum of bucket sizes currently held
+	last    int64 // timestamp of latest event, for expiry
+}
+
+type ehBucket struct {
+	ts   int64
+	size int64
+}
+
+// NewExpHistogram returns a histogram for the given window width and relative
+// error bound ε.
+func NewExpHistogram(window int64, epsilon float64) (*ExpHistogram, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("synopsis: window must be positive, got %d", window)
+	}
+	if epsilon <= 0 || epsilon >= 1 {
+		return nil, fmt.Errorf("synopsis: epsilon must be in (0,1), got %v", epsilon)
+	}
+	k := int(1/epsilon + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	return &ExpHistogram{window: window, k: k}, nil
+}
+
+// Add records a 1-valued event at the given (non-decreasing) timestamp.
+func (e *ExpHistogram) Add(ts int64) {
+	e.last = ts
+	e.expire(ts)
+	e.buckets = append([]ehBucket{{ts: ts, size: 1}}, e.buckets...)
+	e.total++
+	e.merge()
+}
+
+// expire drops buckets whose latest timestamp falls outside the window.
+func (e *ExpHistogram) expire(now int64) {
+	cut := now - e.window
+	for len(e.buckets) > 0 {
+		oldest := e.buckets[len(e.buckets)-1]
+		if oldest.ts > cut {
+			break
+		}
+		e.buckets = e.buckets[:len(e.buckets)-1]
+		e.total -= oldest.size
+	}
+}
+
+// merge enforces the invariant of at most k+1 buckets per size class by
+// merging the two oldest buckets of an overfull class.
+func (e *ExpHistogram) merge() {
+	for {
+		merged := false
+		count := 0
+		size := int64(1)
+		for i := 0; i < len(e.buckets); i++ {
+			if e.buckets[i].size == size {
+				count++
+				if count > e.k+1 {
+					// Merge this bucket with the previous same-size bucket
+					// (the older of the pair keeps the newer timestamp of the
+					// two — conservative for expiry).
+					j := i - 1
+					e.buckets[i].size *= 2
+					e.buckets[i].ts = e.buckets[j].ts
+					e.buckets = append(e.buckets[:j], e.buckets[j+1:]...)
+					merged = true
+					break
+				}
+			} else if e.buckets[i].size > size {
+				size = e.buckets[i].size
+				count = 1
+			}
+		}
+		if !merged {
+			return
+		}
+	}
+}
+
+// Estimate returns the approximate count of events within the window ending
+// at the latest observed timestamp: all complete buckets plus half of the
+// oldest (partially expired) one.
+func (e *ExpHistogram) Estimate() int64 {
+	e.expire(e.last)
+	if len(e.buckets) == 0 {
+		return 0
+	}
+	oldest := e.buckets[len(e.buckets)-1].size
+	return e.total - oldest + (oldest+1)/2
+}
+
+// Buckets returns the number of buckets currently held (the space cost).
+func (e *ExpHistogram) Buckets() int { return len(e.buckets) }

@@ -1,0 +1,69 @@
+package synopsis
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// HyperLogLog estimates the number of distinct elements in a stream using
+// m = 2^precision one-byte registers, with standard error ~1.04/sqrt(m).
+type HyperLogLog struct {
+	precision uint8
+	registers []uint8
+}
+
+// NewHyperLogLog returns an estimator with the given precision (4..16).
+func NewHyperLogLog(precision uint8) (*HyperLogLog, error) {
+	if precision < 4 || precision > 16 {
+		return nil, fmt.Errorf("synopsis: precision must be in [4,16], got %d", precision)
+	}
+	return &HyperLogLog{precision: precision, registers: make([]uint8, 1<<precision)}, nil
+}
+
+// Add observes a key.
+func (h *HyperLogLog) Add(key string) {
+	x := hash64(key, 0x1b873593)
+	idx := x >> (64 - h.precision)
+	rest := x<<h.precision | 1<<(h.precision-1) // ensure non-zero
+	rank := uint8(bits.LeadingZeros64(rest)) + 1
+	if rank > h.registers[idx] {
+		h.registers[idx] = rank
+	}
+}
+
+// Estimate returns the estimated number of distinct keys added.
+func (h *HyperLogLog) Estimate() uint64 {
+	m := float64(len(h.registers))
+	var sum float64
+	zeros := 0
+	for _, r := range h.registers {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	alpha := 0.7213 / (1 + 1.079/m)
+	est := alpha * m * m / sum
+	// Small-range correction (linear counting).
+	if est <= 2.5*m && zeros > 0 {
+		est = m * math.Log(m/float64(zeros))
+	}
+	return uint64(est + 0.5)
+}
+
+// Merge folds another estimator with identical precision into this one.
+func (h *HyperLogLog) Merge(other *HyperLogLog) error {
+	if h.precision != other.precision {
+		return fmt.Errorf("synopsis: cannot merge HLLs with precision %d and %d", h.precision, other.precision)
+	}
+	for i, r := range other.registers {
+		if r > h.registers[i] {
+			h.registers[i] = r
+		}
+	}
+	return nil
+}
+
+// Bytes returns the memory footprint in bytes.
+func (h *HyperLogLog) Bytes() int { return len(h.registers) }

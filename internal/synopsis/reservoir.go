@@ -1,0 +1,42 @@
+package synopsis
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Reservoir maintains a uniform random sample of fixed size k over an
+// unbounded stream (Vitter's algorithm R).
+type Reservoir struct {
+	k      int
+	seen   int64
+	sample []any
+	rng    *rand.Rand
+}
+
+// NewReservoir returns a reservoir of capacity k using the given seed for
+// deterministic experiments.
+func NewReservoir(k int, seed int64) (*Reservoir, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("synopsis: reservoir size must be positive, got %d", k)
+	}
+	return &Reservoir{k: k, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Add offers an element to the sample.
+func (r *Reservoir) Add(v any) {
+	r.seen++
+	if len(r.sample) < r.k {
+		r.sample = append(r.sample, v)
+		return
+	}
+	if j := r.rng.Int63n(r.seen); j < int64(r.k) {
+		r.sample[j] = v
+	}
+}
+
+// Sample returns the current sample (shared slice; do not mutate).
+func (r *Reservoir) Sample() []any { return r.sample }
+
+// Seen returns how many elements were offered.
+func (r *Reservoir) Seen() int64 { return r.seen }

@@ -1,0 +1,258 @@
+package synopsis
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	cm, err := NewCountMin(0.01, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := map[string]uint64{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50000; i++ {
+		k := fmt.Sprintf("k%d", rng.Intn(1000))
+		cm.Add(k, 1)
+		exact[k]++
+	}
+	for k, want := range exact {
+		if got := cm.Estimate(k); got < want {
+			t.Fatalf("CMS underestimated %q: %d < %d", k, got, want)
+		}
+	}
+}
+
+func TestCountMinErrorBound(t *testing.T) {
+	// With ε=0.001 over N=100k adds, overestimation should be <= εN = 100
+	// for the vast majority of keys (bound holds w.p. 1-δ per query).
+	cm, err := NewCountMin(0.001, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := map[string]uint64{}
+	rng := rand.New(rand.NewSource(5))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("k%d", int(math.Abs(rng.NormFloat64()*200)))
+		cm.Add(k, 1)
+		exact[k]++
+	}
+	violations := 0
+	for k, want := range exact {
+		if cm.Estimate(k) > want+uint64(0.001*float64(n)*2) {
+			violations++
+		}
+	}
+	if violations > len(exact)/100 {
+		t.Fatalf("too many error-bound violations: %d of %d", violations, len(exact))
+	}
+}
+
+func TestCountMinMerge(t *testing.T) {
+	a := NewCountMinWithSize(512, 4)
+	b := NewCountMinWithSize(512, 4)
+	a.Add("x", 5)
+	b.Add("x", 7)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Estimate("x"); got < 12 {
+		t.Fatalf("merged estimate: want >= 12, got %d", got)
+	}
+	c := NewCountMinWithSize(256, 4)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merging different sizes must fail")
+	}
+}
+
+func TestCountMinRejectsBadParams(t *testing.T) {
+	if _, err := NewCountMin(0, 0.1); err == nil {
+		t.Fatal("epsilon 0 accepted")
+	}
+	if _, err := NewCountMin(0.1, 1); err == nil {
+		t.Fatal("delta 1 accepted")
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	check := func(keys []string) bool {
+		b, err := NewBloom(len(keys)+1, 0.01)
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			b.Add(k)
+		}
+		for _, k := range keys {
+			if !b.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	b, err := NewBloom(10000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		b.Add(fmt.Sprintf("in-%d", i))
+	}
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if b.MayContain(fmt.Sprintf("out-%d", i)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.03 {
+		t.Fatalf("false positive rate too high: %v", rate)
+	}
+}
+
+func TestHyperLogLogAccuracy(t *testing.T) {
+	h, err := NewHyperLogLog(12) // ~1.6% standard error
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h.Add(fmt.Sprintf("item-%d", i))
+	}
+	est := float64(h.Estimate())
+	if est < n*0.93 || est > n*1.07 {
+		t.Fatalf("HLL estimate off: want ~%d, got %v", n, est)
+	}
+}
+
+func TestHyperLogLogSmallRange(t *testing.T) {
+	h, _ := NewHyperLogLog(10)
+	for i := 0; i < 10; i++ {
+		h.Add(fmt.Sprintf("x%d", i))
+	}
+	est := h.Estimate()
+	if est < 8 || est > 12 {
+		t.Fatalf("small-range correction failed: want ~10, got %d", est)
+	}
+}
+
+func TestHyperLogLogMerge(t *testing.T) {
+	a, _ := NewHyperLogLog(12)
+	b, _ := NewHyperLogLog(12)
+	for i := 0; i < 5000; i++ {
+		a.Add(fmt.Sprintf("a%d", i))
+		b.Add(fmt.Sprintf("b%d", i))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	est := float64(a.Estimate())
+	if est < 9000 || est > 11000 {
+		t.Fatalf("merged estimate: want ~10000, got %v", est)
+	}
+	c, _ := NewHyperLogLog(10)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merging different precisions must fail")
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Sample 100 of 10000 integers many times; the mean of sampled values
+	// should be close to the population mean.
+	const k, n = 100, 10000
+	var grand float64
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		r, err := NewReservoir(k, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			r.Add(float64(i))
+		}
+		if r.Seen() != n {
+			t.Fatalf("seen: want %d, got %d", n, r.Seen())
+		}
+		if len(r.Sample()) != k {
+			t.Fatalf("sample size: want %d, got %d", k, len(r.Sample()))
+		}
+		var sum float64
+		for _, v := range r.Sample() {
+			sum += v.(float64)
+		}
+		grand += sum / k
+	}
+	mean := grand / trials
+	if mean < 4500 || mean > 5500 {
+		t.Fatalf("reservoir not uniform: mean of sample means %v, want ~5000", mean)
+	}
+}
+
+func TestReservoirSmallStream(t *testing.T) {
+	r, _ := NewReservoir(10, 1)
+	r.Add(1)
+	r.Add(2)
+	if len(r.Sample()) != 2 {
+		t.Fatalf("stream smaller than k keeps everything, got %d", len(r.Sample()))
+	}
+}
+
+func TestExpHistogramApproximatesWindowCount(t *testing.T) {
+	eh, err := NewExpHistogram(1000, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One event per tick for 5000 ticks; the window of 1000 should hold
+	// ~1000 events within 10% error.
+	for ts := int64(0); ts < 5000; ts++ {
+		eh.Add(ts)
+	}
+	est := float64(eh.Estimate())
+	if est < 850 || est > 1150 {
+		t.Fatalf("exp histogram estimate: want ~1000, got %v", est)
+	}
+	// Space must be logarithmic, not linear, in window size.
+	if eh.Buckets() > 200 {
+		t.Fatalf("exp histogram using too many buckets: %d", eh.Buckets())
+	}
+}
+
+func TestExpHistogramEmptyAndExpiry(t *testing.T) {
+	eh, _ := NewExpHistogram(100, 0.1)
+	if eh.Estimate() != 0 {
+		t.Fatal("empty estimate should be 0")
+	}
+	eh.Add(0)
+	eh.Add(1000) // first event far outside window
+	if est := eh.Estimate(); est > 1 {
+		t.Fatalf("expired events still counted: %d", est)
+	}
+}
+
+func TestSynopsisParamValidation(t *testing.T) {
+	if _, err := NewBloom(0, 0.1); err == nil {
+		t.Fatal("bloom with 0 items accepted")
+	}
+	if _, err := NewHyperLogLog(3); err == nil {
+		t.Fatal("HLL precision 3 accepted")
+	}
+	if _, err := NewReservoir(0, 1); err == nil {
+		t.Fatal("reservoir size 0 accepted")
+	}
+	if _, err := NewExpHistogram(0, 0.1); err == nil {
+		t.Fatal("exp histogram window 0 accepted")
+	}
+	if _, err := NewExpHistogram(10, 2); err == nil {
+		t.Fatal("exp histogram epsilon 2 accepted")
+	}
+}

@@ -1,0 +1,45 @@
+package txn
+
+import (
+	"repro/internal/core"
+)
+
+// TxnFunc maps a stream event to a transaction: the keys it touches and the
+// body. Emitting happens through the returned events so side effects only
+// leave the operator when the transaction committed — exactly-once output
+// relative to the store.
+type TxnFunc func(e core.Event) (keys []string, body func(tx *Tx) ([]core.Event, error))
+
+// Operator attaches a transactional operator to a stream: every event runs
+// one serializable transaction against the shared store. Aborted
+// transactions emit nothing (their events count in Store.Aborts).
+func Operator(s *core.Stream, name string, store *Store, fn TxnFunc) *core.Stream {
+	fac := func() core.Operator {
+		return &txnOperator{store: store, fn: fn}
+	}
+	return s.Process(name, fac)
+}
+
+type txnOperator struct {
+	core.BaseOperator
+	store *Store
+	fn    TxnFunc
+}
+
+func (o *txnOperator) ProcessElement(e core.Event, ctx core.Context) error {
+	keys, body := o.fn(e)
+	var outs []core.Event
+	err := o.store.Execute(keys, func(tx *Tx) error {
+		var err error
+		outs, err = body(tx)
+		return err
+	})
+	if err != nil {
+		// Aborts are expected application behaviour, not operator failures.
+		return nil
+	}
+	for _, out := range outs {
+		ctx.Emit(out)
+	}
+	return nil
+}

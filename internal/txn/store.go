@@ -1,0 +1,199 @@
+// Package txn implements streaming transactions in the spirit of S-Store
+// (§4.2 "Transactions": "streaming systems lack transactional facilities ...
+// with the exception of S-Store, which provides ACID guarantees on shared
+// mutable state"). It provides:
+//
+//   - a partitioned key-value store with serializable transactions using
+//     ordered two-phase locking over pre-declared working sets (the
+//     H-Store/S-Store execution discipline),
+//   - transaction workflows spanning multiple steps with automatic
+//     compensation on abort (the coordination pattern Cloud applications
+//     need, §4.2), and
+//   - an engine operator that executes one transaction per stream event,
+//     giving dataflow pipelines ACID access to shared mutable state.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/state"
+)
+
+// ErrAborted is returned when a transaction aborts via Tx.Abort or a
+// callback error; all buffered writes are discarded.
+var ErrAborted = errors.New("txn: aborted")
+
+// Store is a partitioned, transactional key-value store. Keys hash to
+// partitions; transactions declare their key set upfront and lock the
+// involved partitions in a global order, making executions serializable and
+// deadlock-free.
+type Store struct {
+	parts []*partition
+	// Commits and Aborts count transaction outcomes.
+	Commits atomic.Int64
+	Aborts  atomic.Int64
+}
+
+type partition struct {
+	mu   sync.Mutex
+	data map[string]any
+}
+
+// NewStore creates a store with the given partition count.
+func NewStore(partitions int) *Store {
+	if partitions < 1 {
+		partitions = 1
+	}
+	s := &Store{parts: make([]*partition, partitions)}
+	for i := range s.parts {
+		s.parts[i] = &partition{data: make(map[string]any)}
+	}
+	return s
+}
+
+// NumPartitions returns the partition count.
+func (s *Store) NumPartitions() int { return len(s.parts) }
+
+func (s *Store) partFor(key string) int {
+	return state.KeyGroupFor(key, len(s.parts))
+}
+
+// Tx is an in-flight transaction handle. It is only valid inside Execute.
+type Tx struct {
+	store   *Store
+	allowed map[string]bool
+	writes  map[string]write
+	aborted error
+}
+
+type write struct {
+	v      any
+	delete bool
+}
+
+// Get reads a key within the transaction (observing its own writes).
+func (t *Tx) Get(key string) (any, bool, error) {
+	if !t.allowed[key] {
+		return nil, false, fmt.Errorf("txn: key %q not in declared working set", key)
+	}
+	if w, ok := t.writes[key]; ok {
+		if w.delete {
+			return nil, false, nil
+		}
+		return w.v, true, nil
+	}
+	p := t.store.parts[t.store.partFor(key)]
+	v, ok := p.data[key]
+	return v, ok, nil
+}
+
+// Set buffers a write; it becomes visible only on commit.
+func (t *Tx) Set(key string, v any) error {
+	if !t.allowed[key] {
+		return fmt.Errorf("txn: key %q not in declared working set", key)
+	}
+	t.writes[key] = write{v: v}
+	return nil
+}
+
+// Delete buffers a deletion.
+func (t *Tx) Delete(key string) error {
+	if !t.allowed[key] {
+		return fmt.Errorf("txn: key %q not in declared working set", key)
+	}
+	t.writes[key] = write{delete: true}
+	return nil
+}
+
+// Abort marks the transaction failed; Execute returns ErrAborted wrapping
+// the cause.
+func (t *Tx) Abort(cause error) {
+	if cause == nil {
+		cause = ErrAborted
+	}
+	t.aborted = cause
+}
+
+// Execute runs fn as a serializable transaction over the declared keys.
+// On success the buffered writes are applied atomically; on error or
+// Tx.Abort nothing is applied.
+func (s *Store) Execute(keys []string, fn func(tx *Tx) error) error {
+	// Lock the involved partitions in ascending order (global lock order ⇒
+	// no deadlock; holding all locks for the duration ⇒ serializable).
+	partSet := map[int]bool{}
+	allowed := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		partSet[s.partFor(k)] = true
+		allowed[k] = true
+	}
+	parts := make([]int, 0, len(partSet))
+	for p := range partSet {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+	for _, p := range parts {
+		s.parts[p].mu.Lock()
+	}
+	defer func() {
+		for i := len(parts) - 1; i >= 0; i-- {
+			s.parts[parts[i]].mu.Unlock()
+		}
+	}()
+
+	tx := &Tx{store: s, allowed: allowed, writes: map[string]write{}}
+	err := fn(tx)
+	if err == nil && tx.aborted != nil {
+		err = tx.aborted
+	}
+	if err != nil {
+		s.Aborts.Add(1)
+		if errors.Is(err, ErrAborted) {
+			return err
+		}
+		return fmt.Errorf("%w: %w", ErrAborted, err)
+	}
+	for k, w := range tx.writes {
+		p := s.parts[s.partFor(k)]
+		if w.delete {
+			delete(p.data, k)
+		} else {
+			p.data[k] = w.v
+		}
+	}
+	s.Commits.Add(1)
+	return nil
+}
+
+// Read returns a key's value outside any transaction (single-key reads are
+// trivially serializable).
+func (s *Store) Read(key string) (any, bool) {
+	p := s.parts[s.partFor(key)]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.data[key]
+	return v, ok
+}
+
+// Snapshot copies the full store contents (acquiring all partitions — a
+// consistent global snapshot).
+func (s *Store) Snapshot() map[string]any {
+	for _, p := range s.parts {
+		p.mu.Lock()
+	}
+	defer func() {
+		for i := len(s.parts) - 1; i >= 0; i-- {
+			s.parts[i].mu.Unlock()
+		}
+	}()
+	out := make(map[string]any)
+	for _, p := range s.parts {
+		for k, v := range p.data {
+			out[k] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+package txn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestCommitAppliesWrites(t *testing.T) {
+	s := NewStore(4)
+	err := s.Execute([]string{"a"}, func(tx *Tx) error {
+		return tx.Set("a", int64(1))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Read("a")
+	if !ok || v.(int64) != 1 {
+		t.Fatalf("committed write lost: %v %v", v, ok)
+	}
+	if s.Commits.Load() != 1 {
+		t.Fatalf("commit count: %d", s.Commits.Load())
+	}
+}
+
+func TestAbortDiscardsWrites(t *testing.T) {
+	s := NewStore(4)
+	s.Execute([]string{"a"}, func(tx *Tx) error { return tx.Set("a", int64(1)) })
+	err := s.Execute([]string{"a"}, func(tx *Tx) error {
+		if err := tx.Set("a", int64(99)); err != nil {
+			return err
+		}
+		tx.Abort(errors.New("changed my mind"))
+		return nil
+	})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("want ErrAborted, got %v", err)
+	}
+	v, _ := s.Read("a")
+	if v.(int64) != 1 {
+		t.Fatalf("aborted write applied: %v", v)
+	}
+	if s.Aborts.Load() != 1 {
+		t.Fatalf("abort count: %d", s.Aborts.Load())
+	}
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	s := NewStore(2)
+	err := s.Execute([]string{"x"}, func(tx *Tx) error {
+		tx.Set("x", int64(5))
+		v, ok, err := tx.Get("x")
+		if err != nil || !ok || v.(int64) != 5 {
+			return fmt.Errorf("own write invisible: %v %v %v", v, ok, err)
+		}
+		tx.Delete("x")
+		if _, ok, _ := tx.Get("x"); ok {
+			return fmt.Errorf("own delete invisible")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUndeclaredKeyRejected(t *testing.T) {
+	s := NewStore(2)
+	err := s.Execute([]string{"a"}, func(tx *Tx) error {
+		return tx.Set("b", 1)
+	})
+	if err == nil {
+		t.Fatal("write outside working set accepted")
+	}
+	if _, ok := s.Read("b"); ok {
+		t.Fatal("rejected write leaked")
+	}
+}
+
+// TestConcurrentTransfersPreserveTotal is the serializability property test:
+// concurrent conflicting transfers never create or destroy money.
+func TestConcurrentTransfersPreserveTotal(t *testing.T) {
+	s := NewStore(8)
+	const accounts = 20
+	const initial = int64(1000)
+	for i := 0; i < accounts; i++ {
+		k := fmt.Sprintf("acct%d", i)
+		s.Execute([]string{k}, func(tx *Tx) error { return tx.Set(k, initial) })
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				from := fmt.Sprintf("acct%d", rng.Intn(accounts))
+				to := fmt.Sprintf("acct%d", rng.Intn(accounts))
+				if from == to {
+					continue
+				}
+				amt := int64(rng.Intn(50))
+				s.Execute([]string{from, to}, func(tx *Tx) error {
+					fv, _, _ := tx.Get(from)
+					tv, _, _ := tx.Get(to)
+					fb, tb := fv.(int64), tv.(int64)
+					if fb < amt {
+						tx.Abort(nil)
+						return nil
+					}
+					tx.Set(from, fb-amt)
+					tx.Set(to, tb+amt)
+					return nil
+				})
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, v := range s.Snapshot() {
+		total += v.(int64)
+	}
+	if total != initial*accounts {
+		t.Fatalf("money not conserved: want %d, got %d", initial*accounts, total)
+	}
+	if s.Commits.Load() == 0 {
+		t.Fatal("no transaction committed")
+	}
+}
+
+func TestWorkflowCompensatesOnFailure(t *testing.T) {
+	s := NewStore(4)
+	s.Execute([]string{"stock"}, func(tx *Tx) error { return tx.Set("stock", int64(10)) })
+	s.Execute([]string{"balance"}, func(tx *Tx) error { return tx.Set("balance", int64(5)) })
+
+	w := Workflow{
+		Name: "checkout",
+		Steps: []Step{
+			{
+				Name: "reserve-stock",
+				Keys: []string{"stock"},
+				Do: func(tx *Tx) error {
+					v, _, _ := tx.Get("stock")
+					return tx.Set("stock", v.(int64)-1)
+				},
+				Compensate: func(tx *Tx) error {
+					v, _, _ := tx.Get("stock")
+					return tx.Set("stock", v.(int64)+1)
+				},
+			},
+			{
+				Name: "charge",
+				Keys: []string{"balance"},
+				Do: func(tx *Tx) error {
+					v, _, _ := tx.Get("balance")
+					if v.(int64) < 100 {
+						tx.Abort(errors.New("insufficient funds"))
+						return nil
+					}
+					return tx.Set("balance", v.(int64)-100)
+				},
+			},
+		},
+	}
+	res := w.Execute(s)
+	if res.Err == nil {
+		t.Fatal("workflow should fail at charge step")
+	}
+	if res.Completed != 1 || res.Compensated != 1 {
+		t.Fatalf("want 1 completed + 1 compensated, got %+v", res)
+	}
+	v, _ := s.Read("stock")
+	if v.(int64) != 10 {
+		t.Fatalf("stock not restored by compensation: %v", v)
+	}
+}
+
+func TestWorkflowFullSuccess(t *testing.T) {
+	s := NewStore(2)
+	s.Execute([]string{"a"}, func(tx *Tx) error { return tx.Set("a", int64(0)) })
+	w := Workflow{Name: "ok", Steps: []Step{
+		{Name: "s1", Keys: []string{"a"}, Do: func(tx *Tx) error {
+			v, _, _ := tx.Get("a")
+			return tx.Set("a", v.(int64)+1)
+		}},
+		{Name: "s2", Keys: []string{"a"}, Do: func(tx *Tx) error {
+			v, _, _ := tx.Get("a")
+			return tx.Set("a", v.(int64)+10)
+		}},
+	}}
+	res := w.Execute(s)
+	if res.Err != nil || res.Completed != 2 {
+		t.Fatalf("workflow failed: %+v", res)
+	}
+	v, _ := s.Read("a")
+	if v.(int64) != 11 {
+		t.Fatalf("workflow result wrong: %v", v)
+	}
+}
+
+func TestTxnOperatorInPipeline(t *testing.T) {
+	// Account debits flow through a transactional operator; events that
+	// would overdraw abort and emit nothing.
+	store := NewStore(4)
+	for i := 0; i < 3; i++ {
+		k := fmt.Sprintf("acct%d", i)
+		store.Execute([]string{k}, func(tx *Tx) error { return tx.Set(k, int64(100)) })
+	}
+
+	var events []core.Event
+	for i := 0; i < 30; i++ {
+		events = append(events, core.Event{
+			Key:       fmt.Sprintf("acct%d", i%3),
+			Timestamp: int64(i),
+			Value:     int64(15), // 10 debits of 15 per account; only 6 fit in 100
+		})
+	}
+
+	sink := core.NewCollectSink()
+	b := core.NewBuilder(core.Config{Name: "txn-pipe"})
+	s := b.Source("src", core.NewSliceSourceFactory(events))
+	Operator(s, "debit", store, func(e core.Event) ([]string, func(tx *Tx) ([]core.Event, error)) {
+		acct := e.Key
+		amt := e.Value.(int64)
+		return []string{acct}, func(tx *Tx) ([]core.Event, error) {
+			v, _, _ := tx.Get(acct)
+			bal := v.(int64)
+			if bal < amt {
+				return nil, errors.New("overdraft")
+			}
+			if err := tx.Set(acct, bal-amt); err != nil {
+				return nil, err
+			}
+			return []core.Event{{Key: acct, Timestamp: e.Timestamp, Value: bal - amt}}, nil
+		}
+	}).Sink("out", sink.Factory())
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := j.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each account: floor(100/15) = 6 successful debits.
+	if sink.Len() != 18 {
+		t.Fatalf("want 18 committed debits, got %d", sink.Len())
+	}
+	for i := 0; i < 3; i++ {
+		v, _ := store.Read(fmt.Sprintf("acct%d", i))
+		if v.(int64) != 10 {
+			t.Fatalf("acct%d final balance: want 10, got %v", i, v)
+		}
+	}
+	if store.Aborts.Load() != 12 {
+		t.Fatalf("want 12 aborted overdrafts, got %d", store.Aborts.Load())
+	}
+}

@@ -1,0 +1,62 @@
+package txn
+
+import (
+	"fmt"
+)
+
+// Step is one unit of a transaction workflow: a forward action and its
+// compensation. Each runs as its own store transaction over the declared
+// keys (saga-style; the paper's "transaction workflows that involve multiple
+// components and ... handling transaction abort cases and rollback actions
+// in an automated manner").
+type Step struct {
+	Name string
+	Keys []string
+	Do   func(tx *Tx) error
+	// Compensate undoes a completed Do when a later step aborts. Nil means
+	// the step needs no compensation.
+	Compensate func(tx *Tx) error
+}
+
+// Workflow is an ordered list of steps.
+type Workflow struct {
+	Name  string
+	Steps []Step
+}
+
+// WorkflowResult reports how a workflow execution ended.
+type WorkflowResult struct {
+	// Completed counts steps whose Do committed.
+	Completed int
+	// Compensated counts compensations run after a failure.
+	Compensated int
+	// Err is nil on full success, otherwise the causal failure.
+	Err error
+}
+
+// Execute runs the workflow against the store: steps run in order, each as a
+// serializable transaction; if step k fails, compensations for steps
+// k-1 .. 0 run in reverse order and the workflow reports failure.
+func (w Workflow) Execute(s *Store) WorkflowResult {
+	var res WorkflowResult
+	for i, st := range w.Steps {
+		if err := s.Execute(st.Keys, st.Do); err != nil {
+			res.Err = fmt.Errorf("txn: workflow %q step %q: %w", w.Name, st.Name, err)
+			// Roll back in reverse.
+			for j := i - 1; j >= 0; j-- {
+				c := w.Steps[j]
+				if c.Compensate == nil {
+					continue
+				}
+				if cerr := s.Execute(c.Keys, c.Compensate); cerr != nil {
+					res.Err = fmt.Errorf("%w; compensation %q also failed: %v", res.Err, c.Name, cerr)
+					return res
+				}
+				res.Compensated++
+			}
+			return res
+		}
+		res.Completed++
+	}
+	return res
+}

@@ -1,0 +1,119 @@
+package window
+
+import (
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+// Evictor removes elements from a window's buffer before it fires — the
+// third member of the assigner/trigger/evictor trio of 1st/2nd-generation
+// window semantics (e.g. "keep only the last N elements of the window").
+type Evictor interface {
+	// Evict returns the elements that remain, preserving order.
+	Evict(elements []core.Event) []core.Event
+}
+
+// CountEvictor keeps the most recent N elements of the window.
+type CountEvictor struct {
+	N int
+}
+
+// Evict implements Evictor.
+func (e CountEvictor) Evict(elements []core.Event) []core.Event {
+	if e.N <= 0 || len(elements) <= e.N {
+		return elements
+	}
+	return elements[len(elements)-e.N:]
+}
+
+// DeltaEvictor drops elements whose value (per extract) differs from the
+// newest element's value by more than Threshold — the classic delta-based
+// evictor.
+type DeltaEvictor struct {
+	Threshold float64
+	Extract   func(core.Event) float64
+}
+
+// Evict implements Evictor.
+func (e DeltaEvictor) Evict(elements []core.Event) []core.Event {
+	if len(elements) == 0 || e.Extract == nil {
+		return elements
+	}
+	newest := e.Extract(elements[len(elements)-1])
+	kept := elements[:0:0]
+	for _, el := range elements {
+		d := e.Extract(el) - newest
+		if d < 0 {
+			d = -d
+		}
+		if d <= e.Threshold {
+			kept = append(kept, el)
+		}
+	}
+	return kept
+}
+
+func init() {
+	state.RegisterType([]core.Event{})
+}
+
+// ApplyBuffered attaches a buffering window operator: unlike Apply (which
+// folds incrementally), it retains the window's raw elements so an Evictor
+// can inspect them before firing. fire receives the (evicted) contents in
+// arrival order.
+func ApplyBuffered(s *core.Stream, name string, a Assigner, evictor Evictor,
+	fire func(key string, w Window, elements []core.Event, emit func(core.Event))) *core.Stream {
+	fac := func() core.Operator {
+		return &bufferedOperator{assigner: a, evictor: evictor, fire: fire}
+	}
+	return s.Process(name, fac)
+}
+
+type bufferedOperator struct {
+	core.BaseOperator
+	assigner Assigner
+	evictor  Evictor
+	fire     func(key string, w Window, elements []core.Event, emit func(core.Event))
+}
+
+const bufState = "winbuf"
+
+func (o *bufferedOperator) ProcessElement(e core.Event, ctx core.Context) error {
+	wm := ctx.CurrentWatermark()
+	for _, w := range o.assigner.Assign(e.Timestamp) {
+		if w.End != maxInt64 && w.End <= wm {
+			continue // late: the buffered operator has no lateness allowance
+		}
+		st := ctx.State().Map(bufState)
+		k := winKey(w)
+		var buf []core.Event
+		if raw, ok := st.Get(k); ok {
+			buf = raw.([]core.Event)
+		} else {
+			ctx.RegisterEventTimeTimer(w.End)
+		}
+		st.Put(k, append(buf, e))
+	}
+	return nil
+}
+
+func (o *bufferedOperator) OnTimer(ts int64, ctx core.Context) error {
+	st := ctx.State().Map(bufState)
+	for _, k := range st.Keys() {
+		w, ok := parseWinKey(k)
+		if !ok || w.End != ts {
+			continue
+		}
+		raw, ok := st.Get(k)
+		if !ok {
+			continue
+		}
+		buf := raw.([]core.Event)
+		if o.evictor != nil {
+			buf = o.evictor.Evict(buf)
+		}
+		o.fire(ctx.Key(), w, buf, ctx.Emit)
+		st.Remove(k)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package window
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestCountEvictor(t *testing.T) {
+	els := []core.Event{{Timestamp: 1}, {Timestamp: 2}, {Timestamp: 3}}
+	got := CountEvictor{N: 2}.Evict(els)
+	if len(got) != 2 || got[0].Timestamp != 2 {
+		t.Fatalf("count evictor wrong: %v", got)
+	}
+	if len(CountEvictor{N: 0}.Evict(els)) != 3 {
+		t.Fatal("N=0 must keep everything")
+	}
+	if len(CountEvictor{N: 10}.Evict(els)) != 3 {
+		t.Fatal("N>len must keep everything")
+	}
+}
+
+func TestDeltaEvictor(t *testing.T) {
+	els := []core.Event{
+		{Value: 1.0}, {Value: 9.5}, {Value: 10.5}, {Value: 10.0},
+	}
+	got := DeltaEvictor{Threshold: 1.0, Extract: func(e core.Event) float64 { return e.Value.(float64) }}.Evict(els)
+	if len(got) != 3 {
+		t.Fatalf("delta evictor: want 3 kept (within 1.0 of newest=10.0), got %d", len(got))
+	}
+}
+
+func TestBufferedWindowWithEvictorInEngine(t *testing.T) {
+	// Tumbling 100ms windows of 10 events each; the evictor keeps the last
+	// 3, so each firing sees exactly 3 elements, in order.
+	var events []core.Event
+	for i := 0; i < 50; i++ {
+		events = append(events, core.Event{Key: "k", Timestamp: int64(i * 10), Value: float64(i)})
+	}
+	sink := core.NewCollectSink()
+	b := core.NewBuilder(core.Config{Name: "buffered", WatermarkInterval: 1})
+	s := b.Source("src", core.NewSliceSourceFactory(events), core.WithBoundedDisorder(0)).
+		KeyBy(func(e core.Event) string { return e.Key })
+	ApplyBuffered(s, "buf", NewTumbling(100), CountEvictor{N: 3},
+		func(key string, w Window, els []core.Event, emit func(core.Event)) {
+			emit(core.Event{Key: key, Timestamp: w.End - 1, Value: int64(len(els))})
+		}).Sink("out", sink.Factory())
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := j.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 5 {
+		t.Fatalf("want 5 windows, got %d", sink.Len())
+	}
+	for _, e := range sink.Events() {
+		if e.Value.(int64) != 3 {
+			t.Fatalf("evictor should leave 3 elements, got %v", e.Value)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package window
+
+import (
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+// sideEvent tags a joined element with its input side.
+type sideEvent struct {
+	Left bool
+	Orig core.Event
+}
+
+// joinEntry is one buffered element awaiting matches.
+type joinEntry struct {
+	TS    int64
+	Key   string
+	Value any
+}
+
+func init() {
+	state.RegisterType(sideEvent{})
+	state.RegisterType(joinEntry{})
+	state.RegisterType(core.Event{})
+}
+
+// IntervalJoin joins two streams on equal keys within an event-time bound:
+// a left element at time t matches right elements in [t-bound, t+bound]
+// (the streaming equi-join of the classic "windows, aggregates, joins"
+// triad). Both sides are buffered in managed keyed state and evicted by
+// watermark-driven timers, so the join is checkpointable and restorable
+// like any other operator.
+//
+// fn is invoked once per matched pair and may decline by returning false.
+func IntervalJoin(name string, left *core.Stream, leftKey core.KeySelector,
+	right *core.Stream, rightKey core.KeySelector, bound int64,
+	fn func(l, r core.Event) (core.Event, bool)) *core.Stream {
+
+	tag := func(isLeft bool) func(e core.Event) (core.Event, bool) {
+		return func(e core.Event) (core.Event, bool) {
+			return core.Event{Timestamp: e.Timestamp, Value: sideEvent{Left: isLeft, Orig: e}}, true
+		}
+	}
+	keyOf := func(e core.Event) string {
+		se := e.Value.(sideEvent)
+		if se.Left {
+			return leftKey(se.Orig)
+		}
+		return rightKey(se.Orig)
+	}
+	lt := left.Map(name+"-tagL", tag(true)).KeyBy(keyOf)
+	rt := right.Map(name+"-tagR", tag(false)).KeyBy(keyOf)
+
+	fac := func() core.Operator { return &intervalJoinOp{bound: bound, fn: fn} }
+	return lt.Union(rt).Process(name, fac, 0)
+}
+
+type intervalJoinOp struct {
+	core.BaseOperator
+	bound int64
+	fn    func(l, r core.Event) (core.Event, bool)
+}
+
+const (
+	leftBuf  = "join-left"
+	rightBuf = "join-right"
+)
+
+func (o *intervalJoinOp) ProcessElement(e core.Event, ctx core.Context) error {
+	se, ok := e.Value.(sideEvent)
+	if !ok {
+		return nil
+	}
+	mine, theirs := leftBuf, rightBuf
+	if !se.Left {
+		mine, theirs = rightBuf, leftBuf
+	}
+	orig := se.Orig
+	orig.Key = ctx.Key()
+
+	// Probe the opposite buffer.
+	for _, raw := range ctx.State().List(theirs).Get() {
+		other := raw.(joinEntry)
+		if other.TS < orig.Timestamp-o.bound || other.TS > orig.Timestamp+o.bound {
+			continue
+		}
+		otherEv := core.Event{Key: other.Key, Timestamp: other.TS, Value: other.Value}
+		var out core.Event
+		var emit bool
+		if se.Left {
+			out, emit = o.fn(orig, otherEv)
+		} else {
+			out, emit = o.fn(otherEv, orig)
+		}
+		if emit {
+			ctx.Emit(out)
+		}
+	}
+
+	// Buffer self and schedule eviction once no future element can match:
+	// the watermark must pass ts+bound.
+	ctx.State().List(mine).Append(joinEntry{TS: orig.Timestamp, Key: orig.Key, Value: orig.Value})
+	ctx.RegisterEventTimeTimer(orig.Timestamp + o.bound + 1)
+	return nil
+}
+
+// OnTimer evicts buffered entries that can no longer join.
+func (o *intervalJoinOp) OnTimer(ts int64, ctx core.Context) error {
+	wm := ctx.CurrentWatermark()
+	for _, buf := range []string{leftBuf, rightBuf} {
+		st := ctx.State().List(buf)
+		entries := st.Get()
+		kept := make([]any, 0, len(entries))
+		for _, raw := range entries {
+			if raw.(joinEntry).TS+o.bound >= wm {
+				kept = append(kept, raw)
+			}
+		}
+		if len(kept) == len(entries) {
+			continue
+		}
+		st.Clear()
+		for _, k := range kept {
+			st.Append(k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package window
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+type orderVal struct {
+	ID     string
+	Amount float64
+}
+
+type paymentVal struct {
+	OrderID string
+	OK      bool
+}
+
+func TestIntervalJoinMatchesWithinBound(t *testing.T) {
+	orders := []core.Event{
+		{Timestamp: 100, Value: orderVal{ID: "o1", Amount: 10}},
+		{Timestamp: 200, Value: orderVal{ID: "o2", Amount: 20}},
+		{Timestamp: 300, Value: orderVal{ID: "o3", Amount: 30}},
+	}
+	// Timestamp-ordered, as the 0-disorder watermark strategy demands.
+	payments := []core.Event{
+		{Timestamp: 150, Value: paymentVal{OrderID: "o1", OK: true}}, // within 100 of o1
+		{Timestamp: 320, Value: paymentVal{OrderID: "o3", OK: true}}, // within bound
+		{Timestamp: 340, Value: paymentVal{OrderID: "zz", OK: true}}, // unknown order
+		{Timestamp: 450, Value: paymentVal{OrderID: "o2", OK: true}}, // 250 after o2: too late
+	}
+
+	sink := core.NewCollectSink()
+	b := core.NewBuilder(core.Config{Name: "join", WatermarkInterval: 1})
+	lo := b.Source("orders", core.NewSliceSourceFactory(orders), core.WithBoundedDisorder(0))
+	rp := b.Source("payments", core.NewSliceSourceFactory(payments), core.WithBoundedDisorder(0))
+	IntervalJoin("pay-join", lo,
+		func(e core.Event) string { return e.Value.(orderVal).ID },
+		rp,
+		func(e core.Event) string { return e.Value.(paymentVal).OrderID },
+		100,
+		func(l, r core.Event) (core.Event, bool) {
+			return core.Event{
+				Key:       l.Value.(orderVal).ID,
+				Timestamp: r.Timestamp,
+				Value:     l.Value.(orderVal).Amount,
+			}, true
+		}).Sink("out", sink.Factory())
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := j.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[string]bool{}
+	for _, e := range sink.Events() {
+		got[e.Key] = true
+	}
+	if !got["o1"] || !got["o3"] {
+		t.Fatalf("expected joins for o1 and o3, got %v", got)
+	}
+	if got["o2"] {
+		t.Fatal("o2 joined outside the interval bound")
+	}
+	if sink.Len() != 2 {
+		t.Fatalf("want exactly 2 join results, got %d", sink.Len())
+	}
+}
+
+func TestIntervalJoinSymmetricArrivalOrder(t *testing.T) {
+	// The right element arriving first must still join when the left shows
+	// up within the bound (both sides buffer).
+	left := []core.Event{{Timestamp: 500, Value: orderVal{ID: "x", Amount: 1}}}
+	right := []core.Event{{Timestamp: 450, Value: paymentVal{OrderID: "x", OK: true}}}
+	sink := core.NewCollectSink()
+	b := core.NewBuilder(core.Config{Name: "join-sym", WatermarkInterval: 1})
+	lo := b.Source("l", core.NewSliceSourceFactory(left), core.WithBoundedDisorder(0))
+	rp := b.Source("r", core.NewSliceSourceFactory(right), core.WithBoundedDisorder(0))
+	IntervalJoin("j", lo,
+		func(e core.Event) string { return e.Value.(orderVal).ID },
+		rp,
+		func(e core.Event) string { return e.Value.(paymentVal).OrderID },
+		100,
+		func(l, r core.Event) (core.Event, bool) {
+			return core.Event{Key: "joined", Timestamp: l.Timestamp}, true
+		}).Sink("out", sink.Factory())
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := j.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 1 {
+		t.Fatalf("symmetric join failed: %d results", sink.Len())
+	}
+}
+
+func TestIntervalJoinManyToMany(t *testing.T) {
+	// Two left and two right elements of the same key, all within bound:
+	// 4 output pairs.
+	var left, right []core.Event
+	for i := 0; i < 2; i++ {
+		left = append(left, core.Event{Timestamp: int64(100 + i), Value: orderVal{ID: "k"}})
+		right = append(right, core.Event{Timestamp: int64(110 + i), Value: paymentVal{OrderID: "k"}})
+	}
+	sink := core.NewCollectSink()
+	b := core.NewBuilder(core.Config{Name: "join-mm", WatermarkInterval: 1})
+	lo := b.Source("l", core.NewSliceSourceFactory(left), core.WithBoundedDisorder(0))
+	rp := b.Source("r", core.NewSliceSourceFactory(right), core.WithBoundedDisorder(0))
+	IntervalJoin("j", lo,
+		func(e core.Event) string { return e.Value.(orderVal).ID },
+		rp,
+		func(e core.Event) string { return e.Value.(paymentVal).OrderID },
+		1000,
+		func(l, r core.Event) (core.Event, bool) {
+			return core.Event{Key: fmt.Sprintf("%d-%d", l.Timestamp, r.Timestamp)}, true
+		}).Sink("out", sink.Factory())
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := j.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 4 {
+		t.Fatalf("many-to-many: want 4 pairs, got %d", sink.Len())
+	}
+	// No duplicate pairs.
+	seen := map[string]bool{}
+	for _, e := range sink.Events() {
+		if seen[e.Key] {
+			t.Fatalf("duplicate join pair %s", e.Key)
+		}
+		seen[e.Key] = true
+	}
+}

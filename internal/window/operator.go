@@ -1,0 +1,231 @@
+package window
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Aggregate defines how window contents are accumulated and emitted.
+type Aggregate struct {
+	// Create returns an empty accumulator.
+	Create func() any
+	// Add folds one element into the accumulator.
+	Add func(acc any, e core.Event) any
+	// Merge combines two accumulators; required for session windows.
+	Merge func(a, b any) any
+	// Emit produces the result event for a closed (or late-updated) window.
+	Emit func(key string, w Window, acc any) core.Event
+}
+
+// FloatAggregate builds an Aggregate over float64 values using an AggFn and
+// a value extractor.
+func FloatAggregate(fn AggFn, get func(core.Event) float64) Aggregate {
+	return Aggregate{
+		Create: func() any { return fn.Identity },
+		Add:    func(acc any, e core.Event) any { return fn.Combine(acc.(float64), get(e)) },
+		Merge:  func(a, b any) any { return fn.Combine(a.(float64), b.(float64)) },
+		Emit: func(key string, w Window, acc any) core.Event {
+			return core.Event{Key: key, Timestamp: w.End - 1, Value: acc}
+		},
+	}
+}
+
+// CountAggregate counts elements per window.
+func CountAggregate() Aggregate {
+	return Aggregate{
+		Create: func() any { return int64(0) },
+		Add:    func(acc any, _ core.Event) any { return acc.(int64) + 1 },
+		Merge:  func(a, b any) any { return a.(int64) + b.(int64) },
+		Emit: func(key string, w Window, acc any) core.Event {
+			return core.Event{Key: key, Timestamp: w.End - 1, Value: acc}
+		},
+	}
+}
+
+// Option customises the window operator.
+type Option func(*operator)
+
+// WithAllowedLateness keeps window state for `late` ms past the watermark,
+// re-emitting updated results when late elements arrive (§2.2's second
+// strategy: ingest disorder and adjust computations in face of late data).
+func WithAllowedLateness(late int64) Option {
+	return func(o *operator) { o.lateness = late }
+}
+
+// WithLateCounter records dropped-late elements into the given counter.
+func WithLateCounter(c *metrics.Counter) Option {
+	return func(o *operator) { o.lateDrops = c }
+}
+
+// Apply attaches a window operator to a keyed stream.
+func Apply(s *core.Stream, name string, a Assigner, agg Aggregate, opts ...Option) *core.Stream {
+	fac := func() core.Operator {
+		op := &operator{assigner: a, agg: agg}
+		for _, o := range opts {
+			o(op)
+		}
+		return op
+	}
+	return s.Process(name, fac)
+}
+
+// operator is the engine window operator: accumulators live in managed keyed
+// state (namespaced by window), results fire on event-time timers, and late
+// data is handled per the allowed-lateness policy — so window state is
+// checkpointed, restored and rescaled like any other managed state.
+type operator struct {
+	core.BaseOperator
+	assigner  Assigner
+	agg       Aggregate
+	lateness  int64
+	lateDrops *metrics.Counter
+}
+
+const winState = "windows"
+
+func winKey(w Window) string {
+	return strconv.FormatInt(w.Start, 10) + "|" + strconv.FormatInt(w.End, 10)
+}
+
+func parseWinKey(s string) (Window, bool) {
+	i := strings.IndexByte(s, '|')
+	if i < 0 {
+		return Window{}, false
+	}
+	start, err1 := strconv.ParseInt(s[:i], 10, 64)
+	end, err2 := strconv.ParseInt(s[i+1:], 10, 64)
+	if err1 != nil || err2 != nil {
+		return Window{}, false
+	}
+	return Window{Start: start, End: end}, true
+}
+
+func (o *operator) ProcessElement(e core.Event, ctx core.Context) error {
+	wm := ctx.CurrentWatermark()
+	for _, w := range o.assigner.Assign(e.Timestamp) {
+		// Global windows (End == maxInt64) are never late and fire only on
+		// the final watermark; guard against End+lateness overflow.
+		global := w.End == maxInt64
+		if !global && w.End+o.lateness <= wm {
+			// Too late even for the lateness allowance: drop.
+			if o.lateDrops != nil {
+				o.lateDrops.Inc()
+			}
+			continue
+		}
+		if o.assigner.IsSession() {
+			if err := o.addSession(w, e, ctx); err != nil {
+				return err
+			}
+			continue
+		}
+		st := ctx.State().Map(winState)
+		k := winKey(w)
+		acc, ok := st.Get(k)
+		if !ok {
+			acc = o.agg.Create()
+			ctx.RegisterEventTimeTimer(w.End)
+			if o.lateness > 0 && !global {
+				ctx.RegisterEventTimeTimer(w.End + o.lateness)
+			}
+		}
+		acc = o.agg.Add(acc, e)
+		st.Put(k, acc)
+		if !global && w.End <= wm {
+			// Late but allowed: re-emit the updated result immediately.
+			ctx.Emit(o.agg.Emit(ctx.Key(), w, acc))
+		}
+	}
+	return nil
+}
+
+// addSession inserts an element into session state, merging every session
+// window of the key that the new element bridges.
+func (o *operator) addSession(w Window, e core.Event, ctx core.Context) error {
+	if o.agg.Merge == nil {
+		return fmt.Errorf("window: session windows require Aggregate.Merge")
+	}
+	st := ctx.State().Map(winState)
+	merged := w
+	acc := o.agg.Create()
+	for _, k := range st.Keys() {
+		old, ok := parseWinKey(k)
+		if !ok || !merged.Intersects(old) {
+			continue
+		}
+		v, _ := st.Get(k)
+		acc = o.agg.Merge(acc, v)
+		merged = merged.Cover(old)
+		st.Remove(k)
+		ctx.DeleteEventTimeTimer(old.End)
+	}
+	acc = o.agg.Add(acc, e)
+	st.Put(winKey(merged), acc)
+	ctx.RegisterEventTimeTimer(merged.End)
+	return nil
+}
+
+// OnTimer fires window results at End and purges state at End+lateness.
+func (o *operator) OnTimer(ts int64, ctx core.Context) error {
+	st := ctx.State().Map(winState)
+	for _, k := range st.Keys() {
+		w, ok := parseWinKey(k)
+		if !ok {
+			continue
+		}
+		if w.End == ts {
+			acc, ok := st.Get(k)
+			if !ok {
+				continue
+			}
+			ctx.Emit(o.agg.Emit(ctx.Key(), w, acc))
+			if o.lateness == 0 || w.End == maxInt64 {
+				st.Remove(k)
+			}
+		}
+		if o.lateness > 0 && w.End != maxInt64 && w.End+o.lateness == ts {
+			st.Remove(k)
+		}
+	}
+	return nil
+}
+
+// CountWindow emits an aggregate every n elements per key (count-based
+// tumbling window — the non-temporal window type of 1st-gen systems).
+func CountWindow(s *core.Stream, name string, n int64, agg Aggregate) *core.Stream {
+	fac := func() core.Operator { return &countWindow{n: n, agg: agg} }
+	return s.Process(name, fac)
+}
+
+type countWindow struct {
+	core.BaseOperator
+	n   int64
+	agg Aggregate
+}
+
+func (o *countWindow) ProcessElement(e core.Event, ctx core.Context) error {
+	accSt := ctx.State().Value("acc")
+	cntSt := ctx.State().Value("cnt")
+	acc, ok := accSt.Get()
+	if !ok {
+		acc = o.agg.Create()
+	}
+	acc = o.agg.Add(acc, e)
+	cnt := int64(1)
+	if c, ok := cntSt.Get(); ok {
+		cnt = c.(int64) + 1
+	}
+	if cnt >= o.n {
+		ctx.Emit(o.agg.Emit(ctx.Key(), Window{Start: 0, End: e.Timestamp + 1}, acc))
+		accSt.Clear()
+		cntSt.Clear()
+		return nil
+	}
+	accSt.Set(acc)
+	cntSt.Set(cnt)
+	return nil
+}

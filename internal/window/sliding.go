@@ -1,0 +1,277 @@
+package window
+
+import "math"
+
+// This file implements the three sliding-window aggregation strategies that
+// experiment E3 compares, reproducing the shape of the "No pane, no gain"
+// result: for a window of range R and slide S over a stream, per-result cost
+// is O(R) for naive re-evaluation, O(R/gcd(R,S)) for panes, and O(1)
+// amortized for the two-stacks incremental algorithm (which also supports
+// non-invertible functions like min/max).
+
+// AggFn is an associative aggregation over float64 with an identity element.
+type AggFn struct {
+	Name     string
+	Identity float64
+	Combine  func(a, b float64) float64
+}
+
+// Sum aggregates by addition.
+var Sum = AggFn{Name: "sum", Identity: 0, Combine: func(a, b float64) float64 { return a + b }}
+
+// Min aggregates by minimum (non-invertible: subtraction cannot undo it).
+var Min = AggFn{Name: "min", Identity: inf, Combine: func(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}}
+
+// Max aggregates by maximum.
+var Max = AggFn{Name: "max", Identity: -inf, Combine: func(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}}
+
+var inf = math.Inf(1)
+
+// SlidingAggregator consumes a timestamp-ordered stream and produces one
+// aggregate per slide over the trailing window of length Range.
+type SlidingAggregator interface {
+	// Add ingests an element with a non-decreasing timestamp. It returns the
+	// completed results (one per slide boundary crossed), each covering the
+	// half-open interval [end-Range, end).
+	Add(ts int64, v float64) []Result
+	// Name identifies the strategy for reports.
+	Name() string
+}
+
+// Result is one emitted window aggregate.
+type Result struct {
+	End   int64
+	Value float64
+}
+
+// --- Naive re-evaluation -----------------------------------------------
+
+// NaiveSliding buffers raw elements and recomputes the full aggregate per
+// emission — the strawman early systems started from.
+type NaiveSliding struct {
+	rng, slide int64
+	fn         AggFn
+	buf        []tsVal
+	nextEmit   int64
+	primed     bool
+}
+
+type tsVal struct {
+	ts int64
+	v  float64
+}
+
+// NewNaiveSliding returns a naive aggregator with the given range and slide.
+func NewNaiveSliding(rng, slide int64, fn AggFn) *NaiveSliding {
+	return &NaiveSliding{rng: rng, slide: slide, fn: fn}
+}
+
+// Name implements SlidingAggregator.
+func (n *NaiveSliding) Name() string { return "naive" }
+
+// Add implements SlidingAggregator.
+func (n *NaiveSliding) Add(ts int64, v float64) []Result {
+	if !n.primed {
+		n.nextEmit = floorDiv(ts, n.slide)*n.slide + n.slide
+		n.primed = true
+	}
+	var out []Result
+	for ts >= n.nextEmit {
+		out = append(out, Result{End: n.nextEmit, Value: n.eval(n.nextEmit)})
+		n.nextEmit += n.slide
+	}
+	n.buf = append(n.buf, tsVal{ts, v})
+	// Evict elements that can never contribute again.
+	cut := n.nextEmit - n.slide - n.rng
+	i := 0
+	for i < len(n.buf) && n.buf[i].ts <= cut {
+		i++
+	}
+	n.buf = n.buf[i:]
+	return out
+}
+
+func (n *NaiveSliding) eval(end int64) float64 {
+	acc := n.fn.Identity
+	for _, e := range n.buf {
+		if e.ts >= end-n.rng && e.ts < end {
+			acc = n.fn.Combine(acc, e.v)
+		}
+	}
+	return acc
+}
+
+// --- Pane-based partial aggregation -------------------------------------
+
+// PaneSliding partitions time into panes of gcd(range, slide), keeps one
+// partial aggregate per pane, and assembles each window from range/pane
+// partials — Li et al.'s "no pane, no gain" design.
+type PaneSliding struct {
+	rng, slide, pane int64
+	fn               AggFn
+	partials         map[int64]float64 // pane start -> partial
+	nextEmit         int64
+	primed           bool
+}
+
+// NewPaneSliding returns a pane-based aggregator.
+func NewPaneSliding(rng, slide int64, fn AggFn) *PaneSliding {
+	return &PaneSliding{
+		rng: rng, slide: slide, pane: gcd(rng, slide), fn: fn,
+		partials: make(map[int64]float64),
+	}
+}
+
+// Name implements SlidingAggregator.
+func (p *PaneSliding) Name() string { return "panes" }
+
+// Add implements SlidingAggregator.
+func (p *PaneSliding) Add(ts int64, v float64) []Result {
+	if !p.primed {
+		p.nextEmit = floorDiv(ts, p.slide)*p.slide + p.slide
+		p.primed = true
+	}
+	var out []Result
+	for ts >= p.nextEmit {
+		out = append(out, Result{End: p.nextEmit, Value: p.eval(p.nextEmit)})
+		// Evict panes wholly before the next window.
+		cut := p.nextEmit + p.slide - p.rng
+		for start := range p.partials {
+			if start+p.pane <= cut {
+				delete(p.partials, start)
+			}
+		}
+		p.nextEmit += p.slide
+	}
+	start := floorDiv(ts, p.pane) * p.pane
+	if cur, ok := p.partials[start]; ok {
+		p.partials[start] = p.fn.Combine(cur, v)
+	} else {
+		p.partials[start] = v
+	}
+	return out
+}
+
+func (p *PaneSliding) eval(end int64) float64 {
+	acc := p.fn.Identity
+	for start := end - p.rng; start < end; start += p.pane {
+		if v, ok := p.partials[start]; ok {
+			acc = p.fn.Combine(acc, v)
+		}
+	}
+	return acc
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// --- Two-stacks incremental aggregation ---------------------------------
+
+// TwoStacksSliding maintains the window in two stacks with running
+// aggregates, giving O(1) amortized insert/evict/query for any associative
+// function — including non-invertible ones (min/max), which neither
+// subtraction tricks nor panes-with-eviction can serve as cheaply.
+type TwoStacksSliding struct {
+	rng, slide int64
+	fn         AggFn
+	front      []stackEntry // evict side: agg is suffix aggregate
+	back       []stackEntry // insert side: agg is running aggregate
+	nextEmit   int64
+	primed     bool
+}
+
+type stackEntry struct {
+	ts  int64
+	v   float64
+	agg float64
+}
+
+// NewTwoStacksSliding returns a two-stacks aggregator.
+func NewTwoStacksSliding(rng, slide int64, fn AggFn) *TwoStacksSliding {
+	return &TwoStacksSliding{rng: rng, slide: slide, fn: fn}
+}
+
+// Name implements SlidingAggregator.
+func (t *TwoStacksSliding) Name() string { return "two-stacks" }
+
+// Add implements SlidingAggregator.
+func (t *TwoStacksSliding) Add(ts int64, v float64) []Result {
+	if !t.primed {
+		t.nextEmit = floorDiv(ts, t.slide)*t.slide + t.slide
+		t.primed = true
+	}
+	var out []Result
+	for ts >= t.nextEmit {
+		// Window is [end-rng, end): evict strictly-older elements only.
+		t.evictUpTo(t.nextEmit - t.rng - 1)
+		out = append(out, Result{End: t.nextEmit, Value: t.query()})
+		t.nextEmit += t.slide
+	}
+	// Push onto back with running aggregate.
+	agg := v
+	if len(t.back) > 0 {
+		agg = t.fn.Combine(t.back[len(t.back)-1].agg, v)
+	}
+	t.back = append(t.back, stackEntry{ts: ts, v: v, agg: agg})
+	return out
+}
+
+// evictUpTo removes all elements with ts <= bound.
+func (t *TwoStacksSliding) evictUpTo(bound int64) {
+	for {
+		if len(t.front) == 0 {
+			t.flip()
+			if len(t.front) == 0 {
+				return
+			}
+		}
+		if t.front[len(t.front)-1].ts > bound {
+			return
+		}
+		t.front = t.front[:len(t.front)-1]
+	}
+}
+
+// flip moves the back stack into the front stack with suffix aggregates —
+// the amortized-O(1) trick. Elements are pushed newest-first so the oldest
+// ends on top; each pushed entry's agg covers itself and everything newer in
+// the flipped batch, so after popping the k oldest, the new top's agg is
+// exactly the aggregate of what remains.
+func (t *TwoStacksSliding) flip() {
+	if len(t.back) == 0 {
+		return
+	}
+	t.front = t.front[:0]
+	acc := t.fn.Identity
+	for i := len(t.back) - 1; i >= 0; i-- {
+		acc = t.fn.Combine(t.back[i].v, acc)
+		t.front = append(t.front, stackEntry{ts: t.back[i].ts, v: t.back[i].v, agg: acc})
+	}
+	t.back = t.back[:0]
+}
+
+// query returns the aggregate of front ∪ back.
+func (t *TwoStacksSliding) query() float64 {
+	acc := t.fn.Identity
+	if len(t.front) > 0 {
+		acc = t.front[len(t.front)-1].agg
+	}
+	if len(t.back) > 0 {
+		acc = t.fn.Combine(acc, t.back[len(t.back)-1].agg)
+	}
+	return acc
+}
