@@ -20,6 +20,7 @@ import (
 	"repro/internal/lineage"
 	"repro/internal/load"
 	"repro/internal/ml"
+	"repro/internal/obsv"
 	"repro/internal/state"
 	"repro/internal/synopsis"
 	"repro/internal/txn"
@@ -461,4 +462,44 @@ func (c *benchCountOp) Close(ctx core.Context) error {
 		return true
 	})
 	return nil
+}
+
+// BenchmarkE14_ObservabilityOverhead measures the cost of the observability
+// layer on the E2-style keyed windowed pipeline: "off" is the baseline,
+// "markers" adds Instrument + latency markers every 64 records, and
+// "markers+tracer" additionally records spans. The acceptance bar is <5%
+// throughput loss with instrumentation enabled.
+func BenchmarkE14_ObservabilityOverhead(b *testing.B) {
+	run := func(b *testing.B, instrument, traced bool) {
+		events := 20_000
+		spec := gen.Spec{N: events, Keys: 128, IntervalMs: 2, Seed: 1}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink := core.NewCollectSink()
+			cfg := core.Config{Name: "bench-obs", ChannelCapacity: 1024}
+			if instrument {
+				cfg.Instrument = true
+				cfg.LatencyMarkerInterval = 64
+			}
+			if traced {
+				cfg.Tracer = obsv.NewTracer(obsv.DefaultTraceCapacity)
+			}
+			bd := core.NewBuilder(cfg)
+			s := bd.Source("src", gen.SourceFactory(spec), core.WithBoundedDisorder(0)).
+				KeyBy(func(e core.Event) string { return e.Key })
+			window.Apply(s, "win", window.NewTumbling(1_000), window.CountAggregate()).
+				Sink("out", sink.Factory())
+			j, err := bd.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := j.Run(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(events*b.N)/b.Elapsed().Seconds(), "events/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, false, false) })
+	b.Run("markers", func(b *testing.B) { run(b, true, false) })
+	b.Run("markers+tracer", func(b *testing.B) { run(b, true, true) })
 }

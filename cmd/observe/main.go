@@ -1,0 +1,116 @@
+// Command observe runs an instrumented demo pipeline and serves the
+// observability endpoints while it executes:
+//
+//	/metrics  Prometheus text format (throughput, latency, watermark lag,
+//	          queue depth, backpressure, checkpoint metrics)
+//	/jobs     topology + per-instance runtime state as JSON
+//	/traces   recent spans (checkpoints, barrier alignment, operator batches)
+//
+// The pipeline is generator -> keyed windowed count -> sink plus a CEP
+// pattern branch, with latency markers and periodic checkpoints enabled, so
+// every metric family the observability layer exports is live. Run with a
+// long -duration and point a browser or Prometheus scraper at the address.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cep"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/obsv"
+	"repro/internal/window"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9090", "introspection server address (host:port, port 0 picks a free one)")
+	n := flag.Int("n", 200_000, "number of generated transactions")
+	markerEvery := flag.Int("marker-every", 64, "inject a latency marker every N source records")
+	checkpointEvery := flag.Int("checkpoint-every", 10_000, "trigger a checkpoint every N source records")
+	duration := flag.Duration("duration", 0, "stop after this long (0 = run the workload to completion)")
+	dump := flag.Bool("dump", true, "fetch and print /metrics once the job finishes")
+	flag.Parse()
+
+	tracer := obsv.NewTracer(obsv.DefaultTraceCapacity)
+	b := core.NewBuilder(core.Config{
+		Name:                  "observe-demo",
+		Instrument:            true,
+		LatencyMarkerInterval: *markerEvery,
+		Tracer:                tracer,
+		SnapshotStore:         core.NewMemorySnapshotStore(),
+		CheckpointEvery:       *checkpointEvery,
+		ChannelCapacity:       64,
+	})
+
+	spec := gen.FraudSpec(*n, 50, 0.05, 7)
+	txns := b.Source("txns", gen.SourceFactory(spec), core.WithBoundedDisorder(0))
+	keyed := txns.KeyBy(func(e core.Event) string { return e.Value.(gen.Transaction).Card })
+
+	counts := core.NewCollectSink()
+	window.Apply(keyed, "win-1s", window.NewTumbling(1_000), window.CountAggregate()).
+		Sink("counts", counts.Factory())
+
+	small := func(e core.Event) bool { return e.Value.(gen.Transaction).Amount < 100 }
+	large := func(e core.Event) bool { return e.Value.(gen.Transaction).Amount >= 500 }
+	pattern := cep.Begin("p1", small).FollowedBy("hit", large).Within(60_000).MustBuild()
+	alerts := core.NewCollectSink()
+	cep.PatternStream(keyed, "fraud", pattern, func(card string, m cep.Match, emit func(core.Event)) {
+		emit(core.Event{Key: card, Timestamp: m.End, Value: "alert"})
+	}, cep.SkipPastLastEvent()).Sink("alerts", alerts.Factory())
+
+	job, err := b.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "build:", err)
+		os.Exit(1)
+	}
+	srv, err := job.ServeIntrospection(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("observability server on http://%s  (/metrics /jobs /traces)\n", srv.Addr())
+
+	ctx := context.Background()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+	start := time.Now()
+	if err := job.Run(ctx); err != nil && err != context.DeadlineExceeded {
+		fmt.Fprintln(os.Stderr, "run:", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("job finished in %v: %d window results, %d alerts, last checkpoint %d\n",
+		elapsed.Round(time.Millisecond), counts.Len(), alerts.Len(), job.LastCheckpoint())
+	lat := job.Metrics().Histogram("node.counts.latency_ns")
+	if lat.Count() > 0 {
+		fmt.Printf("end-to-end marker latency at sink: p50=%v p99=%v (%d markers)\n",
+			time.Duration(lat.Quantile(0.5)), time.Duration(lat.Quantile(0.99)), lat.Count())
+	}
+
+	if *dump {
+		// Scrape our own endpoint so the HTTP path is exercised end to end.
+		resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scrape:", err)
+			os.Exit(1)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scrape:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- /metrics (%d bytes) ---\n%s", len(body), body)
+	}
+}

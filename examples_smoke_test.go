@@ -67,4 +67,14 @@ func TestCommandsRun(t *testing.T) {
 			t.Fatalf("evolution output unexpected:\n%s", out)
 		}
 	})
+	t.Run("observe-tiny", func(t *testing.T) {
+		// The command self-scrapes /metrics at the end, so this exercises the
+		// introspection HTTP path end to end.
+		out := runGo(t, "run", "./cmd/observe", "-n", "5000", "-checkpoint-every", "1000", "-addr", "127.0.0.1:0")
+		for _, want := range []string{"observability server on http://", "job finished", "node_win_1s_in 5000", "checkpoint_completed"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("observe output missing %q:\n%s", want, out)
+			}
+		}
+	})
 }

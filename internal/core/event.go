@@ -38,6 +38,12 @@ const (
 	msgBarrier
 	// msgEOS signals that the sending channel is exhausted.
 	msgEOS
+	// msgLatencyMarker is a latency probe (§3.3 observability): injected at
+	// sources on a configurable interval, it rides the data channels through
+	// every operator, so the time it accumulates is exactly the queueing +
+	// processing latency a record experiences. Operators never see markers;
+	// each instance records the latency and forwards a fresh marker.
+	msgLatencyMarker
 )
 
 // message is the unit transported on inter-instance channels. channel is the
@@ -54,6 +60,25 @@ type message struct {
 	wm      int64
 	barrier barrierMark
 	drain   bool
+	// marker is only set on msgLatencyMarker messages; a pointer keeps the
+	// common message struct small on the record hot path.
+	marker *latencyMarker
+}
+
+// latencyMarker is the payload of a msgLatencyMarker. Receivers must treat a
+// marker as immutable — the same marker may fan out to several edges — and
+// forward a fresh one.
+type latencyMarker struct {
+	// origin is the wall-clock UnixNano at source injection; now-origin at an
+	// instance is the end-to-end latency from source to that operator.
+	origin int64
+	// hopped is the wall-clock UnixNano at the last forwarding hop; now-hopped
+	// is the single-hop (channel + queueing) latency.
+	hopped int64
+	// from names the node that forwarded the marker (per-edge attribution).
+	from string
+	// source identifies the originating source instance.
+	source string
 }
 
 // barrierMark carries checkpoint metadata with a barrier.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/eventtime"
+	"repro/internal/obsv"
 	"repro/internal/state"
 )
 
@@ -175,6 +176,21 @@ type Config struct {
 	WatermarkInterval int
 	// Clock is the processing-time clock. Default system clock.
 	Clock eventtime.Clock
+	// Instrument enables the observability layer (§3.3): queue-depth and
+	// watermark-lag gauges, blocked-send (backpressure) histograms, checkpoint
+	// timing metrics, and — when LatencyMarkerInterval is set — latency
+	// markers. Off by default; the disabled paths add no allocations and no
+	// timer reads to the record hot path.
+	Instrument bool
+	// LatencyMarkerInterval injects a latency marker every this many records
+	// per source instance when Instrument is set. Markers flow through every
+	// operator's channels and populate the per-operator latency_ns and
+	// per-edge hop_ns histograms. 0 disables markers.
+	LatencyMarkerInterval int
+	// Tracer records structured spans (operator batches, checkpoints, barrier
+	// alignment, source/instance lifecycles) into a ring buffer for the
+	// /traces endpoint. nil disables tracing.
+	Tracer *obsv.Tracer
 }
 
 func (c Config) withDefaults() Config {

@@ -7,9 +7,11 @@ import (
 	"log"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/eventtime"
 	"repro/internal/metrics"
+	"repro/internal/obsv"
 	"repro/internal/state"
 )
 
@@ -32,7 +34,10 @@ type Job struct {
 	inflight  *checkpointInflight
 	restoreCP int64 // checkpoint to restore from; <0 means fresh
 
-	started   atomic.Bool
+	started atomic.Bool
+	// physDone flips once buildPhysical has wired instances, publishing the
+	// instance slices to concurrent readers (the introspection server).
+	physDone  atomic.Bool
 	cancel    context.CancelFunc
 	drainDone chan struct{}
 
@@ -54,6 +59,9 @@ type checkpointInflight struct {
 	pending map[string]bool
 	bytes   int64
 	save    bool
+	// started and span time/trace the in-flight checkpoint (observability).
+	started time.Time
+	span    *obsv.Span
 	// waiters are closed when the checkpoint with the given ID completes.
 	waiters map[int64][]chan struct{}
 }
@@ -112,6 +120,10 @@ type sourceInstance struct {
 	gen        eventtime.WatermarkGenerator
 	restore    []byte
 	outCounter *metrics.Counter
+	// markerEvery injects a latency marker every N collected records
+	// (0 = markers off).
+	markerEvery int
+	tracer      *obsv.Tracer
 }
 
 // sourceCtx implements SourceContext.
@@ -195,6 +207,16 @@ func (c *sourceCtx) Collect(e Event) bool {
 			}
 		}
 	}
+	if me := c.si.markerEvery; me > 0 && c.count%me == 0 {
+		now := time.Now().UnixNano()
+		mk := &latencyMarker{origin: now, hopped: now, from: c.si.node.name, source: c.si.id}
+		for _, o := range c.si.outs {
+			if !o.sendMarker(c.runCtx, mk) {
+				c.stopped = true
+				return false
+			}
+		}
+	}
 	if n := c.si.job.cfg.CheckpointEvery; n > 0 && c.count%n == 0 {
 		c.si.job.requestCheckpoint(false)
 	}
@@ -232,6 +254,8 @@ func (s *sourceInstance) emitBarrier(ctx context.Context, b barrierMark) bool {
 // run executes the source to completion, then emits the final watermark and
 // EOS markers.
 func (s *sourceInstance) run(ctx context.Context) error {
+	lifeSpan := s.tracer.Begin("source.run", s.node.name, s.id)
+	defer lifeSpan.End()
 	if s.restore != nil {
 		snap, err := decodeInstanceSnapshot(s.restore)
 		if err != nil {
@@ -297,6 +321,10 @@ func (j *Job) buildPhysical() error {
 					barrierReq: make(chan barrierMark, 4),
 					src:        n.sourceFac(i, n.parallelism),
 					outCounter: j.outCounter(n.name),
+					tracer:     j.cfg.Tracer,
+				}
+				if j.cfg.Instrument {
+					si.markerEvery = j.cfg.LatencyMarkerInterval
 				}
 				if n.wmStrategy != nil {
 					si.gen = n.wmStrategy()
@@ -319,6 +347,15 @@ func (j *Job) buildPhysical() error {
 				timers:     newTimerService(),
 				inCounter:  j.inCounter(n.name),
 				outCounter: j.outCounter(n.name),
+				tracer:     j.cfg.Tracer,
+			}
+			if j.cfg.Instrument {
+				pfx := fmt.Sprintf("node.%s.%d.", n.name, i)
+				inst.queueDepth = j.metrics.Gauge(pfx + "queue_depth")
+				inst.wmGauge = j.metrics.Gauge(pfx + "watermark")
+				inst.wmLag = j.metrics.Gauge(pfx + "watermark_lag_ms")
+				inst.latency = j.metrics.Histogram("node." + n.name + ".latency_ns")
+				inst.alignNs = j.metrics.Histogram("node." + n.name + ".align_ns")
 			}
 			backend, err := j.cfg.BackendFactory(n.name, i)
 			if err != nil {
@@ -351,6 +388,9 @@ func (j *Job) buildPhysical() error {
 		upPar := e.from.parallelism
 		for ui := 0; ui < upPar; ui++ {
 			o := &outEdge{edge: e, numKeyGroups: j.cfg.NumKeyGroups}
+			if j.cfg.Instrument {
+				o.blocked = j.metrics.Histogram("edge." + e.from.name + "." + e.to.name + ".blocked_ns")
+			}
 			if e.kind == PartitionHash {
 				o.groupToTarget = groupMap(e.to.parallelism)
 			}
@@ -424,6 +464,7 @@ func (j *Job) Run(ctx context.Context) error {
 	if err := j.buildPhysical(); err != nil {
 		return err
 	}
+	j.physDone.Store(true)
 	if err := j.loadRestoreSnapshots(); err != nil {
 		return err
 	}
@@ -537,6 +578,15 @@ func (j *Job) initiateCheckpoint(ctx context.Context, req barrierMark) {
 	j.inflight.id = id
 	j.inflight.save = req.Savepoint
 	j.inflight.bytes = 0
+	if j.cfg.Instrument {
+		j.inflight.started = time.Now()
+	}
+	if j.cfg.Tracer != nil {
+		j.inflight.span = j.cfg.Tracer.Begin("checkpoint", "", j.cfg.Name).SetInt("checkpoint", id)
+		if req.Savepoint {
+			j.inflight.span.SetAttr("savepoint", "true")
+		}
+	}
 	j.inflight.pending = make(map[string]bool, len(j.instances)+len(j.sources))
 	for _, in := range j.instances {
 		j.inflight.pending[in.id] = true
@@ -582,7 +632,18 @@ func (j *Job) processAck(a ackMsg) {
 	j.inflight.active = false
 	waiters := j.inflight.waiters[meta.ID]
 	delete(j.inflight.waiters, meta.ID)
+	started := j.inflight.started
+	span := j.inflight.span
+	j.inflight.span = nil
 	j.inflight.mu.Unlock()
+	if j.cfg.Instrument {
+		j.metrics.Histogram("checkpoint.duration_ns").Observe(int64(time.Since(started)))
+		j.metrics.Gauge("checkpoint.last_id").Set(meta.ID)
+		j.metrics.Gauge("checkpoint.last_bytes").Set(meta.Bytes)
+		j.metrics.Counter("checkpoint.completed").Inc()
+	}
+	span.SetInt("bytes", meta.Bytes)
+	span.End()
 	if err := j.cfg.SnapshotStore.Complete(meta); err != nil {
 		j.logger.Printf("checkpoint %d: complete: %v", meta.ID, err)
 		return

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/eventtime"
 	"repro/internal/metrics"
+	"repro/internal/obsv"
 	"repro/internal/state"
 )
 
@@ -21,6 +23,11 @@ type outEdge struct {
 	groupToTarget []int
 	numKeyGroups  int
 	rr            int // round-robin cursor for rebalance edges
+	mrr           int // round-robin cursor for latency-marker forwarding
+	// blocked records how long sends on this edge stalled on a full channel —
+	// the backpressure signal (§3.3). nil when instrumentation is off, which
+	// keeps the hot send path free of clock reads.
+	blocked *metrics.Histogram
 }
 
 // sendRecord routes one record. Returns false if the job context ended.
@@ -30,21 +37,21 @@ func (o *outEdge) sendRecord(ctx context.Context, e Event) bool {
 		e.Key = o.edge.keySel(e)
 		g := state.KeyGroupFor(e.Key, o.numKeyGroups)
 		t := o.groupToTarget[g]
-		return send(ctx, o.targets[t], message{kind: msgRecord, channel: o.chIDs[t], event: e})
+		return o.send(ctx, o.targets[t], message{kind: msgRecord, channel: o.chIDs[t], event: e})
 	case PartitionBroadcast:
 		for t := range o.targets {
-			if !send(ctx, o.targets[t], message{kind: msgRecord, channel: o.chIDs[t], event: e}) {
+			if !o.send(ctx, o.targets[t], message{kind: msgRecord, channel: o.chIDs[t], event: e}) {
 				return false
 			}
 		}
 		return true
 	case PartitionForward:
 		// Exactly one target was wired for forward edges.
-		return send(ctx, o.targets[0], message{kind: msgRecord, channel: o.chIDs[0], event: e})
+		return o.send(ctx, o.targets[0], message{kind: msgRecord, channel: o.chIDs[0], event: e})
 	default: // PartitionRebalance
 		t := o.rr % len(o.targets)
 		o.rr++
-		return send(ctx, o.targets[t], message{kind: msgRecord, channel: o.chIDs[t], event: e})
+		return o.send(ctx, o.targets[t], message{kind: msgRecord, channel: o.chIDs[t], event: e})
 	}
 }
 
@@ -53,10 +60,38 @@ func (o *outEdge) sendRecord(ctx context.Context, e Event) bool {
 func (o *outEdge) broadcastCtl(ctx context.Context, m message) bool {
 	for t := range o.targets {
 		m.channel = o.chIDs[t]
-		if !send(ctx, o.targets[t], m) {
+		if !o.send(ctx, o.targets[t], m) {
 			return false
 		}
 	}
+	return true
+}
+
+// sendMarker forwards a latency marker to exactly one downstream instance
+// (rotating), so marker volume stays proportional to the graph, not to the
+// parallelism, while every channel is still sampled over time.
+func (o *outEdge) sendMarker(ctx context.Context, mk *latencyMarker) bool {
+	t := o.mrr % len(o.targets)
+	o.mrr++
+	return o.send(ctx, o.targets[t], message{kind: msgLatencyMarker, channel: o.chIDs[t], marker: mk})
+}
+
+// send delivers one message, measuring time blocked on a full channel when
+// the edge is instrumented.
+func (o *outEdge) send(ctx context.Context, ch chan message, m message) bool {
+	if o.blocked == nil {
+		return send(ctx, ch, m)
+	}
+	select {
+	case ch <- m:
+		return true
+	default:
+	}
+	start := time.Now()
+	if !send(ctx, ch, m) {
+		return false
+	}
+	o.blocked.Observe(int64(time.Since(start)))
 	return true
 }
 
@@ -85,6 +120,19 @@ type instance struct {
 	restore    []byte // instance snapshot to restore, nil if fresh start
 	inCounter  *metrics.Counter
 	outCounter *metrics.Counter
+
+	// Observability plumbing (nil / zero when Config.Instrument is off, so
+	// the hot paths stay branch-and-done).
+	queueDepth *metrics.Gauge     // node.<n>.<i>.queue_depth
+	wmGauge    *metrics.Gauge     // node.<n>.<i>.watermark
+	wmLag      *metrics.Gauge     // node.<n>.<i>.watermark_lag_ms
+	latency    *metrics.Histogram // node.<n>.latency_ns (marker end-to-end)
+	alignNs    *metrics.Histogram // node.<n>.align_ns (barrier alignment)
+	alignStart time.Time
+	tracer     *obsv.Tracer
+	batchSpan  *obsv.Span // open operator.process span, record-batch scoped
+	batchSize  int64
+	alignSpan  *obsv.Span
 
 	// Barrier alignment state.
 	pendingBarrier  *barrierMark
@@ -157,12 +205,20 @@ func (in *instance) run(ctx context.Context) error {
 	if err := in.op.Open(octx); err != nil {
 		return fmt.Errorf("%s: open: %w", in.id, err)
 	}
+	lifeSpan := in.tracer.Begin("instance.run", in.node.name, in.id)
+	defer func() {
+		in.closeBatchSpan()
+		lifeSpan.End()
+	}()
 
 	for {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
 		case m := <-in.inbox:
+			if in.queueDepth != nil {
+				in.queueDepth.Set(int64(len(in.inbox)))
+			}
 			done, err := in.handle(ctx, octx, m)
 			if err != nil {
 				return fmt.Errorf("%s: %w", in.id, err)
@@ -190,21 +246,69 @@ func (in *instance) handle(ctx context.Context, octx *opContext, m message) (boo
 		return false, in.processRecord(octx, m.event)
 
 	case msgWatermark:
+		in.closeBatchSpan()
 		return false, in.advanceWatermark(ctx, octx, m.channel, m.wm)
 
 	case msgBarrier:
+		in.closeBatchSpan()
 		return false, in.handleBarrier(ctx, octx, m.channel, m.barrier)
 
 	case msgEOS:
+		in.closeBatchSpan()
 		return in.handleEOS(ctx, octx, m.channel, m.drain)
+
+	case msgLatencyMarker:
+		return false, in.handleMarker(ctx, m.marker)
 	}
 	return false, nil
+}
+
+// handleMarker records the latency a marker accumulated and forwards a fresh
+// marker downstream. Markers are invisible to operators, so they can never
+// perturb window, CEP or user state.
+func (in *instance) handleMarker(ctx context.Context, mk *latencyMarker) error {
+	now := time.Now().UnixNano()
+	if in.latency != nil {
+		in.latency.Observe(now - mk.origin)
+		in.job.metrics.Histogram("edge." + mk.from + "." + in.node.name + ".hop_ns").
+			Observe(now - mk.hopped)
+	}
+	if len(in.outs) == 0 {
+		return nil
+	}
+	fwd := &latencyMarker{origin: mk.origin, hopped: now, from: in.node.name, source: mk.source}
+	for _, o := range in.outs {
+		if !o.sendMarker(ctx, fwd) {
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// closeBatchSpan ends the open record-batch span, stamping how many records
+// it covered. Batches are delimited by control messages (watermarks,
+// barriers, EOS), so span volume is bounded by control frequency, not record
+// rate.
+func (in *instance) closeBatchSpan() {
+	if in.batchSpan == nil {
+		return
+	}
+	in.batchSpan.SetInt("records", in.batchSize)
+	in.batchSpan.End()
+	in.batchSpan = nil
+	in.batchSize = 0
 }
 
 func (in *instance) processRecord(octx *opContext, e Event) error {
 	octx.currentKey = e.Key
 	in.backend.SetCurrentKey(e.Key)
 	in.inCounter.Inc()
+	if in.tracer != nil {
+		if in.batchSpan == nil {
+			in.batchSpan = in.tracer.Begin("operator.process", in.node.name, in.id)
+		}
+		in.batchSize++
+	}
 	if err := in.op.ProcessElement(e, octx); err != nil {
 		return err
 	}
@@ -222,6 +326,10 @@ func (in *instance) advanceWatermark(ctx context.Context, octx *opContext, chann
 // emitWatermarkProgress fires due timers, notifies the operator, and forwards
 // the watermark downstream.
 func (in *instance) emitWatermarkProgress(ctx context.Context, octx *opContext, wm int64) error {
+	if in.wmGauge != nil && wm != eventtime.MaxWatermark {
+		in.wmGauge.Set(wm)
+		in.wmLag.Set(eventtime.Lag(in.job.cfg.Clock.Now(), wm))
+	}
 	for _, t := range in.timers.due(wm) {
 		octx.currentKey = t.Key
 		in.backend.SetCurrentKey(t.Key)
@@ -251,6 +359,13 @@ func (in *instance) handleBarrier(ctx context.Context, octx *opContext, channel 
 		pb := b
 		in.pendingBarrier = &pb
 		in.barrierCount = 0
+		if in.alignNs != nil {
+			in.alignStart = time.Now()
+		}
+		if in.tracer != nil {
+			in.alignSpan = in.tracer.Begin("barrier.align", in.node.name, in.id).
+				SetInt("checkpoint", b.ID)
+		}
 		for i := range in.barrierArrived {
 			in.barrierArrived[i] = in.channelFinished[i]
 			if in.barrierArrived[i] {
@@ -283,6 +398,14 @@ func (in *instance) handleBarrier(ctx context.Context, octx *opContext, channel 
 // stash.
 func (in *instance) completeBarrier(ctx context.Context, octx *opContext) error {
 	b := *in.pendingBarrier
+	if in.alignNs != nil {
+		in.alignNs.Observe(int64(time.Since(in.alignStart)))
+	}
+	if in.alignSpan != nil {
+		in.alignSpan.SetInt("stashed", int64(len(in.stash)))
+		in.alignSpan.End()
+		in.alignSpan = nil
+	}
 	if err := in.snapshotAndAck(b); err != nil {
 		return err
 	}
@@ -305,6 +428,12 @@ func (in *instance) completeBarrier(ctx context.Context, octx *opContext) error 
 }
 
 func (in *instance) snapshotAndAck(b barrierMark) error {
+	var start time.Time
+	instrumented := in.job.cfg.Instrument
+	if instrumented {
+		start = time.Now()
+	}
+	span := in.tracer.Begin("snapshot", in.node.name, in.id).SetInt("checkpoint", b.ID)
 	stateImg, err := in.backend.Snapshot()
 	if err != nil {
 		return fmt.Errorf("snapshot state: %w", err)
@@ -325,6 +454,13 @@ func (in *instance) snapshotAndAck(b barrierMark) error {
 	if err != nil {
 		return err
 	}
+	if instrumented {
+		reg := in.job.metrics
+		reg.Histogram("node." + in.node.name + ".snapshot_ns").Observe(int64(time.Since(start)))
+		reg.Histogram("node." + in.node.name + ".snapshot_bytes").Observe(int64(len(data)))
+	}
+	span.SetInt("bytes", int64(len(data)))
+	span.End()
 	return in.job.saveAndAck(b, in.id, data)
 }
 

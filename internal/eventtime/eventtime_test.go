@@ -230,3 +230,18 @@ func TestFrontierNegativePanics(t *testing.T) {
 	f := NewFrontier()
 	f.Add(Pointstamp{Node: 0, Time: 1}, -1)
 }
+
+func TestWatermarkLag(t *testing.T) {
+	if got := Lag(10_000, 9_400); got != 600 {
+		t.Fatalf("lag: want 600, got %d", got)
+	}
+	if got := Lag(10_000, 12_000); got != -2_000 {
+		t.Fatalf("ahead-of-clock lag: want -2000, got %d", got)
+	}
+	if got := Lag(10_000, MinWatermark); got != 0 {
+		t.Fatalf("MinWatermark lag: want 0, got %d", got)
+	}
+	if got := Lag(10_000, MaxWatermark); got != 0 {
+		t.Fatalf("MaxWatermark lag: want 0, got %d", got)
+	}
+}

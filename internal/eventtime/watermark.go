@@ -109,3 +109,17 @@ func (t *WatermarkTracker) Update(channel int, wm int64) (int64, bool) {
 
 // Current returns the combined watermark.
 func (t *WatermarkTracker) Current() int64 { return t.current }
+
+// Lag returns the event-time lag of a watermark relative to processing time:
+// nowMillis - wm, the "how far behind real time is this operator's progress"
+// signal monitoring systems chart. The sentinel values report 0 lag: before
+// any progress (MinWatermark) there is nothing to lag behind, and after the
+// stream ends (MaxWatermark) progress is complete. The result is negative
+// when event time runs ahead of the processing clock (replays of synthetic or
+// future-stamped data).
+func Lag(nowMillis, wm int64) int64 {
+	if wm == MinWatermark || wm == MaxWatermark {
+		return 0
+	}
+	return nowMillis - wm
+}

@@ -2,6 +2,9 @@ package load
 
 import (
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
 )
 
 // CreditController implements credit-based flow control, the mechanism behind
@@ -15,9 +18,10 @@ type CreditController struct {
 	credits int
 	max     int
 	closed  bool
-	// WaitCount counts how many sends had to block — the backpressure signal
-	// monitoring systems expose.
-	WaitCount int64
+	// waits counts how many sends had to block — the backpressure signal
+	// monitoring systems expose. Atomic so external readers (gauges, the
+	// introspection server) need no lock.
+	waits atomic.Int64
 }
 
 // NewCreditController returns a controller with the given buffer budget.
@@ -35,7 +39,7 @@ func (c *CreditController) Acquire() bool {
 	waited := false
 	for c.credits == 0 && !c.closed {
 		if !waited {
-			c.WaitCount++
+			c.waits.Add(1)
 			waited = true
 		}
 		c.cond.Wait()
@@ -73,6 +77,17 @@ func (c *CreditController) Available() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.credits
+}
+
+// WaitCount returns how many Acquire calls had to block for a credit.
+func (c *CreditController) WaitCount() int64 { return c.waits.Load() }
+
+// Instrument registers live gauges for this controller under the given name
+// prefix: <name>.credits (free buffer budget) and <name>.wait_count (blocked
+// sends, the backpressure signal).
+func (c *CreditController) Instrument(r *metrics.Registry, name string) {
+	r.GaugeFunc(name+".credits", func() int64 { return int64(c.Available()) })
+	r.GaugeFunc(name+".wait_count", c.WaitCount)
 }
 
 // Close releases all waiters.

@@ -3,6 +3,8 @@ package load
 import (
 	"sync"
 	"testing"
+
+	"repro/internal/metrics"
 )
 
 func TestRandomShedderApproximatesFraction(t *testing.T) {
@@ -72,19 +74,31 @@ func TestCreditControllerBlocksAndGrants(t *testing.T) {
 	}
 	done := make(chan bool)
 	go func() { done <- c.Acquire() }()
-	// Wait for the acquirer to actually block (WaitCount is set before the
+	// Wait for the acquirer to actually block (WaitCount is bumped before the
 	// goroutine parks), then grant a credit.
-	for {
-		c.mu.Lock()
-		waiting := c.WaitCount > 0
-		c.mu.Unlock()
-		if waiting {
-			break
-		}
+	for c.WaitCount() == 0 {
 	}
 	c.Grant()
 	if !<-done {
 		t.Fatal("blocked acquire failed after grant")
+	}
+	if c.WaitCount() != 1 {
+		t.Fatalf("wait count: want 1, got %d", c.WaitCount())
+	}
+}
+
+func TestCreditControllerInstrument(t *testing.T) {
+	c := NewCreditController(3)
+	r := metrics.NewRegistry()
+	c.Instrument(r, "net.edge0")
+	c.TryAcquire()
+	vals := map[string]int64{}
+	r.Each(metrics.Visitor{Gauge: func(name string, v int64) { vals[name] = v }})
+	if vals["net.edge0.credits"] != 2 {
+		t.Fatalf("credits gauge: want 2, got %d", vals["net.edge0.credits"])
+	}
+	if vals["net.edge0.wait_count"] != 0 {
+		t.Fatalf("wait_count gauge: want 0, got %d", vals["net.edge0.wait_count"])
 	}
 }
 

@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/bits"
 	"sort"
@@ -163,14 +164,75 @@ func (h *Histogram) Snapshot() string {
 		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
 }
 
-// Meter measures the rate of events over its lifetime.
+// HistogramBucket is one non-empty exponential bucket in an export snapshot.
+// UpperBound is the largest value the bucket admits (inclusive).
+type HistogramBucket struct {
+	UpperBound int64
+	Count      int64
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's distribution,
+// the exporter-facing view (Prometheus and friends need raw buckets, not the
+// human-readable Snapshot string).
+type HistogramSnapshot struct {
+	Count int64
+	Sum   int64
+	Min   int64
+	Max   int64
+	// Buckets lists the non-empty buckets in ascending bound order with
+	// per-bucket (non-cumulative) counts.
+	Buckets []HistogramBucket
+}
+
+// Export returns a consistent snapshot of the distribution.
+func (h *Histogram) Export() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Max: h.max}
+	if h.count > 0 {
+		s.Min = h.min
+	}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		ub := int64(math.MaxInt64)
+		if i < 62 {
+			ub = int64(1)<<uint(i+1) - 1
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{UpperBound: ub, Count: c})
+	}
+	return s
+}
+
+// meterTau is the EWMA time constant of Meter.Rate: observations older than a
+// few multiples of this window no longer influence the reported rate.
+const meterTau = 5 * time.Second
+
+// meterMinSample is the smallest interval over which an instantaneous rate is
+// computed; calls closer together than this reuse the previous estimate.
+const meterMinSample = 10 * time.Millisecond
+
+// Meter measures the rate of events: a windowed EWMA rate that tracks the
+// current throughput (Rate) and the average over the meter's whole lifetime
+// (LifetimeRate).
 type Meter struct {
 	count atomic.Int64
 	start time.Time
+
+	mu        sync.Mutex
+	lastCount int64
+	lastTime  time.Time
+	ewma      float64
+	primed    bool
+	now       func() time.Time // test hook
 }
 
 // NewMeter returns a meter whose rate window starts now.
-func NewMeter() *Meter { return &Meter{start: time.Now()} }
+func NewMeter() *Meter {
+	now := time.Now()
+	return &Meter{start: now, lastTime: now, now: time.Now}
+}
 
 // Mark records n events.
 func (m *Meter) Mark(n int64) { m.count.Add(n) }
@@ -178,13 +240,51 @@ func (m *Meter) Mark(n int64) { m.count.Add(n) }
 // Count returns the total events marked.
 func (m *Meter) Count() int64 { return m.count.Load() }
 
-// Rate returns events per second since the meter was created.
+// Rate returns the current events-per-second throughput as an exponentially
+// weighted moving average with a ~5 s window, so a live throughput collapse
+// is visible within seconds. Use LifetimeRate for the all-time average.
 func (m *Meter) Rate() float64 {
-	el := time.Since(m.start).Seconds()
+	n := m.count.Load()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.now()
+	el := t.Sub(m.lastTime)
+	if el < meterMinSample {
+		if !m.primed {
+			// Too early for a windowed sample; fall back to the lifetime
+			// average so a meter read immediately after marking is not zero.
+			return m.lifetimeRateLocked(n, t)
+		}
+		return m.ewma
+	}
+	inst := float64(n-m.lastCount) / el.Seconds()
+	if m.primed {
+		alpha := 1 - math.Exp(-el.Seconds()/meterTau.Seconds())
+		m.ewma += alpha * (inst - m.ewma)
+	} else {
+		m.ewma = inst
+		m.primed = true
+	}
+	m.lastCount = n
+	m.lastTime = t
+	return m.ewma
+}
+
+// LifetimeRate returns events per second averaged since the meter was
+// created.
+func (m *Meter) LifetimeRate() float64 {
+	n := m.count.Load()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lifetimeRateLocked(n, m.now())
+}
+
+func (m *Meter) lifetimeRateLocked(n int64, now time.Time) float64 {
+	el := now.Sub(m.start).Seconds()
 	if el <= 0 {
 		return 0
 	}
-	return float64(m.count.Load()) / el
+	return float64(n) / el
 }
 
 // Registry is a named collection of metrics. A Registry is safe for
@@ -194,6 +294,7 @@ type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() int64
 	histograms map[string]*Histogram
 	meters     map[string]*Meter
 }
@@ -203,6 +304,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]func() int64),
 		histograms: make(map[string]*Histogram),
 		meters:     make(map[string]*Meter),
 	}
@@ -256,23 +358,126 @@ func (r *Registry) Meter(name string) *Meter {
 	return m
 }
 
-// Dump renders every registered metric, sorted by name, one per line.
-func (r *Registry) Dump() string {
+// GaugeFunc registers a callback gauge: fn is invoked at read time, so live
+// values owned by other subsystems (queue lengths, credit counts) can be
+// exported without a polling loop. Registering an existing name replaces the
+// callback. fn must be safe for concurrent use and must not call back into
+// the registry.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var lines []string
+	r.gaugeFuncs[name] = fn
+}
+
+// Visitor receives every registered instrument from Each. Nil fields skip
+// that instrument kind. Gauge is invoked for both stored gauges and callback
+// gauges (GaugeFunc), unified to their current value.
+type Visitor struct {
+	Counter   func(name string, c *Counter)
+	Gauge     func(name string, value int64)
+	Histogram func(name string, h *Histogram)
+	Meter     func(name string, m *Meter)
+}
+
+// Each visits every registered metric in ascending name order per kind:
+// counters, gauges (stored and callback, interleaved by name), histograms,
+// meters. The registry lock is not held during visits, so visitors may block
+// or read other locks freely; instruments registered concurrently with an
+// Each call may or may not be visited.
+func (r *Registry) Each(v Visitor) {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
 	for n, c := range r.counters {
-		lines = append(lines, fmt.Sprintf("counter %s = %d", n, c.Value()))
+		counters[n] = c
 	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
 	for n, g := range r.gauges {
-		lines = append(lines, fmt.Sprintf("gauge %s = %d", n, g.Value()))
+		gauges[n] = g
 	}
+	gaugeFns := make(map[string]func() int64, len(r.gaugeFuncs))
+	for n, fn := range r.gaugeFuncs {
+		gaugeFns[n] = fn
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
 	for n, h := range r.histograms {
-		lines = append(lines, fmt.Sprintf("histogram %s: %s", n, h.Snapshot()))
+		histograms[n] = h
 	}
+	meters := make(map[string]*Meter, len(r.meters))
 	for n, m := range r.meters {
-		lines = append(lines, fmt.Sprintf("meter %s: count=%d rate=%.1f/s", n, m.Count(), m.Rate()))
+		meters[n] = m
 	}
+	r.mu.Unlock()
+
+	if v.Counter != nil {
+		for _, n := range sortedKeys(counters) {
+			v.Counter(n, counters[n])
+		}
+	}
+	if v.Gauge != nil {
+		names := sortedKeys(gauges)
+		for n := range gaugeFns {
+			if _, dup := gauges[n]; !dup {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if g, ok := gauges[n]; ok {
+				v.Gauge(n, g.Value())
+			} else {
+				v.Gauge(n, gaugeFns[n]())
+			}
+		}
+	}
+	if v.Histogram != nil {
+		for _, n := range sortedKeys(histograms) {
+			v.Histogram(n, histograms[n])
+		}
+	}
+	if v.Meter != nil {
+		for _, n := range sortedKeys(meters) {
+			v.Meter(n, meters[n])
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteTo renders every registered metric in the human-readable dump format,
+// sorted by name, one per line. Exporters that need a machine format should
+// use Each instead of parsing this output.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	var lines []string
+	r.Each(Visitor{
+		Counter: func(n string, c *Counter) {
+			lines = append(lines, fmt.Sprintf("counter %s = %d", n, c.Value()))
+		},
+		Gauge: func(n string, v int64) {
+			lines = append(lines, fmt.Sprintf("gauge %s = %d", n, v))
+		},
+		Histogram: func(n string, h *Histogram) {
+			lines = append(lines, fmt.Sprintf("histogram %s: %s", n, h.Snapshot()))
+		},
+		Meter: func(n string, m *Meter) {
+			lines = append(lines, fmt.Sprintf("meter %s: count=%d rate=%.1f/s lifetime=%.1f/s",
+				n, m.Count(), m.Rate(), m.LifetimeRate()))
+		},
+	})
 	sort.Strings(lines)
-	return strings.Join(lines, "\n")
+	n, err := io.WriteString(w, strings.Join(lines, "\n"))
+	return int64(n), err
+}
+
+// Dump renders every registered metric via WriteTo.
+func (r *Registry) Dump() string {
+	var b strings.Builder
+	r.WriteTo(&b)
+	return b.String()
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestCounterConcurrent(t *testing.T) {
@@ -119,5 +120,131 @@ func TestMeterRate(t *testing.T) {
 	}
 	if m.Rate() <= 0 {
 		t.Fatal("rate should be positive after marks")
+	}
+}
+
+// virtualMeter returns a meter on a manual clock plus the advance function.
+func virtualMeter() (*Meter, func(d time.Duration)) {
+	now := time.Unix(1000, 0)
+	m := NewMeter()
+	m.start = now
+	m.lastTime = now
+	m.now = func() time.Time { return now }
+	return m, func(d time.Duration) { now = now.Add(d) }
+}
+
+func TestMeterEWMATracksCurrentRate(t *testing.T) {
+	m, advance := virtualMeter()
+	// 1000 events/s for one second primes the EWMA at the instantaneous rate.
+	m.Mark(1000)
+	advance(time.Second)
+	if r := m.Rate(); r < 999 || r > 1001 {
+		t.Fatalf("primed rate: want ~1000, got %v", r)
+	}
+	// Throughput collapses to zero: the windowed rate must decay within a few
+	// time constants, while the lifetime rate stays high.
+	for i := 0; i < 12; i++ {
+		advance(5 * time.Second)
+		m.Rate()
+	}
+	if r := m.Rate(); r > 1 {
+		t.Fatalf("rate should have decayed toward 0 after idle minute, got %v", r)
+	}
+	if lr := m.LifetimeRate(); lr < 15 || lr > 17 {
+		t.Fatalf("lifetime rate: want ~16 (1000 events / 61s), got %v", lr)
+	}
+}
+
+func TestMeterRateBackToBackCallsStable(t *testing.T) {
+	m, advance := virtualMeter()
+	m.Mark(500)
+	advance(time.Second)
+	first := m.Rate()
+	// A second read within the minimum sample interval must not produce a
+	// bogus instantaneous spike from a tiny elapsed window.
+	if second := m.Rate(); second != first {
+		t.Fatalf("immediate re-read changed rate: %v -> %v", first, second)
+	}
+}
+
+func TestHistogramExport(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1)   // bucket 0, ub 1
+	h.Observe(100) // bucket 6, ub 127
+	h.Observe(100)
+	s := h.Export()
+	if s.Count != 3 || s.Sum != 201 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("export summary wrong: %+v", s)
+	}
+	if len(s.Buckets) != 2 {
+		t.Fatalf("want 2 non-empty buckets, got %+v", s.Buckets)
+	}
+	if s.Buckets[0].UpperBound != 1 || s.Buckets[0].Count != 1 {
+		t.Fatalf("bucket 0 wrong: %+v", s.Buckets[0])
+	}
+	if s.Buckets[1].UpperBound != 127 || s.Buckets[1].Count != 2 {
+		t.Fatalf("bucket 1 wrong: %+v", s.Buckets[1])
+	}
+}
+
+func TestRegistryEachAndWriteTo(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(2)
+	r.Gauge("g").Set(5)
+	r.GaugeFunc("gf", func() int64 { return 9 })
+	r.Histogram("h").Observe(3)
+	r.Meter("m").Mark(1)
+
+	var counters, gauges, hists, meters []string
+	gaugeVals := map[string]int64{}
+	r.Each(Visitor{
+		Counter:   func(n string, c *Counter) { counters = append(counters, n) },
+		Gauge:     func(n string, v int64) { gauges = append(gauges, n); gaugeVals[n] = v },
+		Histogram: func(n string, h *Histogram) { hists = append(hists, n) },
+		Meter:     func(n string, m *Meter) { meters = append(meters, n) },
+	})
+	if len(counters) != 1 || len(hists) != 1 || len(meters) != 1 {
+		t.Fatalf("each visited %v %v %v", counters, hists, meters)
+	}
+	if len(gauges) != 2 || gaugeVals["g"] != 5 || gaugeVals["gf"] != 9 {
+		t.Fatalf("gauges wrong: %v %v", gauges, gaugeVals)
+	}
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Dump renders via WriteTo; meter lines carry a live rate that may differ
+	// between two renders, so compare everything else.
+	stripMeters := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.HasPrefix(line, "meter ") {
+				keep = append(keep, line)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	if stripMeters(b.String()) != stripMeters(r.Dump()) {
+		t.Fatalf("Dump should render via WriteTo:\n%s\nvs\n%s", b.String(), r.Dump())
+	}
+	if !strings.Contains(b.String(), "gauge gf = 9") {
+		t.Fatalf("WriteTo missing callback gauge:\n%s", b.String())
+	}
+}
+
+func TestEachVisitorsRunUnlocked(t *testing.T) {
+	// A visitor reading the registry again must not deadlock.
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	done := make(chan struct{})
+	go func() {
+		r.Each(Visitor{Counter: func(n string, c *Counter) { r.Counter("a") }})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Each deadlocked while visitor touched the registry")
 	}
 }

@@ -1,0 +1,164 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestTracerRecordsSpans(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Begin("checkpoint", "", "job").SetInt("checkpoint", 3).SetAttr("savepoint", "true")
+	sp.End()
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("want 1 span, got %d", len(spans))
+	}
+	s := spans[0]
+	if s.Name != "checkpoint" || s.Instance != "job" {
+		t.Fatalf("span identity wrong: %+v", s)
+	}
+	if s.Attrs["checkpoint"] != "3" || s.Attrs["savepoint"] != "true" {
+		t.Fatalf("span attrs wrong: %v", s.Attrs)
+	}
+	if s.EndUnixNano < s.StartUnixNano || s.DurationNs < 0 {
+		t.Fatalf("span timing wrong: %+v", s)
+	}
+}
+
+func TestTracerRingEvictsOldest(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Begin("s", "", "").SetInt("i", int64(i)).End()
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring size: want 4, got %d", len(spans))
+	}
+	if got, want := spans[0].Attrs["i"], "6"; got != want {
+		t.Fatalf("oldest retained span: want i=%s, got i=%s", want, got)
+	}
+	if got, want := spans[3].Attrs["i"], "9"; got != want {
+		t.Fatalf("newest retained span: want i=%s, got i=%s", want, got)
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total: want 10, got %d", tr.Total())
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin("x", "", "")
+	sp.SetAttr("k", "v").SetInt("n", 1)
+	sp.End() // must not panic
+	if tr.Spans() != nil || tr.Total() != 0 {
+		t.Fatal("nil tracer should report nothing")
+	}
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var spans []Span
+	if err := json.Unmarshal([]byte(b.String()), &spans); err != nil {
+		t.Fatalf("nil tracer JSON invalid: %v", err)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Counter("node.win-5s.in").Add(42)
+	r.Gauge("node.win-5s.0.queue_depth").Set(7)
+	r.GaugeFunc("live.credits", func() int64 { return 3 })
+	h := r.Histogram("node.win-5s.latency_ns")
+	h.Observe(100)
+	h.Observe(100_000)
+	r.Meter("throughput").Mark(10)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE node_win_5s_in counter",
+		"node_win_5s_in 42",
+		"# TYPE node_win_5s_0_queue_depth gauge",
+		"node_win_5s_0_queue_depth 7",
+		"live_credits 3",
+		"# TYPE node_win_5s_latency_ns histogram",
+		`node_win_5s_latency_ns_bucket{le="+Inf"} 2`,
+		"node_win_5s_latency_ns_sum 100100",
+		"node_win_5s_latency_ns_count 2",
+		"throughput_total 10",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative and ascending.
+	if !strings.Contains(out, `node_win_5s_latency_ns_bucket{le="127"} 1`) {
+		t.Fatalf("expected cumulative bucket for 100 at le=127:\n%s", out)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Counter("node.map.in").Add(5)
+	tr := NewTracer(4)
+	tr.Begin("operator.process", "map", "map-0").End()
+	jobs := func() []JobInfo {
+		return []JobInfo{{
+			Name:  "demo",
+			Nodes: []NodeInfo{{Name: "src", Parallelism: 1, Source: true}, {Name: "map", Parallelism: 2, In: 5}},
+			Edges: []EdgeInfo{{From: "src", To: "map", Partition: "rebalance"}},
+		}}
+	}
+	srv := httptest.NewServer(NewServer(r, tr, jobs).Handler())
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %d\n%s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+
+	if out := get("/metrics"); !strings.Contains(out, "node_map_in 5") {
+		t.Fatalf("/metrics missing counter:\n%s", out)
+	}
+	var gotJobs []JobInfo
+	if err := json.Unmarshal([]byte(get("/jobs")), &gotJobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(gotJobs) != 1 || gotJobs[0].Name != "demo" || len(gotJobs[0].Nodes) != 2 {
+		t.Fatalf("/jobs unexpected: %+v", gotJobs)
+	}
+	var spans []Span
+	if err := json.Unmarshal([]byte(get("/traces")), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Operator != "map" {
+		t.Fatalf("/traces unexpected: %+v", spans)
+	}
+}
+
+func TestServerStartClose(t *testing.T) {
+	s := NewServer(metrics.NewRegistry(), nil, nil)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Addr() == "" {
+		t.Fatal("no bound address")
+	}
+}

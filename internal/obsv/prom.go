@@ -1,0 +1,81 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// WritePrometheus renders every metric in the registry in the Prometheus
+// text exposition format (version 0.0.4):
+//
+//   - counters   -> `# TYPE name counter` with a `name` sample
+//   - gauges     -> `# TYPE name gauge` (stored and callback gauges alike)
+//   - histograms -> `# TYPE name histogram` with cumulative `name_bucket`
+//     samples over the registry histogram's exponential bounds,
+//     plus `name_sum` and `name_count`
+//   - meters     -> `name_total` counter plus `name_rate` (EWMA) and
+//     `name_lifetime_rate` gauges
+//
+// Metric names are sanitised to the Prometheus grammar: every character
+// outside [a-zA-Z0-9_:] becomes '_' (so "node.win-5s.in" serves as
+// "node_win_5s_in").
+func WritePrometheus(w io.Writer, r *metrics.Registry) error {
+	var err error
+	emit := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	r.Each(metrics.Visitor{
+		Counter: func(name string, c *metrics.Counter) {
+			n := promName(name)
+			emit("# TYPE %s counter\n%s %d\n", n, n, c.Value())
+		},
+		Gauge: func(name string, v int64) {
+			n := promName(name)
+			emit("# TYPE %s gauge\n%s %d\n", n, n, v)
+		},
+		Histogram: func(name string, h *metrics.Histogram) {
+			n := promName(name)
+			snap := h.Export()
+			emit("# TYPE %s histogram\n", n)
+			cum := int64(0)
+			for _, b := range snap.Buckets {
+				cum += b.Count
+				emit("%s_bucket{le=\"%d\"} %d\n", n, b.UpperBound, cum)
+			}
+			emit("%s_bucket{le=\"+Inf\"} %d\n", n, snap.Count)
+			emit("%s_sum %d\n%s_count %d\n", n, snap.Sum, n, snap.Count)
+		},
+		Meter: func(name string, m *metrics.Meter) {
+			n := promName(name)
+			emit("# TYPE %s_total counter\n%s_total %d\n", n, n, m.Count())
+			emit("# TYPE %s_rate gauge\n%s_rate %g\n", n, n, m.Rate())
+			emit("# TYPE %s_lifetime_rate gauge\n%s_lifetime_rate %g\n", n, n, m.LifetimeRate())
+		},
+	})
+	return err
+}
+
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,144 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// JobInfo is the /jobs view of one job: the logical topology plus live
+// per-node and per-instance runtime signals. The engine fills it via
+// core.Job.Describe; obsv owns the shape so the server stays decoupled from
+// the engine.
+type JobInfo struct {
+	Name           string     `json:"name"`
+	LastCheckpoint int64      `json:"last_checkpoint"`
+	Nodes          []NodeInfo `json:"nodes"`
+	Edges          []EdgeInfo `json:"edges"`
+}
+
+// NodeInfo describes one logical graph vertex and its aggregate counters.
+type NodeInfo struct {
+	Name        string         `json:"name"`
+	Parallelism int            `json:"parallelism"`
+	Source      bool           `json:"source,omitempty"`
+	In          int64          `json:"in"`
+	Out         int64          `json:"out"`
+	Instances   []InstanceInfo `json:"instances,omitempty"`
+}
+
+// InstanceInfo carries per-instance live signals (zero values when the job
+// is not instrumented or not yet running).
+type InstanceInfo struct {
+	ID             string `json:"id"`
+	QueueDepth     int    `json:"queue_depth"`
+	QueueCapacity  int    `json:"queue_capacity"`
+	Watermark      int64  `json:"watermark"`
+	WatermarkLagMs int64  `json:"watermark_lag_ms"`
+}
+
+// EdgeInfo describes one logical graph connection.
+type EdgeInfo struct {
+	From      string `json:"from"`
+	To        string `json:"to"`
+	Partition string `json:"partition"`
+}
+
+// Server is the HTTP introspection endpoint: /metrics (Prometheus text
+// format), /jobs (topology + live counters as JSON) and /traces (recent
+// spans as JSON).
+type Server struct {
+	registry *metrics.Registry
+	tracer   *Tracer
+	jobs     func() []JobInfo
+
+	mu   sync.Mutex
+	ln   net.Listener
+	http *http.Server
+}
+
+// NewServer builds a server over the given sources. tracer may be nil
+// (/traces serves an empty list) and jobs may be nil (/jobs serves an empty
+// list).
+func NewServer(reg *metrics.Registry, tracer *Tracer, jobs func() []JobInfo) *Server {
+	return &Server{registry: reg, tracer: tracer, jobs: jobs}
+}
+
+// Handler returns the introspection routes; usable standalone for embedding
+// into an existing mux or httptest.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, s.registry)
+	})
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, _ *http.Request) {
+		jobs := []JobInfo{}
+		if s.jobs != nil {
+			jobs = s.jobs()
+		}
+		writeJSON(w, jobs)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.tracer.WriteJSON(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "observability endpoints: /metrics /jobs /traces\n")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// Start listens on addr (host:port; port 0 picks a free port) and serves in
+// a background goroutine until Close.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obsv: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	s.mu.Lock()
+	s.ln = ln
+	s.http = srv
+	s.mu.Unlock()
+	go srv.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound listen address (useful with port 0), or "" before
+// Start.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.http
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}

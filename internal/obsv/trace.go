@@ -1,0 +1,154 @@
+// Package obsv is the engine's observability layer: structured pipeline
+// tracing (lightweight spans with ring-buffer retention), a Prometheus text
+// exporter over the metrics registry, and an HTTP introspection server
+// serving /metrics, /jobs and /traces. The paper's §3.3 argues that modern
+// engines replaced blind load shedding with *observable* flow control —
+// backpressure, progress and checkpoint timing are operational signals, not
+// internals — and this package is where those signals surface.
+//
+// The package depends only on internal/metrics so every subsystem (core,
+// load, experiments) can feed it without import cycles.
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one recorded unit of runtime activity: an operator batch, a
+// checkpoint, a barrier alignment, a rescale. Spans are recorded on End and
+// retained in the tracer's ring buffer.
+type Span struct {
+	ID       int64  `json:"id"`
+	Name     string `json:"name"`
+	Operator string `json:"operator,omitempty"`
+	Instance string `json:"instance,omitempty"`
+	// StartUnixNano and EndUnixNano bound the span in wall-clock nanoseconds.
+	StartUnixNano int64 `json:"start_unix_nano"`
+	EndUnixNano   int64 `json:"end_unix_nano"`
+	DurationNs    int64 `json:"duration_ns"`
+	// Attrs carries span-specific attributes (checkpoint id, record-batch
+	// size, watermark, ...).
+	Attrs map[string]string `json:"attrs,omitempty"`
+
+	tracer *Tracer
+}
+
+// Tracer records spans into a fixed-capacity ring buffer; the newest spans
+// overwrite the oldest, so retention is bounded regardless of job length. A
+// nil *Tracer is valid and records nothing — callers can thread an optional
+// tracer without nil checks.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Span
+	next  int
+	total atomic.Int64
+	seq   atomic.Int64
+}
+
+// DefaultTraceCapacity is the ring size used when NewTracer is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 1024
+
+// NewTracer returns a tracer retaining up to capacity finished spans.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]Span, 0, capacity)}
+}
+
+// Begin starts a span. The span is not visible in Spans until End is called.
+// On a nil tracer it returns nil, which all Span methods tolerate.
+func (t *Tracer) Begin(name, operator, instance string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		ID:            t.seq.Add(1),
+		Name:          name,
+		Operator:      operator,
+		Instance:      instance,
+		StartUnixNano: time.Now().UnixNano(),
+		tracer:        t,
+	}
+}
+
+// SetAttr attaches a string attribute; it returns the span for chaining.
+func (s *Span) SetAttr(k, v string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string, 4)
+	}
+	s.Attrs[k] = v
+	return s
+}
+
+// SetInt attaches an integer attribute; it returns the span for chaining.
+func (s *Span) SetInt(k string, v int64) *Span {
+	return s.SetAttr(k, strconv.FormatInt(v, 10))
+}
+
+// End stamps the span's end time and commits it to the tracer's ring buffer.
+// Calling End more than once records the span more than once; don't.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.EndUnixNano = time.Now().UnixNano()
+	s.DurationNs = s.EndUnixNano - s.StartUnixNano
+	t := s.tracer
+	rec := *s
+	rec.tracer = nil
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, rec)
+	} else {
+		t.ring[t.next] = rec
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.mu.Unlock()
+	t.total.Add(1)
+}
+
+// Spans returns the retained spans, oldest first. Safe to call concurrently
+// with recording. A nil tracer returns nil.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	if len(t.ring) < cap(t.ring) {
+		return append(out, t.ring...)
+	}
+	out = append(out, t.ring[t.next:]...)
+	return append(out, t.ring[:t.next]...)
+}
+
+// Total returns how many spans have been recorded over the tracer's lifetime
+// (including spans already evicted from the ring).
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.total.Load()
+}
+
+// WriteJSON writes the retained spans as a JSON array, oldest first.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	spans := t.Spans()
+	if spans == nil {
+		spans = []Span{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spans)
+}

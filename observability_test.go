@@ -1,0 +1,212 @@
+package repro
+
+// Observability integration tests: latency markers, watermark/queue gauges,
+// checkpoint metrics and the introspection server exercised against full
+// pipelines with windowing and CEP operators — the layers a marker actually
+// traverses in production.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cep"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/obsv"
+	"repro/internal/window"
+)
+
+// buildObsPipeline wires generator -> windowed count and generator -> CEP
+// pattern into one job, optionally instrumented with markers and a tracer.
+func buildObsPipeline(t *testing.T, name string, instrument bool, tracer *obsv.Tracer, winSink, alertSink *core.CollectSink) *core.Job {
+	t.Helper()
+	cfg := core.Config{
+		Name:            name,
+		ChannelCapacity: 8,
+		SnapshotStore:   core.NewMemorySnapshotStore(),
+		CheckpointEvery: 500,
+	}
+	if instrument {
+		cfg.Instrument = true
+		cfg.LatencyMarkerInterval = 7 // frequent enough to hit every operator
+		cfg.Tracer = tracer
+	}
+	b := core.NewBuilder(cfg)
+	spec := gen.FraudSpec(3_000, 10, 0.05, 9)
+	txns := b.Source("txns", gen.SourceFactory(spec), core.WithBoundedDisorder(0))
+
+	keyed := txns.KeyBy(func(e core.Event) string { return e.Value.(gen.Transaction).Card })
+	window.Apply(keyed, "win", window.NewTumbling(1_000), window.CountAggregate()).
+		Sink("wins", winSink.Factory())
+
+	small := func(e core.Event) bool { return e.Value.(gen.Transaction).Amount < 100 }
+	large := func(e core.Event) bool { return e.Value.(gen.Transaction).Amount >= 500 }
+	pattern := cep.Begin("p1", small).FollowedBy("hit", large).Within(60_000).MustBuild()
+	cep.PatternStream(keyed, "pattern", pattern, func(card string, m cep.Match, emit func(core.Event)) {
+		emit(core.Event{Key: card, Timestamp: m.End, Value: "alert"})
+	}, cep.SkipPastLastEvent()).Sink("alerts", alertSink.Factory())
+
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func sortedEvents(s *core.CollectSink) []core.Event {
+	evs := s.Events()
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Timestamp != evs[j].Timestamp {
+			return evs[i].Timestamp < evs[j].Timestamp
+		}
+		if evs[i].Key != evs[j].Key {
+			return evs[i].Key < evs[j].Key
+		}
+		return fmt.Sprint(evs[i].Value) < fmt.Sprint(evs[j].Value)
+	})
+	return evs
+}
+
+// TestLatencyMarkersDoNotPerturbOperators runs the window+CEP pipeline twice —
+// instrumented with aggressive markers and bare — and requires identical
+// output. Markers flow through the same channels as records and barriers, so
+// any leak into operator state shows up as a diff.
+func TestLatencyMarkersDoNotPerturbOperators(t *testing.T) {
+	winA, alertA := core.NewCollectSink(), core.NewCollectSink()
+	runWithTimeout(t, buildObsPipeline(t, "obs-on", true, obsv.NewTracer(obsv.DefaultTraceCapacity), winA, alertA))
+
+	winB, alertB := core.NewCollectSink(), core.NewCollectSink()
+	runWithTimeout(t, buildObsPipeline(t, "obs-off", false, nil, winB, alertB))
+
+	if winA.Len() == 0 || alertA.Len() == 0 {
+		t.Fatalf("degenerate run: %d window results, %d alerts", winA.Len(), alertA.Len())
+	}
+	wa, wb := sortedEvents(winA), sortedEvents(winB)
+	if len(wa) != len(wb) {
+		t.Fatalf("window output sizes differ: %d vs %d", len(wa), len(wb))
+	}
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("window result %d differs with markers on: %+v vs %+v", i, wa[i], wb[i])
+		}
+	}
+	aa, ab := sortedEvents(alertA), sortedEvents(alertB)
+	if len(aa) != len(ab) {
+		t.Fatalf("alert counts differ: %d vs %d", len(aa), len(ab))
+	}
+	for i := range aa {
+		if aa[i] != ab[i] {
+			t.Fatalf("alert %d differs with markers on: %+v vs %+v", i, aa[i], ab[i])
+		}
+	}
+}
+
+// TestLatencyHistogramsPopulatedPerOperator asserts every operator the
+// markers traverse records end-to-end latency, including windowing and CEP
+// nodes and both sinks.
+func TestLatencyHistogramsPopulatedPerOperator(t *testing.T) {
+	winSink, alertSink := core.NewCollectSink(), core.NewCollectSink()
+	j := buildObsPipeline(t, "obs-hist", true, nil, winSink, alertSink)
+	runWithTimeout(t, j)
+
+	for _, nodeName := range []string{"win", "wins", "pattern", "alerts"} {
+		h := j.Metrics().Histogram("node." + nodeName + ".latency_ns")
+		if h.Count() == 0 {
+			t.Fatalf("node %s: latency histogram empty\n%s", nodeName, j.Metrics().Dump())
+		}
+		if h.Min() < 0 || h.Max() > int64(time.Minute) {
+			t.Fatalf("node %s: implausible marker latency [%d, %d]", nodeName, h.Min(), h.Max())
+		}
+	}
+	// Source fan-out edges carry per-hop latency too.
+	for _, edge := range []string{"edge.txns.win.hop_ns", "edge.txns.pattern.hop_ns"} {
+		if j.Metrics().Histogram(edge).Count() == 0 {
+			t.Fatalf("%s empty", edge)
+		}
+	}
+}
+
+// TestIntrospectionServerAcceptance boots /metrics, /jobs and /traces against
+// the instrumented pipeline and verifies the advertised series are present —
+// the curl-level acceptance for the observability layer.
+func TestIntrospectionServerAcceptance(t *testing.T) {
+	tr := obsv.NewTracer(obsv.DefaultTraceCapacity)
+	winSink, alertSink := core.NewCollectSink(), core.NewCollectSink()
+	j := buildObsPipeline(t, "obs-http", true, tr, winSink, alertSink)
+	srv, err := j.ServeIntrospection("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	runWithTimeout(t, j)
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d\n%s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+
+	metricsOut := get("/metrics")
+	for _, series := range []string{
+		"node_win_in ",
+		"node_pattern_in ",
+		"node_win_0_watermark_lag_ms ",
+		"node_win_0_queue_depth ",
+		"# TYPE node_win_latency_ns histogram",
+		"checkpoint_duration_ns_count ",
+		"edge_txns_win_blocked_ns_count ",
+	} {
+		if !strings.Contains(metricsOut, series) {
+			t.Fatalf("/metrics missing %q", series)
+		}
+	}
+
+	var jobs []obsv.JobInfo
+	if err := json.Unmarshal([]byte(get("/jobs")), &jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].Name != "obs-http" {
+		t.Fatalf("/jobs unexpected: %+v", jobs)
+	}
+	nodes := map[string]bool{}
+	for _, n := range jobs[0].Nodes {
+		nodes[n.Name] = true
+	}
+	for _, want := range []string{"txns", "win", "wins", "pattern", "alerts"} {
+		if !nodes[want] {
+			t.Fatalf("/jobs missing node %q: %+v", want, jobs[0].Nodes)
+		}
+	}
+	if len(jobs[0].Edges) != 4 {
+		t.Fatalf("/jobs edges: %+v", jobs[0].Edges)
+	}
+	if jobs[0].LastCheckpoint < 1 {
+		t.Fatalf("no completed checkpoint on /jobs: %+v", jobs[0])
+	}
+
+	var spans []obsv.Span
+	if err := json.Unmarshal([]byte(get("/traces")), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("/traces empty on a traced run")
+	}
+}
+
