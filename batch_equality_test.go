@@ -1,0 +1,186 @@
+package repro
+
+// Output-equality matrix for the batched record exchange: batched vs
+// unbatched × exactly-once vs at-least-once × parallelism 1/4, over the
+// windowed-count and CEP pipelines, with checkpoint barriers flowing
+// mid-stream so aligned-mode stashes carry batches. Batching is a transport
+// optimisation; any observable difference in results is a bug.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cep"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/window"
+)
+
+// multiset folds sink output into comparable key→count form.
+func multiset(evs []core.Event) map[string]int {
+	out := map[string]int{}
+	for _, e := range evs {
+		out[fmt.Sprintf("%s@%d=%v", e.Key, e.Timestamp, e.Value)]++
+	}
+	return out
+}
+
+func requireEqualOutput(t *testing.T, label string, want, got map[string]int) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: distinct outputs differ: unbatched=%d batched=%d", label, len(want), len(got))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("%s: output %q: unbatched×%d batched×%d", label, k, n, got[k])
+		}
+	}
+}
+
+// runWindowedCount runs a keyed tumbling count with checkpoints every 500
+// source records and a small channel capacity, so barriers align mid-stream.
+func runWindowedCount(t *testing.T, batch, par int, atLeastOnce bool) map[string]int {
+	t.Helper()
+	spec := gen.Spec{N: 4_000, Keys: 16, IntervalMs: 10, Seed: 11}
+	sink := core.NewCollectSink()
+	b := core.NewBuilder(core.Config{
+		Name:              "eq-window",
+		MaxBatchSize:      batch,
+		SnapshotStore:     core.NewMemorySnapshotStore(),
+		CheckpointEvery:   500,
+		ChannelCapacity:   8,
+		WatermarkInterval: 16,
+		AtLeastOnce:       atLeastOnce,
+	})
+	s := b.Source("src", gen.SourceFactory(spec), core.WithBoundedDisorder(0), core.WithParallelism(par)).
+		KeyBy(func(e core.Event) string { return e.Key })
+	window.Apply(s, "win", window.NewTumbling(1_000), window.CountAggregate()).
+		Sink("out", sink.Factory())
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWithTimeout(t, j)
+	return multiset(sink.Events())
+}
+
+// runCEP runs the fraud pattern over a generated transaction stream. The
+// source stays at parallelism 1 — gen sources stride-partition the stream,
+// so a parallel source delivers one card's transactions over several
+// channels in nondeterministic relative order and the order-sensitive NFA
+// would differ run to run even unbatched. The pattern operator itself runs
+// at the matrix parallelism, exercising batched hash fan-out.
+func runCEP(t *testing.T, batch, par int, atLeastOnce bool) map[string]int {
+	t.Helper()
+	spec := gen.FraudSpec(3_000, 20, 0.05, 3)
+	alerts := core.NewCollectSink()
+	b := core.NewBuilder(core.Config{
+		Name:               "eq-cep",
+		MaxBatchSize:       batch,
+		SnapshotStore:      core.NewMemorySnapshotStore(),
+		CheckpointEvery:    500,
+		ChannelCapacity:    8,
+		DefaultParallelism: par,
+		AtLeastOnce:        atLeastOnce,
+	})
+	txns := b.Source("txns", gen.SourceFactory(spec), core.WithBoundedDisorder(0), core.WithParallelism(1))
+	small := func(e core.Event) bool { return e.Value.(gen.Transaction).Amount < 100 }
+	large := func(e core.Event) bool { return e.Value.(gen.Transaction).Amount >= 500 }
+	pattern := cep.Begin("p1", small).FollowedBy("p2", small).
+		FollowedBy("hit", large).Within(60_000).MustBuild()
+	keyed := txns.KeyBy(func(e core.Event) string { return e.Value.(gen.Transaction).Card })
+	cep.PatternStream(keyed, "pattern", pattern, func(card string, m cep.Match, emit func(core.Event)) {
+		emit(core.Event{Key: card, Timestamp: m.End, Value: "alert"})
+	}, cep.SkipPastLastEvent()).Sink("alerts", alerts.Factory())
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWithTimeout(t, j)
+	return multiset(alerts.Events())
+}
+
+func TestBatchedOutputEqualityMatrix(t *testing.T) {
+	pipelines := map[string]func(t *testing.T, batch, par int, alo bool) map[string]int{
+		"window": runWindowedCount,
+		"cep":    runCEP,
+	}
+	for name, run := range pipelines {
+		for _, par := range []int{1, 4} {
+			for _, alo := range []bool{false, true} {
+				mode := "exactly-once"
+				if alo {
+					mode = "at-least-once"
+				}
+				label := fmt.Sprintf("%s/par-%d/%s", name, par, mode)
+				t.Run(label, func(t *testing.T) {
+					want := run(t, 0, par, alo)
+					got := run(t, 64, par, alo)
+					if len(want) == 0 {
+						t.Fatalf("%s: reference run produced no output", label)
+					}
+					requireEqualOutput(t, label, want, got)
+				})
+			}
+		}
+	}
+}
+
+// TestBatchedCheckpointRestoreEquality stops a batched windowed job at a
+// savepoint, restores it, and verifies the combined output equals a clean
+// batched run and a clean unbatched run — exactly-once survives batching,
+// including batches stashed during barrier alignment.
+func TestBatchedCheckpointRestoreEquality(t *testing.T) {
+	spec := gen.Spec{N: 3_000, Keys: 8, IntervalMs: 10, Seed: 21}
+	store := core.NewMemorySnapshotStore()
+
+	build := func(batch, stopAt int, jobRef **core.Job, st *core.MemorySnapshotStore, sink *core.CollectSink) *core.Job {
+		b := core.NewBuilder(core.Config{
+			Name:              "batch-restore",
+			MaxBatchSize:      batch,
+			SnapshotStore:     st,
+			ChannelCapacity:   4,
+			WatermarkInterval: 8,
+		})
+		s := b.Source("src", gen.SourceFactory(spec), core.WithBoundedDisorder(0))
+		if stopAt > 0 {
+			s = s.Process("mid", savepointTrigger(stopAt, jobRef))
+		} else {
+			s = s.Map("mid", func(e core.Event) (core.Event, bool) { return e, true })
+		}
+		keyed := s.KeyBy(func(e core.Event) string { return e.Key })
+		window.Apply(keyed, "count", window.NewTumbling(1_000), window.CountAggregate()).
+			Sink("out", sink.Factory())
+		j, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+
+	// Unbatched clean reference.
+	ref := core.NewCollectSink()
+	runWithTimeout(t, build(0, 0, nil, nil, ref))
+
+	// Batched clean run must match it.
+	clean := core.NewCollectSink()
+	runWithTimeout(t, build(64, 0, nil, nil, clean))
+	requireEqualOutput(t, "clean", multiset(ref.Events()), multiset(clean.Events()))
+
+	// Batched interrupted run + restore must match too.
+	var j1 *core.Job
+	part1 := core.NewCollectSink()
+	j1 = build(64, 1_000, &j1, store, part1)
+	runWithTimeout(t, j1)
+	cp := j1.LastCheckpoint()
+	if cp < 0 {
+		t.Fatal("no savepoint completed")
+	}
+	part2 := core.NewCollectSink()
+	j2 := build(64, 0, nil, store, part2)
+	j2.RestoreFrom(cp)
+	runWithTimeout(t, j2)
+	requireEqualOutput(t, "restored",
+		multiset(ref.Events()),
+		multiset(append(part1.Events(), part2.Events()...)))
+}

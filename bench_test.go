@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -502,4 +503,66 @@ func BenchmarkE14_ObservabilityOverhead(b *testing.B) {
 	b.Run("off", func(b *testing.B) { run(b, false, false) })
 	b.Run("markers", func(b *testing.B) { run(b, true, false) })
 	b.Run("markers+tracer", func(b *testing.B) { run(b, true, true) })
+}
+
+// BenchmarkE15_BatchedExchange measures the batched record exchange on a
+// parallel keyed-window pipeline shaped like the canonical ETL job: 2 source
+// instances → parse → project → hash-partition into a parallel tumbling
+// count. Every record crosses three exchange edges, so per-record channel
+// synchronization (one select per hop per record) dominates the unbatched
+// baseline. batch-1 is that baseline (batching disabled); batch-64 must
+// deliver ≥2x records/sec by amortising the per-hop cost across 64 records.
+func BenchmarkE15_BatchedExchange(b *testing.B) {
+	run := func(b *testing.B, batch int) {
+		// Pregenerate the stream so the timed region measures the engine, not
+		// the event generator.
+		events := 50_000
+		spec := gen.Spec{N: events, Keys: 256, IntervalMs: 2, Seed: 1}
+		stream := make([]core.Event, events)
+		for i := range stream {
+			stream[i] = spec.At(int64(i))
+		}
+		// Lock-free strided replay: the bench takes no checkpoints, so it
+		// skips SliceSource's offset-tracking mutex.
+		src := core.SourceFunc(func(ctx core.SourceContext) error {
+			for i := ctx.InstanceIndex(); i < len(stream); i += ctx.Parallelism() {
+				if !ctx.Collect(stream[i]) {
+					return nil
+				}
+			}
+			return nil
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Start every iteration from a collected heap so GC carryover from
+			// the previous run does not leak into the measurement.
+			b.StopTimer()
+			runtime.GC()
+			b.StartTimer()
+			sink := core.NewCollectSink()
+			bd := core.NewBuilder(core.Config{
+				Name:               "bench-batch",
+				ChannelCapacity:    64,
+				MaxBatchSize:       batch,
+				DefaultParallelism: 2,
+				WatermarkInterval:  512,
+			})
+			s := bd.Source("src", src, core.WithBoundedDisorder(0), core.WithParallelism(2)).
+				Map("parse", func(e core.Event) (core.Event, bool) { return e, true }).
+				Filter("project", func(e core.Event) bool { return true }).
+				KeyBy(func(e core.Event) string { return e.Key })
+			window.Apply(s, "win", window.NewTumbling(10_000), window.CountAggregate()).
+				Sink("out", sink.Factory())
+			j, err := bd.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := j.Run(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(events*b.N)/b.Elapsed().Seconds(), "events/s")
+	}
+	b.Run("batch-1", func(b *testing.B) { run(b, 1) })
+	b.Run("batch-64", func(b *testing.B) { run(b, 64) })
 }

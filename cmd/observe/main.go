@@ -35,6 +35,7 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 10_000, "trigger a checkpoint every N source records")
 	duration := flag.Duration("duration", 0, "stop after this long (0 = run the workload to completion)")
 	dump := flag.Bool("dump", true, "fetch and print /metrics once the job finishes")
+	batch := flag.Int("batch", 0, "coalesce up to N records per exchange message (0/1 = per-record sends)")
 	flag.Parse()
 
 	tracer := obsv.NewTracer(obsv.DefaultTraceCapacity)
@@ -46,6 +47,7 @@ func main() {
 		SnapshotStore:         core.NewMemorySnapshotStore(),
 		CheckpointEvery:       *checkpointEvery,
 		ChannelCapacity:       64,
+		MaxBatchSize:          *batch,
 	})
 
 	spec := gen.FraudSpec(*n, 50, 0.05, 7)

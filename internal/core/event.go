@@ -44,6 +44,12 @@ const (
 	// processing latency a record experiences. Operators never see markers;
 	// each instance records the latency and forwards a fresh marker.
 	msgLatencyMarker
+	// msgRecordBatch carries several records in one channel exchange
+	// (Config.MaxBatchSize > 1), amortising per-record synchronization on the
+	// hot path. A batch never spans a control message: senders flush pending
+	// batches before every watermark, barrier, EOS and latency marker, so
+	// alignment and progress semantics are identical to the unbatched path.
+	msgRecordBatch
 )
 
 // message is the unit transported on inter-instance channels. channel is the
@@ -63,6 +69,10 @@ type message struct {
 	// marker is only set on msgLatencyMarker messages; a pointer keeps the
 	// common message struct small on the record hot path.
 	marker *latencyMarker
+	// batch is only set on msgRecordBatch messages. It points at a pooled
+	// slice: the receiver returns it to batchPool after unpacking, so a
+	// steady-state batched exchange allocates nothing per batch.
+	batch *[]Event
 }
 
 // latencyMarker is the payload of a msgLatencyMarker. Receivers must treat a

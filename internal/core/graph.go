@@ -171,6 +171,14 @@ type Config struct {
 	// AtLeastOnce selects unaligned barriers (no channel blocking); the
 	// default is aligned exactly-once barriers.
 	AtLeastOnce bool
+	// MaxBatchSize enables batched record exchange: senders coalesce up to
+	// this many records per downstream instance into one pooled channel
+	// message, flushing on size and before every control message (watermark,
+	// barrier, EOS, latency marker), so results — including aligned
+	// exactly-once snapshots — are bit-for-bit identical to the unbatched
+	// path. 0 or 1 disables batching and keeps the existing per-record send
+	// path unchanged (zero extra allocations).
+	MaxBatchSize int
 	// WatermarkInterval is the default number of records between periodic
 	// watermark emissions at sources. Default 32.
 	WatermarkInterval int

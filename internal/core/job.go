@@ -334,9 +334,19 @@ func (j *Job) buildPhysical() error {
 			}
 			continue
 		}
+		// ChannelCapacity bounds in-flight records. With batching, one message
+		// carries up to MaxBatchSize records, so the message capacity scales
+		// down to keep buffered records — memory footprint and queueing
+		// latency — comparable to the unbatched configuration.
+		boxCap := j.cfg.ChannelCapacity
+		if j.cfg.MaxBatchSize > 1 {
+			if boxCap = boxCap / j.cfg.MaxBatchSize; boxCap < 1 {
+				boxCap = 1
+			}
+		}
 		boxes := make([]chan message, n.parallelism)
 		for i := 0; i < n.parallelism; i++ {
-			boxes[i] = make(chan message, j.cfg.ChannelCapacity)
+			boxes[i] = make(chan message, boxCap)
 			inst := &instance{
 				job:        j,
 				node:       n,
@@ -388,8 +398,17 @@ func (j *Job) buildPhysical() error {
 		upPar := e.from.parallelism
 		for ui := 0; ui < upPar; ui++ {
 			o := &outEdge{edge: e, numKeyGroups: j.cfg.NumKeyGroups}
+			if j.cfg.MaxBatchSize > 1 {
+				o.maxBatch = j.cfg.MaxBatchSize
+			}
 			if j.cfg.Instrument {
-				o.blocked = j.metrics.Histogram("edge." + e.from.name + "." + e.to.name + ".blocked_ns")
+				pfx := "edge." + e.from.name + "." + e.to.name + "."
+				o.blocked = j.metrics.Histogram(pfx + "blocked_ns")
+				if o.maxBatch > 1 {
+					o.batchSize = j.metrics.Histogram(pfx + "batch_size")
+					o.flushSize = j.metrics.Counter(pfx + "flush_size")
+					o.flushCtl = j.metrics.Counter(pfx + "flush_ctl")
+				}
 			}
 			if e.kind == PartitionHash {
 				o.groupToTarget = groupMap(e.to.parallelism)
@@ -404,6 +423,9 @@ func (j *Job) buildPhysical() error {
 					o.chIDs = append(o.chIDs, counts[di])
 					counts[di]++
 				}
+			}
+			if o.maxBatch > 1 {
+				o.pending = make([]*[]Event, len(o.targets))
 			}
 			if e.from.isSource {
 				srcInst[e.from.id][ui].outs = append(srcInst[e.from.id][ui].outs, o)

@@ -337,6 +337,54 @@ func TestInstrumentedJobRecordsLatencyHistograms(t *testing.T) {
 	}
 }
 
+// TestBatchedExchangeMetrics checks an instrumented batched job populates the
+// per-edge batch instrumentation: the batch-size histogram and the two
+// flush-reason counters (size-triggered vs control-message-triggered), and
+// that the histogram never records a batch beyond the configured maximum.
+func TestBatchedExchangeMetrics(t *testing.T) {
+	b := NewBuilder(Config{
+		Name:         "batchmetrics",
+		Instrument:   true,
+		MaxBatchSize: 8,
+		// Frequent watermarks force control flushes well below the size cap.
+		WatermarkInterval: 16,
+	})
+	sink := NewCollectSink()
+	b.Source("src", NewSliceSourceFactory(genEvents(500, 4)), WithBoundedDisorder(0)).
+		KeyBy(func(e Event) string { return e.Key }).
+		Map("op", func(e Event) (Event, bool) { return e, true }).
+		Sink("out", sink.Factory())
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runJob(t, j)
+	if sink.Len() != 500 {
+		t.Fatalf("lost records: %d", sink.Len())
+	}
+	for _, pfx := range []string{"edge.src.op.", "edge.op.out."} {
+		h := j.Metrics().Histogram(pfx + "batch_size")
+		if h.Count() == 0 {
+			t.Fatalf("%sbatch_size histogram empty", pfx)
+		}
+		if h.Max() > 8 {
+			t.Fatalf("%sbatch_size recorded %d > configured max 8", pfx, h.Max())
+		}
+		size := j.Metrics().Counter(pfx + "flush_size").Value()
+		ctl := j.Metrics().Counter(pfx + "flush_ctl").Value()
+		if size+ctl == 0 {
+			t.Fatalf("%s no flushes counted", pfx)
+		}
+		if ctl == 0 {
+			t.Fatalf("%s watermarks flowed but no control flush counted", pfx)
+		}
+		if size+ctl != h.Count() {
+			t.Fatalf("%s flush counters (%d+%d) disagree with histogram count %d",
+				pfx, size, ctl, h.Count())
+		}
+	}
+}
+
 // TestServeIntrospectionEndToEnd boots the HTTP server against a real job and
 // exercises the acceptance URLs.
 func TestServeIntrospectionEndToEnd(t *testing.T) {

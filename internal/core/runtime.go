@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"repro/internal/eventtime"
@@ -11,6 +12,11 @@ import (
 	"repro/internal/obsv"
 	"repro/internal/state"
 )
+
+// batchPool recycles record-batch slices between senders and receivers
+// (same process, so a shared pool suffices). Slices are returned with len 0
+// and whatever capacity they grew to.
+var batchPool = sync.Pool{New: func() any { b := make([]Event, 0, 64); return &b }}
 
 // outEdge is the sender-side view of one logical edge at one upstream
 // instance: the downstream inboxes, the receiver-local channel IDs this
@@ -22,16 +28,34 @@ type outEdge struct {
 	// groupToTarget maps a key group to the index in targets (hash edges).
 	groupToTarget []int
 	numKeyGroups  int
-	rr            int // round-robin cursor for rebalance edges
-	mrr           int // round-robin cursor for latency-marker forwarding
+	// rr and mrr are free-running round-robin cursors (rebalance routing and
+	// latency-marker forwarding). Unsigned so overflow wraps to 0 instead of
+	// going negative — a signed cursor would eventually produce a negative
+	// modulus and panic on the target index.
+	rr  uint64
+	mrr uint64
 	// blocked records how long sends on this edge stalled on a full channel —
 	// the backpressure signal (§3.3). nil when instrumentation is off, which
 	// keeps the hot send path free of clock reads.
 	blocked *metrics.Histogram
+
+	// Batched exchange (Config.MaxBatchSize > 1). pending holds one open
+	// pooled batch per downstream target; a nil entry means no open batch.
+	// Batches flush on size and before any control message, so they never
+	// cross a watermark, barrier, EOS or marker.
+	maxBatch int
+	pending  []*[]Event
+	// batchSize and the flush counters are nil when instrumentation is off.
+	batchSize *metrics.Histogram // records per flushed batch
+	flushSize *metrics.Counter   // flushes because the batch filled
+	flushCtl  *metrics.Counter   // flushes forced by a control message
 }
 
 // sendRecord routes one record. Returns false if the job context ended.
 func (o *outEdge) sendRecord(ctx context.Context, e Event) bool {
+	if o.maxBatch > 1 {
+		return o.sendRecordBatched(ctx, e)
+	}
 	switch o.edge.kind {
 	case PartitionHash:
 		e.Key = o.edge.keySel(e)
@@ -49,15 +73,93 @@ func (o *outEdge) sendRecord(ctx context.Context, e Event) bool {
 		// Exactly one target was wired for forward edges.
 		return o.send(ctx, o.targets[0], message{kind: msgRecord, channel: o.chIDs[0], event: e})
 	default: // PartitionRebalance
-		t := o.rr % len(o.targets)
+		t := int(o.rr % uint64(len(o.targets)))
 		o.rr++
 		return o.send(ctx, o.targets[t], message{kind: msgRecord, channel: o.chIDs[t], event: e})
 	}
 }
 
+// sendRecordBatched routes one record into the target's open batch, flushing
+// when the batch reaches maxBatch records.
+func (o *outEdge) sendRecordBatched(ctx context.Context, e Event) bool {
+	switch o.edge.kind {
+	case PartitionHash:
+		e.Key = o.edge.keySel(e)
+		g := state.KeyGroupFor(e.Key, o.numKeyGroups)
+		return o.enqueue(ctx, o.groupToTarget[g], e)
+	case PartitionBroadcast:
+		for t := range o.targets {
+			if !o.enqueue(ctx, t, e) {
+				return false
+			}
+		}
+		return true
+	case PartitionForward:
+		return o.enqueue(ctx, 0, e)
+	default: // PartitionRebalance
+		t := int(o.rr % uint64(len(o.targets)))
+		o.rr++
+		return o.enqueue(ctx, t, e)
+	}
+}
+
+func (o *outEdge) enqueue(ctx context.Context, t int, e Event) bool {
+	b := o.pending[t]
+	if b == nil {
+		b = batchPool.Get().(*[]Event)
+		o.pending[t] = b
+	}
+	*b = append(*b, e)
+	if len(*b) < o.maxBatch {
+		return true
+	}
+	if o.flushSize != nil {
+		o.flushSize.Inc()
+	}
+	return o.flushTarget(ctx, t)
+}
+
+// flushTarget ships target t's open batch, if any.
+func (o *outEdge) flushTarget(ctx context.Context, t int) bool {
+	b := o.pending[t]
+	if b == nil {
+		return true
+	}
+	o.pending[t] = nil
+	if o.batchSize != nil {
+		o.batchSize.Observe(int64(len(*b)))
+	}
+	return o.send(ctx, o.targets[t], message{kind: msgRecordBatch, channel: o.chIDs[t], batch: b})
+}
+
+// flushAll ships every open batch. Called before any control message so
+// batches never reorder records across watermarks, barriers, EOS or markers.
+func (o *outEdge) flushAll(ctx context.Context) bool {
+	if o.maxBatch <= 1 {
+		return true
+	}
+	flushed := false
+	for t := range o.pending {
+		if o.pending[t] != nil {
+			flushed = true
+		}
+		if !o.flushTarget(ctx, t) {
+			return false
+		}
+	}
+	if flushed && o.flushCtl != nil {
+		o.flushCtl.Inc()
+	}
+	return true
+}
+
 // broadcastCtl sends a control message (watermark, barrier, EOS) to every
-// reachable downstream instance on this edge.
+// reachable downstream instance on this edge, flushing open batches first so
+// per-channel ordering relative to the control message is preserved.
 func (o *outEdge) broadcastCtl(ctx context.Context, m message) bool {
+	if !o.flushAll(ctx) {
+		return false
+	}
 	for t := range o.targets {
 		m.channel = o.chIDs[t]
 		if !o.send(ctx, o.targets[t], m) {
@@ -69,9 +171,14 @@ func (o *outEdge) broadcastCtl(ctx context.Context, m message) bool {
 
 // sendMarker forwards a latency marker to exactly one downstream instance
 // (rotating), so marker volume stays proportional to the graph, not to the
-// parallelism, while every channel is still sampled over time.
+// parallelism, while every channel is still sampled over time. Open batches
+// flush first so the marker measures the latency a record at the queue tail
+// would see.
 func (o *outEdge) sendMarker(ctx context.Context, mk *latencyMarker) bool {
-	t := o.mrr % len(o.targets)
+	if !o.flushAll(ctx) {
+		return false
+	}
+	t := int(o.mrr % uint64(len(o.targets)))
 	o.mrr++
 	return o.send(ctx, o.targets[t], message{kind: msgLatencyMarker, channel: o.chIDs[t], marker: mk})
 }
@@ -234,9 +341,11 @@ func (in *instance) run(ctx context.Context) error {
 // shutdown is complete.
 func (in *instance) handle(ctx context.Context, octx *opContext, m message) (bool, error) {
 	// Aligned exactly-once barriers block already-aligned channels: their
-	// records and watermarks are stashed until the barrier completes.
+	// records, watermarks and EOS markers are stashed until the barrier
+	// completes. (An EOS processed ahead of the stash would advance event
+	// time past records the snapshot has not yet seen replayed.)
 	if in.pendingBarrier != nil && !in.job.cfg.AtLeastOnce &&
-		m.kind != msgBarrier && m.kind != msgEOS && in.barrierArrived[m.channel] {
+		m.kind != msgBarrier && in.barrierArrived[m.channel] {
 		in.stash = append(in.stash, m)
 		return false, nil
 	}
@@ -245,13 +354,16 @@ func (in *instance) handle(ctx context.Context, octx *opContext, m message) (boo
 	case msgRecord:
 		return false, in.processRecord(octx, m.event)
 
+	case msgRecordBatch:
+		return false, in.processBatch(octx, m.batch)
+
 	case msgWatermark:
 		in.closeBatchSpan()
 		return false, in.advanceWatermark(ctx, octx, m.channel, m.wm)
 
 	case msgBarrier:
 		in.closeBatchSpan()
-		return false, in.handleBarrier(ctx, octx, m.channel, m.barrier)
+		return in.handleBarrier(ctx, octx, m.channel, m.barrier)
 
 	case msgEOS:
 		in.closeBatchSpan()
@@ -261,6 +373,20 @@ func (in *instance) handle(ctx context.Context, octx *opContext, m message) (boo
 		return false, in.handleMarker(ctx, m.marker)
 	}
 	return false, nil
+}
+
+// processBatch unpacks a batched exchange through the per-record path, then
+// recycles the batch slice.
+func (in *instance) processBatch(octx *opContext, b *[]Event) error {
+	for _, e := range *b {
+		if err := in.processRecord(octx, e); err != nil {
+			return err
+		}
+	}
+	clear(*b)
+	*b = (*b)[:0]
+	batchPool.Put(b)
+	return nil
 }
 
 // handleMarker records the latency a marker accumulated and forwards a fresh
@@ -330,14 +456,34 @@ func (in *instance) emitWatermarkProgress(ctx context.Context, octx *opContext, 
 		in.wmGauge.Set(wm)
 		in.wmLag.Set(eventtime.Lag(in.job.cfg.Clock.Now(), wm))
 	}
-	for _, t := range in.timers.due(wm) {
-		octx.currentKey = t.Key
-		in.backend.SetCurrentKey(t.Key)
-		if err := in.op.OnTimer(t.TS, octx); err != nil {
-			return err
+	// Fire due timers until none remain: an OnTimer callback may register
+	// further timers at or below wm (cascades, e.g. session cleanup), which
+	// must fire within this same watermark advancement — at drain
+	// (MaxWatermark) there is no later watermark to catch them. fired guards
+	// against a callback re-registering its own identical (ts, key): the
+	// duplicate is dropped instead of looping forever.
+	var fired map[timerEntry]bool
+	for {
+		due := in.timers.due(wm)
+		if len(due) == 0 {
+			break
 		}
-		if octx.emitErr != nil {
-			return octx.emitErr
+		if fired == nil {
+			fired = make(map[timerEntry]bool, len(due))
+		}
+		for _, t := range due {
+			if fired[t] {
+				continue
+			}
+			fired[t] = true
+			octx.currentKey = t.Key
+			in.backend.SetCurrentKey(t.Key)
+			if err := in.op.OnTimer(t.TS, octx); err != nil {
+				return err
+			}
+			if octx.emitErr != nil {
+				return octx.emitErr
+			}
 		}
 	}
 	if err := in.op.OnWatermark(wm, octx); err != nil {
@@ -354,7 +500,7 @@ func (in *instance) emitWatermarkProgress(ctx context.Context, octx *opContext, 
 	return nil
 }
 
-func (in *instance) handleBarrier(ctx context.Context, octx *opContext, channel int, b barrierMark) error {
+func (in *instance) handleBarrier(ctx context.Context, octx *opContext, channel int, b barrierMark) (bool, error) {
 	if in.pendingBarrier == nil {
 		pb := b
 		in.pendingBarrier = &pb
@@ -376,27 +522,29 @@ func (in *instance) handleBarrier(ctx context.Context, octx *opContext, channel 
 			// Unaligned mode forwards the barrier immediately.
 			for _, o := range in.outs {
 				if !o.broadcastCtl(ctx, message{kind: msgBarrier, barrier: b}) {
-					return ctx.Err()
+					return false, ctx.Err()
 				}
 			}
 		}
 	}
 	if b.ID != in.pendingBarrier.ID {
-		return fmt.Errorf("overlapping checkpoints %d and %d", in.pendingBarrier.ID, b.ID)
+		return false, fmt.Errorf("overlapping checkpoints %d and %d", in.pendingBarrier.ID, b.ID)
 	}
 	if !in.barrierArrived[channel] {
 		in.barrierArrived[channel] = true
 		in.barrierCount++
 	}
 	if in.barrierCount < in.numInputs {
-		return nil
+		return false, nil
 	}
 	return in.completeBarrier(ctx, octx)
 }
 
 // completeBarrier snapshots, acks, forwards (aligned mode), and replays the
-// stash.
-func (in *instance) completeBarrier(ctx context.Context, octx *opContext) error {
+// stash. done=true when a stashed terminal message (the EOS of the last open
+// channel) ended the input during replay — callers must propagate it, or the
+// instance would outlive its inputs and shut down twice.
+func (in *instance) completeBarrier(ctx context.Context, octx *opContext) (bool, error) {
 	b := *in.pendingBarrier
 	if in.alignNs != nil {
 		in.alignNs.Observe(int64(time.Since(in.alignStart)))
@@ -407,12 +555,12 @@ func (in *instance) completeBarrier(ctx context.Context, octx *opContext) error 
 		in.alignSpan = nil
 	}
 	if err := in.snapshotAndAck(b); err != nil {
-		return err
+		return false, err
 	}
 	if !in.job.cfg.AtLeastOnce {
 		for _, o := range in.outs {
 			if !o.broadcastCtl(ctx, message{kind: msgBarrier, barrier: b}) {
-				return ctx.Err()
+				return false, ctx.Err()
 			}
 		}
 	}
@@ -420,11 +568,17 @@ func (in *instance) completeBarrier(ctx context.Context, octx *opContext) error 
 	stash := in.stash
 	in.stash = nil
 	for _, sm := range stash {
-		if _, err := in.handle(ctx, octx, sm); err != nil {
-			return err
+		done, err := in.handle(ctx, octx, sm)
+		if err != nil {
+			return false, err
+		}
+		if done {
+			// Termination requires an EOS from every channel, and EOS is the
+			// last message any channel sends, so nothing can remain stashed.
+			return true, nil
 		}
 	}
-	return nil
+	return false, nil
 }
 
 func (in *instance) snapshotAndAck(b barrierMark) error {
@@ -488,8 +642,13 @@ func (in *instance) handleEOS(ctx context.Context, octx *opContext, channel int,
 		in.barrierArrived[channel] = true
 		in.barrierCount++
 		if in.barrierCount >= in.numInputs {
-			if err := in.completeBarrier(ctx, octx); err != nil {
+			done, err := in.completeBarrier(ctx, octx)
+			if err != nil {
 				return false, err
+			}
+			if done {
+				// A stashed EOS replayed above already closed the instance.
+				return true, nil
 			}
 		}
 	}

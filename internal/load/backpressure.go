@@ -51,6 +51,35 @@ func (c *CreditController) Acquire() bool {
 	return true
 }
 
+// AcquireN takes n credits at once, blocking until all are available. A
+// batched exchange acquires one credit per record but only once per batch
+// message, so the accounting stays per-record while the locking is
+// per-batch. It returns false if the controller was closed while waiting.
+// n larger than the total budget can never be satisfied and returns false.
+func (c *CreditController) AcquireN(n int) bool {
+	if n <= 0 {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n > c.max {
+		return false
+	}
+	waited := false
+	for c.credits < n && !c.closed {
+		if !waited {
+			c.waits.Add(1)
+			waited = true
+		}
+		c.cond.Wait()
+	}
+	if c.closed {
+		return false
+	}
+	c.credits -= n
+	return true
+}
+
 // TryAcquire takes a credit without blocking.
 func (c *CreditController) TryAcquire() bool {
 	c.mu.Lock()
@@ -62,14 +91,31 @@ func (c *CreditController) TryAcquire() bool {
 	return true
 }
 
-// Grant returns one credit (the receiver freed a buffer).
+// Grant returns one credit (the receiver freed a buffer). Broadcast, not
+// Signal: with batch (AcquireN) and single waiters mixed, a single Signal
+// can wake only a waiter whose demand is still unmet while a satisfiable
+// one keeps sleeping.
 func (c *CreditController) Grant() {
 	c.mu.Lock()
 	if c.credits < c.max {
 		c.credits++
 	}
 	c.mu.Unlock()
-	c.cond.Signal()
+	c.cond.Broadcast()
+}
+
+// GrantN returns n credits (the receiver drained a whole batch), waking all
+// waiters so a blocked AcquireN sees the full refill at once.
+func (c *CreditController) GrantN(n int) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if c.credits += n; c.credits > c.max {
+		c.credits = c.max
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
 }
 
 // Available returns the current credit count.

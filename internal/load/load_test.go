@@ -131,6 +131,112 @@ func TestCreditControllerGrantCapped(t *testing.T) {
 	}
 }
 
+func TestCreditControllerAcquireNImmediate(t *testing.T) {
+	c := NewCreditController(4)
+	if !c.AcquireN(3) {
+		t.Fatal("AcquireN(3) failed with 4 credits available")
+	}
+	if c.Available() != 1 {
+		t.Fatalf("credits after AcquireN(3): want 1, got %d", c.Available())
+	}
+	if !c.AcquireN(0) {
+		t.Fatal("AcquireN(0) must always succeed")
+	}
+	if c.Available() != 1 {
+		t.Fatalf("AcquireN(0) consumed credits: %d", c.Available())
+	}
+}
+
+func TestCreditControllerAcquireNBlocksUntilGrantN(t *testing.T) {
+	c := NewCreditController(4)
+	if !c.AcquireN(4) {
+		t.Fatal("initial AcquireN(4) failed")
+	}
+	done := make(chan bool)
+	go func() { done <- c.AcquireN(3) }()
+	for c.WaitCount() == 0 {
+	}
+	// A partial refill must not wake the waiter into success: it needs 3.
+	c.GrantN(2)
+	select {
+	case <-done:
+		t.Fatal("AcquireN(3) returned after only 2 credits granted")
+	default:
+	}
+	c.GrantN(2)
+	if !<-done {
+		t.Fatal("blocked AcquireN failed after full grant")
+	}
+	if c.Available() != 1 {
+		t.Fatalf("credits after refill and batch acquire: want 1, got %d", c.Available())
+	}
+}
+
+func TestCreditControllerAcquireNBeyondBudget(t *testing.T) {
+	c := NewCreditController(2)
+	if c.AcquireN(3) {
+		t.Fatal("AcquireN beyond total budget must fail, not deadlock")
+	}
+	if c.Available() != 2 {
+		t.Fatalf("failed AcquireN consumed credits: %d", c.Available())
+	}
+}
+
+func TestCreditControllerCloseReleasesAcquireN(t *testing.T) {
+	c := NewCreditController(1)
+	done := make(chan bool)
+	go func() { done <- c.AcquireN(1) }()
+	go func() { done <- c.AcquireN(1) }()
+	// Two waiters race for one credit; one blocks. Close must release it.
+	for c.WaitCount() == 0 {
+	}
+	c.Close()
+	a, b := <-done, <-done
+	if a && b {
+		t.Fatal("both AcquireN calls succeeded with one credit")
+	}
+}
+
+func TestCreditControllerGrantNCapped(t *testing.T) {
+	c := NewCreditController(3)
+	if !c.AcquireN(2) {
+		t.Fatal("AcquireN(2) failed")
+	}
+	c.GrantN(10)
+	if c.Available() != 3 {
+		t.Fatalf("GrantN exceeded max: %d", c.Available())
+	}
+	c.GrantN(0)
+	c.GrantN(-1)
+	if c.Available() != 3 {
+		t.Fatalf("no-op GrantN changed credits: %d", c.Available())
+	}
+}
+
+func TestCreditControllerMixedWaitersAllWake(t *testing.T) {
+	c := NewCreditController(4)
+	if !c.AcquireN(4) {
+		t.Fatal("initial AcquireN(4) failed")
+	}
+	var wg sync.WaitGroup
+	results := make([]bool, 3)
+	wg.Add(3)
+	go func() { defer wg.Done(); results[0] = c.Acquire() }()
+	go func() { defer wg.Done(); results[1] = c.Acquire() }()
+	go func() { defer wg.Done(); results[2] = c.AcquireN(2) }()
+	for c.WaitCount() < 3 {
+	}
+	// Refill exactly the total demand in one shot; Broadcast-based wakeup must
+	// not strand any waiter regardless of which one the runtime resumes first.
+	c.GrantN(4)
+	wg.Wait()
+	for i, r := range results {
+		if !r {
+			t.Fatalf("waiter %d starved after full refill", i)
+		}
+	}
+}
+
 func TestScalingPolicyComputesTarget(t *testing.T) {
 	p := NewScalingPolicy(0.8, 1, 16)
 	// 1000 events/s input, 150/s per instance at 80% target → ceil(8.33)=9.

@@ -13,7 +13,13 @@ import (
 type MemoryBackend struct {
 	numGroups  int
 	currentKey string
+	curGroup   int // key group of currentKey, hashed once per SetCurrentKey
 	groups     []map[string]map[string]any // group -> name -> key -> value
+
+	// Handles are memoized per state name: operators call e.g. State().Map(n)
+	// on every record, and a fresh handle per call is a hot-path allocation.
+	mapHandles map[string]*memMap
+	valHandles map[string]*memValue
 }
 
 // NewMemoryBackend returns an empty backend with the given key-group count
@@ -22,12 +28,24 @@ func NewMemoryBackend(numGroups int) *MemoryBackend {
 	if numGroups <= 0 {
 		numGroups = DefaultKeyGroups
 	}
-	b := &MemoryBackend{numGroups: numGroups, groups: make([]map[string]map[string]any, numGroups)}
+	b := &MemoryBackend{
+		numGroups:  numGroups,
+		groups:     make([]map[string]map[string]any, numGroups),
+		mapHandles: make(map[string]*memMap),
+		valHandles: make(map[string]*memValue),
+	}
+	b.curGroup = KeyGroupFor("", numGroups)
 	return b
 }
 
 // SetCurrentKey scopes subsequent state access.
-func (b *MemoryBackend) SetCurrentKey(key string) { b.currentKey = key }
+func (b *MemoryBackend) SetCurrentKey(key string) {
+	if key == b.currentKey {
+		return
+	}
+	b.currentKey = key
+	b.curGroup = KeyGroupFor(key, b.numGroups)
+}
 
 // CurrentKey returns the scoped key.
 func (b *MemoryBackend) CurrentKey() string { return b.currentKey }
@@ -35,8 +53,17 @@ func (b *MemoryBackend) CurrentKey() string { return b.currentKey }
 // NumKeyGroups returns the key-group fan-out.
 func (b *MemoryBackend) NumKeyGroups() int { return b.numGroups }
 
+// groupOf resolves a key's group, reusing the hash done by SetCurrentKey for
+// the common scoped-access case.
+func (b *MemoryBackend) groupOf(key string) int {
+	if key == b.currentKey {
+		return b.curGroup
+	}
+	return KeyGroupFor(key, b.numGroups)
+}
+
 func (b *MemoryBackend) slot(name, key string) (map[string]any, string) {
-	g := KeyGroupFor(key, b.numGroups)
+	g := b.groupOf(key)
 	if b.groups[g] == nil {
 		b.groups[g] = make(map[string]map[string]any)
 	}
@@ -49,7 +76,7 @@ func (b *MemoryBackend) slot(name, key string) (map[string]any, string) {
 }
 
 func (b *MemoryBackend) get(name, key string) (any, bool) {
-	g := KeyGroupFor(key, b.numGroups)
+	g := b.groupOf(key)
 	if b.groups[g] == nil {
 		return nil, false
 	}
@@ -67,7 +94,7 @@ func (b *MemoryBackend) put(name, key string, v any) {
 }
 
 func (b *MemoryBackend) del(name, key string) {
-	g := KeyGroupFor(key, b.numGroups)
+	g := b.groupOf(key)
 	if b.groups[g] == nil {
 		return
 	}
@@ -77,13 +104,34 @@ func (b *MemoryBackend) del(name, key string) {
 }
 
 // Value returns the named single-value state handle.
-func (b *MemoryBackend) Value(name string) ValueState { return &memValue{b: b, name: name} }
+func (b *MemoryBackend) Value(name string) ValueState {
+	h := b.valHandles[name]
+	if h == nil {
+		h = &memValue{b: b, name: name}
+		b.valHandles[name] = h
+	}
+	return h
+}
 
 // List returns the named list state handle.
 func (b *MemoryBackend) List(name string) ListState { return &memList{b: b, name: name} }
 
 // Map returns the named map state handle.
-func (b *MemoryBackend) Map(name string) MapState { return &memMap{b: b, name: name} }
+func (b *MemoryBackend) Map(name string) MapState {
+	h := b.mapHandles[name]
+	if h == nil {
+		h = &memMap{b: b, name: name}
+		b.mapHandles[name] = h
+	}
+	return h
+}
+
+// invalidateHandles drops cached per-key lookups after bulk state swaps.
+func (b *MemoryBackend) invalidateHandles() {
+	for _, h := range b.mapHandles {
+		h.cur, h.curKey, h.km = nil, "", nil
+	}
+}
 
 // Reducing returns the named reducing state handle.
 func (b *MemoryBackend) Reducing(name string, reduce func(a, b any) any) ReducingState {
@@ -121,12 +169,42 @@ func (s *memList) Clear() { s.b.del(s.name, s.b.currentKey) }
 type memMap struct {
 	b    *MemoryBackend
 	name string
+	// cur caches the inner map resolved for curKey, so repeated accesses for
+	// one record (the common Get-then-Put) descend the group/name/key maps
+	// once; km caches the group→(key→value) map for this state name so the
+	// per-record descent skips re-hashing the name. Clear resets cur; bulk
+	// restores invalidate both.
+	curKey string
+	cur    map[string]any
+	km     []map[string]any
 }
 
 func (s *memMap) inner(create bool) map[string]any {
-	cur, ok := s.b.get(s.name, s.b.currentKey)
-	if ok {
-		if m, ok := cur.(map[string]any); ok {
+	b := s.b
+	key := b.currentKey
+	if s.cur != nil && s.curKey == key {
+		return s.cur
+	}
+	if s.km == nil {
+		s.km = make([]map[string]any, b.numGroups)
+	}
+	g := b.groupOf(key)
+	km := s.km[g]
+	if km == nil {
+		if b.groups[g] != nil {
+			km = b.groups[g][s.name]
+		}
+		if km == nil {
+			if !create {
+				return nil
+			}
+			km, _ = b.slot(s.name, key)
+		}
+		s.km[g] = km
+	}
+	if v, ok := km[key]; ok {
+		if m, ok := v.(map[string]any); ok {
+			s.curKey, s.cur = key, m
 			return m
 		}
 	}
@@ -134,7 +212,8 @@ func (s *memMap) inner(create bool) map[string]any {
 		return nil
 	}
 	m := make(map[string]any)
-	s.b.put(s.name, s.b.currentKey, m)
+	km[key] = m
+	s.curKey, s.cur = key, m
 	return m
 }
 
@@ -165,7 +244,10 @@ func (s *memMap) Keys() []string {
 	return keys
 }
 
-func (s *memMap) Clear() { s.b.del(s.name, s.b.currentKey) }
+func (s *memMap) Clear() {
+	s.b.del(s.name, s.b.currentKey)
+	s.cur, s.curKey = nil, ""
+}
 
 type memReducing struct {
 	b      *MemoryBackend
@@ -249,6 +331,7 @@ func (b *MemoryBackend) Snapshot() ([]byte, error) {
 // Restore replaces backend contents from a snapshot.
 func (b *MemoryBackend) Restore(data []byte) error {
 	b.groups = make([]map[string]map[string]any, b.numGroups)
+	b.invalidateHandles()
 	return b.ImportGroups(data)
 }
 
@@ -286,6 +369,7 @@ func (b *MemoryBackend) ImportGroups(data []byte) error {
 		}
 		b.groups[g] = names
 	}
+	b.invalidateHandles()
 	return nil
 }
 

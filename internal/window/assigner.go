@@ -45,6 +45,25 @@ type Assigner interface {
 	IsSession() bool
 }
 
+// PointAssigner is an optional Assigner refinement for assigners that map a
+// timestamp to exactly one window. The operator uses it to skip the []Window
+// slice allocation Assign pays on every record.
+type PointAssigner interface {
+	// AssignPoint returns the single window containing ts.
+	AssignPoint(ts int64) Window
+}
+
+// FixedEnd is an optional Assigner refinement for assigners whose windows are
+// uniquely determined by their end timestamp. The operator uses it to fire
+// timers with a direct state lookup instead of scanning every open window of
+// the key — the open set grows with watermark lag, so under deep buffering
+// the scan is the windowing hot path. Session assigners cannot implement it:
+// merging moves window ends.
+type FixedEnd interface {
+	// WindowEnding returns the window ending exactly at end, if any.
+	WindowEnding(end int64) (Window, bool)
+}
+
 // TumblingAssigner produces fixed, non-overlapping windows of a given size.
 type TumblingAssigner struct {
 	Size int64
@@ -60,12 +79,23 @@ func NewTumbling(size int64) TumblingAssigner {
 
 // Assign implements Assigner.
 func (a TumblingAssigner) Assign(ts int64) []Window {
+	return []Window{a.AssignPoint(ts)}
+}
+
+// AssignPoint implements PointAssigner.
+func (a TumblingAssigner) AssignPoint(ts int64) Window {
 	start := floorDiv(ts, a.Size) * a.Size
-	return []Window{{Start: start, End: start + a.Size}}
+	return Window{Start: start, End: start + a.Size}
 }
 
 // IsSession implements Assigner.
 func (TumblingAssigner) IsSession() bool { return false }
+
+// WindowEnding implements FixedEnd: a tumbling window is fully determined by
+// its end timestamp.
+func (a TumblingAssigner) WindowEnding(end int64) (Window, bool) {
+	return Window{Start: end - a.Size, End: end}, true
+}
 
 // SlidingAssigner produces overlapping windows of a given size every slide.
 type SlidingAssigner struct {
@@ -95,6 +125,12 @@ func (a SlidingAssigner) Assign(ts int64) []Window {
 // IsSession implements Assigner.
 func (SlidingAssigner) IsSession() bool { return false }
 
+// WindowEnding implements FixedEnd: sliding windows overlap, but all share
+// one size, so the end timestamp still pins down a single window.
+func (a SlidingAssigner) WindowEnding(end int64) (Window, bool) {
+	return Window{Start: end - a.Size, End: end}, true
+}
+
 // SessionAssigner produces per-element windows [ts, ts+gap) that are merged
 // with any overlapping window of the same key by the operator.
 type SessionAssigner struct {
@@ -111,7 +147,12 @@ func NewSession(gap int64) SessionAssigner {
 
 // Assign implements Assigner.
 func (a SessionAssigner) Assign(ts int64) []Window {
-	return []Window{{Start: ts, End: ts + a.Gap}}
+	return []Window{a.AssignPoint(ts)}
+}
+
+// AssignPoint implements PointAssigner.
+func (a SessionAssigner) AssignPoint(ts int64) Window {
+	return Window{Start: ts, End: ts + a.Gap}
 }
 
 // IsSession implements Assigner.
@@ -126,8 +167,22 @@ func (GlobalAssigner) Assign(int64) []Window {
 	return []Window{{Start: minInt64, End: maxInt64}}
 }
 
+// AssignPoint implements PointAssigner.
+func (GlobalAssigner) AssignPoint(int64) Window {
+	return Window{Start: minInt64, End: maxInt64}
+}
+
 // IsSession implements Assigner.
 func (GlobalAssigner) IsSession() bool { return false }
+
+// WindowEnding implements FixedEnd: only the single all-encompassing window
+// ever fires, at the final watermark.
+func (GlobalAssigner) WindowEnding(end int64) (Window, bool) {
+	if end != maxInt64 {
+		return Window{}, false
+	}
+	return Window{Start: minInt64, End: maxInt64}, true
+}
 
 const (
 	minInt64 = -1 << 63

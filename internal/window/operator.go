@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/state"
 )
 
 // Aggregate defines how window contents are accumulated and emitted.
@@ -65,6 +66,8 @@ func WithLateCounter(c *metrics.Counter) Option {
 func Apply(s *core.Stream, name string, a Assigner, agg Aggregate, opts ...Option) *core.Stream {
 	fac := func() core.Operator {
 		op := &operator{assigner: a, agg: agg}
+		op.fixedEnd, _ = a.(FixedEnd)
+		op.point, _ = a.(PointAssigner)
 		for _, o := range opts {
 			o(op)
 		}
@@ -81,14 +84,50 @@ type operator struct {
 	core.BaseOperator
 	assigner  Assigner
 	agg       Aggregate
+	fixedEnd  FixedEnd      // non-nil when the window is derivable from a timer ts
+	point     PointAssigner // non-nil when each ts maps to exactly one window
 	lateness  int64
 	lateDrops *metrics.Counter
+	st        state.MapState // window state handle, resolved once per instance
+}
+
+// state returns the window state handle, resolving it on first use. The
+// backend is fixed for the operator instance's lifetime (restores mutate it
+// in place), so the handle can be kept across records.
+func (o *operator) state(ctx core.Context) state.MapState {
+	if o.st == nil {
+		o.st = ctx.State().Map(winState)
+	}
+	return o.st
 }
 
 const winState = "windows"
 
 func winKey(w Window) string {
-	return strconv.FormatInt(w.Start, 10) + "|" + strconv.FormatInt(w.End, 10)
+	// Built in one append pass: this runs per record, and the two-FormatInt
+	// + concat form costs three allocations against one here.
+	var buf [42]byte
+	b := strconv.AppendInt(buf[:0], w.Start, 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, w.End, 10)
+	return string(b)
+}
+
+// endKey is the state key used by FixedEnd assigners: the start is derivable
+// from the end, so the key is just the end timestamp — cheaper to build and
+// hash than the full "start|end" form, which only merging sessions (and
+// custom assigners, whose OnTimer scan must parse keys back) need.
+func endKey(end int64) string {
+	var buf [20]byte
+	return string(strconv.AppendInt(buf[:0], end, 10))
+}
+
+// stateKey picks the key encoding matching the operator's OnTimer strategy.
+func (o *operator) stateKey(w Window) string {
+	if o.fixedEnd != nil {
+		return endKey(w.End)
+	}
+	return winKey(w)
 }
 
 func parseWinKey(s string) (Window, bool) {
@@ -106,39 +145,48 @@ func parseWinKey(s string) (Window, bool) {
 
 func (o *operator) ProcessElement(e core.Event, ctx core.Context) error {
 	wm := ctx.CurrentWatermark()
+	if o.point != nil {
+		// Single-window assigners skip Assign's per-record slice allocation.
+		return o.addToWindow(o.point.AssignPoint(e.Timestamp), e, ctx, wm)
+	}
 	for _, w := range o.assigner.Assign(e.Timestamp) {
-		// Global windows (End == maxInt64) are never late and fire only on
-		// the final watermark; guard against End+lateness overflow.
-		global := w.End == maxInt64
-		if !global && w.End+o.lateness <= wm {
-			// Too late even for the lateness allowance: drop.
-			if o.lateDrops != nil {
-				o.lateDrops.Inc()
-			}
-			continue
+		if err := o.addToWindow(w, e, ctx, wm); err != nil {
+			return err
 		}
-		if o.assigner.IsSession() {
-			if err := o.addSession(w, e, ctx); err != nil {
-				return err
-			}
-			continue
+	}
+	return nil
+}
+
+// addToWindow folds one element into one assigned window.
+func (o *operator) addToWindow(w Window, e core.Event, ctx core.Context, wm int64) error {
+	// Global windows (End == maxInt64) are never late and fire only on
+	// the final watermark; guard against End+lateness overflow.
+	global := w.End == maxInt64
+	if !global && w.End+o.lateness <= wm {
+		// Too late even for the lateness allowance: drop.
+		if o.lateDrops != nil {
+			o.lateDrops.Inc()
 		}
-		st := ctx.State().Map(winState)
-		k := winKey(w)
-		acc, ok := st.Get(k)
-		if !ok {
-			acc = o.agg.Create()
-			ctx.RegisterEventTimeTimer(w.End)
-			if o.lateness > 0 && !global {
-				ctx.RegisterEventTimeTimer(w.End + o.lateness)
-			}
+		return nil
+	}
+	if o.assigner.IsSession() {
+		return o.addSession(w, e, ctx)
+	}
+	st := o.state(ctx)
+	k := o.stateKey(w)
+	acc, ok := st.Get(k)
+	if !ok {
+		acc = o.agg.Create()
+		ctx.RegisterEventTimeTimer(w.End)
+		if o.lateness > 0 && !global {
+			ctx.RegisterEventTimeTimer(w.End + o.lateness)
 		}
-		acc = o.agg.Add(acc, e)
-		st.Put(k, acc)
-		if !global && w.End <= wm {
-			// Late but allowed: re-emit the updated result immediately.
-			ctx.Emit(o.agg.Emit(ctx.Key(), w, acc))
-		}
+	}
+	acc = o.agg.Add(acc, e)
+	st.Put(k, acc)
+	if !global && w.End <= wm {
+		// Late but allowed: re-emit the updated result immediately.
+		ctx.Emit(o.agg.Emit(ctx.Key(), w, acc))
 	}
 	return nil
 }
@@ -149,7 +197,7 @@ func (o *operator) addSession(w Window, e core.Event, ctx core.Context) error {
 	if o.agg.Merge == nil {
 		return fmt.Errorf("window: session windows require Aggregate.Merge")
 	}
-	st := ctx.State().Map(winState)
+	st := o.state(ctx)
 	merged := w
 	acc := o.agg.Create()
 	for _, k := range st.Keys() {
@@ -171,7 +219,26 @@ func (o *operator) addSession(w Window, e core.Event, ctx core.Context) error {
 
 // OnTimer fires window results at End and purges state at End+lateness.
 func (o *operator) OnTimer(ts int64, ctx core.Context) error {
-	st := ctx.State().Map(winState)
+	st := o.state(ctx)
+	if o.fixedEnd != nil {
+		// Fixed-size windows: look up the firing window directly instead of
+		// scanning the key's whole open set.
+		if w, ok := o.fixedEnd.WindowEnding(ts); ok {
+			k := endKey(w.End)
+			if acc, ok := st.Get(k); ok {
+				ctx.Emit(o.agg.Emit(ctx.Key(), w, acc))
+				if o.lateness == 0 || w.End == maxInt64 {
+					st.Remove(k)
+				}
+			}
+		}
+		if o.lateness > 0 {
+			if w, ok := o.fixedEnd.WindowEnding(ts - o.lateness); ok && w.End != maxInt64 {
+				st.Remove(endKey(w.End))
+			}
+		}
+		return nil
+	}
 	for _, k := range st.Keys() {
 		w, ok := parseWinKey(k)
 		if !ok {
