@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/cep"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/obsv"
@@ -36,7 +37,19 @@ func main() {
 	duration := flag.Duration("duration", 0, "stop after this long (0 = run the workload to completion)")
 	dump := flag.Bool("dump", true, "fetch and print /metrics once the job finishes")
 	batch := flag.Int("batch", 0, "coalesce up to N records per exchange message (0/1 = per-record sends)")
+	chaosMode := flag.Bool("chaos", false, "inject snapshot-store faults (every 3rd save fails with a torn write, plus latency) so the abort/retry metrics go live")
 	flag.Parse()
+
+	var store core.SnapshotStore = core.NewMemorySnapshotStore()
+	var faulty *chaos.FaultyStore
+	if *chaosMode {
+		faulty = chaos.Wrap(store, chaos.FaultPlan{
+			FailSaveEvery: 3,
+			TornSave:      true,
+			SaveLatency:   200 * time.Microsecond,
+		})
+		store = faulty
+	}
 
 	tracer := obsv.NewTracer(obsv.DefaultTraceCapacity)
 	b := core.NewBuilder(core.Config{
@@ -44,7 +57,7 @@ func main() {
 		Instrument:            true,
 		LatencyMarkerInterval: *markerEvery,
 		Tracer:                tracer,
-		SnapshotStore:         core.NewMemorySnapshotStore(),
+		SnapshotStore:         store,
 		CheckpointEvery:       *checkpointEvery,
 		ChannelCapacity:       64,
 		MaxBatchSize:          *batch,
@@ -94,6 +107,11 @@ func main() {
 
 	fmt.Printf("job finished in %v: %d window results, %d alerts, last checkpoint %d\n",
 		elapsed.Round(time.Millisecond), counts.Len(), alerts.Len(), job.LastCheckpoint())
+	if faulty != nil {
+		st := faulty.Stats()
+		fmt.Printf("chaos: %d/%d saves failed (%d torn), %d checkpoints aborted, %d save failures post-retry — job survived in place\n",
+			st.SaveFaults, st.Saves, st.TornWrites, job.AbortedCheckpoints(), job.SnapshotSaveFailures())
+	}
 	lat := job.Metrics().Histogram("node.counts.latency_ns")
 	if lat.Count() > 0 {
 		fmt.Printf("end-to-end marker latency at sink: p50=%v p99=%v (%d markers)\n",

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/eventtime"
 	"repro/internal/obsv"
@@ -171,6 +172,14 @@ type Config struct {
 	// AtLeastOnce selects unaligned barriers (no channel blocking); the
 	// default is aligned exactly-once barriers.
 	AtLeastOnce bool
+	// SnapshotRetries is how many extra attempts a failed snapshot Save gets
+	// before the checkpoint is aborted (the job keeps running and the next
+	// barrier subsumes the aborted checkpoint). Default 2; negative disables
+	// retries.
+	SnapshotRetries int
+	// SnapshotRetryBackoff is the fixed delay between snapshot Save retries.
+	// Default 2ms.
+	SnapshotRetryBackoff time.Duration
 	// MaxBatchSize enables batched record exchange: senders coalesce up to
 	// this many records per downstream instance into one pooled channel
 	// message, flushing on size and before every control message (watermark,
@@ -213,6 +222,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WatermarkInterval <= 0 {
 		c.WatermarkInterval = 32
+	}
+	if c.SnapshotRetries == 0 {
+		c.SnapshotRetries = 2
+	} else if c.SnapshotRetries < 0 {
+		c.SnapshotRetries = 0
+	}
+	if c.SnapshotRetryBackoff <= 0 {
+		c.SnapshotRetryBackoff = 2 * time.Millisecond
 	}
 	if c.BackendFactory == nil {
 		groups := c.NumKeyGroups

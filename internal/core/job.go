@@ -40,9 +40,18 @@ type Job struct {
 	physDone  atomic.Bool
 	cancel    context.CancelFunc
 	drainDone chan struct{}
+	// failCh carries an externally injected failure (Job.Fail); Run returns
+	// it after shutdown, so fault injectors can crash a job mid-flight.
+	failCh chan error
 
 	// LastCheckpoint is the ID of the most recently completed checkpoint.
 	lastCheckpoint atomic.Int64
+	// abortedCP counts checkpoints abandoned because an instance's snapshot
+	// failed; saveFailures counts the individual failed snapshot attempts.
+	// The job keeps running through both — the next barrier subsumes the
+	// aborted checkpoint.
+	abortedCP    atomic.Int64
+	saveFailures atomic.Int64
 }
 
 type ackMsg struct {
@@ -50,6 +59,9 @@ type ackMsg struct {
 	instanceID string
 	bytes      int64
 	savepoint  bool
+	// failed marks a snapshot that could not be taken or persisted; the
+	// coordinator aborts the whole checkpoint on the first failed ack.
+	failed bool
 }
 
 type checkpointInflight struct {
@@ -77,6 +89,7 @@ func newJob(cfg Config, g *Graph) *Job {
 		inflight:  &checkpointInflight{waiters: make(map[int64][]chan struct{})},
 		restoreCP: -1,
 		drainDone: make(chan struct{}),
+		failCh:    make(chan error, 1),
 	}
 	j.lastCheckpoint.Store(-1)
 	return j
@@ -107,6 +120,14 @@ func (j *Job) RestoreFrom(checkpointID int64) { j.restoreCP = checkpointID }
 
 // LastCheckpoint returns the most recently completed checkpoint ID, or -1.
 func (j *Job) LastCheckpoint() int64 { return j.lastCheckpoint.Load() }
+
+// AbortedCheckpoints returns how many checkpoints were aborted (and subsumed
+// by a later one) because an instance snapshot failed.
+func (j *Job) AbortedCheckpoints() int64 { return j.abortedCP.Load() }
+
+// SnapshotSaveFailures returns how many individual instance snapshot
+// attempts failed (after retries).
+func (j *Job) SnapshotSaveFailures() int64 { return j.saveFailures.Load() }
 
 // sourceInstance is one parallel source instance at runtime.
 type sourceInstance struct {
@@ -224,24 +245,23 @@ func (c *sourceCtx) Collect(e Event) bool {
 }
 
 // emitBarrier snapshots the source offset, acks, and broadcasts the barrier.
+// A failed offset snapshot aborts the checkpoint, not the source: the barrier
+// still flows downstream so alignment never wedges, and the next barrier
+// starts a fresh checkpoint.
 func (s *sourceInstance) emitBarrier(ctx context.Context, b barrierMark) bool {
 	var offset []byte
+	snapErr := error(nil)
 	if rs, ok := s.src.(ReplayableSource); ok {
-		o, err := rs.SnapshotOffset()
-		if err != nil {
-			s.job.logger.Printf("source %s: snapshot offset: %v", s.id, err)
-			return false
+		offset, snapErr = rs.SnapshotOffset()
+	}
+	if snapErr == nil {
+		var data []byte
+		if data, snapErr = encodeInstanceSnapshot(instanceSnapshot{SourceOffset: offset}); snapErr == nil {
+			s.job.saveAndAck(ctx, b, s.id, data)
 		}
-		offset = o
 	}
-	data, err := encodeInstanceSnapshot(instanceSnapshot{SourceOffset: offset})
-	if err != nil {
-		s.job.logger.Printf("source %s: %v", s.id, err)
-		return false
-	}
-	if err := s.job.saveAndAck(b, s.id, data); err != nil {
-		s.job.logger.Printf("source %s: save snapshot: %v", s.id, err)
-		return false
+	if snapErr != nil {
+		s.job.failCheckpoint(b, s.id, snapErr)
 	}
 	for _, o := range s.outs {
 		if !o.broadcastCtl(ctx, message{kind: msgBarrier, barrier: b}) {
@@ -502,25 +522,29 @@ func (j *Job) Run(ctx context.Context) error {
 	coordDone := make(chan struct{})
 	go j.coordinate(runCtx, coordDone)
 
-	for _, in := range j.instances {
-		wg.Add(1)
-		go func(in *instance) {
-			defer wg.Done()
-			if err := in.run(runCtx); err != nil && err != context.Canceled {
-				errCh <- err
+	// runGuarded converts operator panics into job failures: a panicking
+	// instance fails the job (and a supervisor may restart it from the last
+	// checkpoint) instead of crashing the process.
+	runGuarded := func(id string, f func(context.Context) error) {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				errCh <- fmt.Errorf("core: %s: panic: %v", id, r)
 				cancel()
 			}
-		}(in)
+		}()
+		if err := f(runCtx); err != nil && err != context.Canceled {
+			errCh <- err
+			cancel()
+		}
+	}
+	for _, in := range j.instances {
+		wg.Add(1)
+		go runGuarded(in.id, in.run)
 	}
 	for _, s := range j.sources {
 		wg.Add(1)
-		go func(s *sourceInstance) {
-			defer wg.Done()
-			if err := s.run(runCtx); err != nil && err != context.Canceled {
-				errCh <- err
-				cancel()
-			}
-		}(s)
+		go runGuarded(s.id, s.run)
 	}
 
 	wg.Wait()
@@ -532,14 +556,33 @@ func (j *Job) Run(ctx context.Context) error {
 		return err
 	default:
 	}
+	select {
+	case err := <-j.failCh:
+		return err
+	default:
+	}
 	return ctx.Err()
 }
 
-// Stop cancels a running job.
+// Stop cancels a running job. Run returns nil: a stop is a clean shutdown.
 func (j *Job) Stop() {
 	if j.cancel != nil {
 		j.cancel()
 	}
+}
+
+// Fail terminates a running job as if an operator had failed: Run returns
+// err. Fault injectors use it to simulate a crash at a precise point; unlike
+// Stop, a supervisor observes the run as failed and restarts it.
+func (j *Job) Fail(err error) {
+	if err == nil {
+		err = fmt.Errorf("core: job %q failed", j.cfg.Name)
+	}
+	select {
+	case j.failCh <- err:
+	default: // a failure is already recorded; keep the first
+	}
+	j.Stop()
 }
 
 // requestCheckpoint asks the coordinator to start a checkpoint; concurrent
@@ -633,6 +676,28 @@ func (j *Job) processAck(a ackMsg) {
 		j.inflight.mu.Unlock()
 		return
 	}
+	if a.failed {
+		// Abort-and-subsume: abandon this checkpoint, discard its partial
+		// snapshots, and keep the job running — the next barrier starts a
+		// fresh checkpoint that subsumes it. Late acks for the aborted ID
+		// fall through the active/id guard above.
+		j.inflight.active = false
+		span := j.inflight.span
+		j.inflight.span = nil
+		j.inflight.mu.Unlock()
+		j.abortedCP.Add(1)
+		if j.cfg.Instrument {
+			j.metrics.Counter("checkpoint.aborted").Inc()
+		}
+		span.SetAttr("aborted", "true").End()
+		if d, ok := j.cfg.SnapshotStore.(DiscardableStore); ok {
+			if err := d.Discard(a.cp); err != nil {
+				j.logger.Printf("checkpoint %d: discard: %v", a.cp, err)
+			}
+		}
+		j.logger.Printf("checkpoint %d aborted (snapshot failed at %s)", a.cp, a.instanceID)
+		return
+	}
 	delete(j.inflight.pending, a.instanceID)
 	j.inflight.bytes += a.bytes
 	if len(j.inflight.pending) > 0 {
@@ -677,21 +742,55 @@ func (j *Job) processAck(a ackMsg) {
 	}
 }
 
-// saveAndAck persists one instance snapshot and acknowledges it to the
-// coordinator.
-func (j *Job) saveAndAck(b barrierMark, instanceID string, data []byte) error {
+// saveAndAck persists one instance snapshot (retrying transient store I/O
+// errors with a fixed backoff) and acknowledges it to the coordinator. A save
+// that still fails after the retry budget does not fail the instance: the
+// checkpoint is aborted via a failed ack and the job keeps running.
+func (j *Job) saveAndAck(ctx context.Context, b barrierMark, instanceID string, data []byte) {
 	if j.cfg.SnapshotStore == nil {
-		return nil
+		return
 	}
-	if err := j.cfg.SnapshotStore.Save(b.ID, instanceID, data); err != nil {
-		return err
+	var err error
+	for attempt := 0; attempt <= j.cfg.SnapshotRetries; attempt++ {
+		if attempt > 0 {
+			if j.cfg.Instrument {
+				j.metrics.Counter("checkpoint.save_retries").Inc()
+			}
+			select {
+			case <-time.After(j.cfg.SnapshotRetryBackoff):
+			case <-ctx.Done():
+				return
+			}
+		}
+		if err = j.cfg.SnapshotStore.Save(b.ID, instanceID, data); err == nil {
+			break
+		}
 	}
+	if err != nil {
+		j.failCheckpoint(b, instanceID, err)
+		return
+	}
+	j.sendAck(ackMsg{cp: b.ID, instanceID: instanceID, bytes: int64(len(data)), savepoint: b.Savepoint})
+}
+
+// failCheckpoint reports that an instance could not contribute its snapshot
+// to checkpoint b; the coordinator aborts the checkpoint and the job keeps
+// running (the next barrier subsumes it).
+func (j *Job) failCheckpoint(b barrierMark, instanceID string, err error) {
+	j.saveFailures.Add(1)
+	if j.cfg.Instrument {
+		j.metrics.Counter("checkpoint.save_failures").Inc()
+	}
+	j.logger.Printf("checkpoint %d: %s: snapshot failed: %v", b.ID, instanceID, err)
+	j.sendAck(ackMsg{cp: b.ID, instanceID: instanceID, failed: true, savepoint: b.Savepoint})
+}
+
+func (j *Job) sendAck(a ackMsg) {
 	select {
-	case j.acks <- ackMsg{cp: b.ID, instanceID: instanceID, bytes: int64(len(data)), savepoint: b.Savepoint}:
+	case j.acks <- a:
 	default:
 		// The coordinator drains acks continuously; a full channel here means
 		// the job is shutting down. Dropping the ack only delays checkpoint
 		// completion, never correctness.
 	}
-	return nil
 }

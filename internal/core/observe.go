@@ -19,8 +19,10 @@ var partitionNames = map[PartitionKind]string{
 // physical plan.
 func (j *Job) Describe() obsv.JobInfo {
 	info := obsv.JobInfo{
-		Name:           j.cfg.Name,
-		LastCheckpoint: j.lastCheckpoint.Load(),
+		Name:                 j.cfg.Name,
+		LastCheckpoint:       j.lastCheckpoint.Load(),
+		AbortedCheckpoints:   j.abortedCP.Load(),
+		SnapshotSaveFailures: j.saveFailures.Load(),
 	}
 	byNode := make(map[*node][]obsv.InstanceInfo)
 	if j.physDone.Load() {

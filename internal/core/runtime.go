@@ -554,9 +554,7 @@ func (in *instance) completeBarrier(ctx context.Context, octx *opContext) (bool,
 		in.alignSpan.End()
 		in.alignSpan = nil
 	}
-	if err := in.snapshotAndAck(b); err != nil {
-		return false, err
-	}
+	in.snapshotAndAck(ctx, b)
 	if !in.job.cfg.AtLeastOnce {
 		for _, o := range in.outs {
 			if !o.broadcastCtl(ctx, message{kind: msgBarrier, barrier: b}) {
@@ -581,32 +579,22 @@ func (in *instance) completeBarrier(ctx context.Context, octx *opContext) (bool,
 	return false, nil
 }
 
-func (in *instance) snapshotAndAck(b barrierMark) error {
+// snapshotAndAck captures the instance's state for checkpoint b. A failure
+// at any step (state image, timers, custom payload, encode, store I/O) never
+// fails the instance: it aborts the checkpoint via a failed ack and the job
+// keeps processing — the next barrier retries with a fresh checkpoint.
+func (in *instance) snapshotAndAck(ctx context.Context, b barrierMark) {
 	var start time.Time
 	instrumented := in.job.cfg.Instrument
 	if instrumented {
 		start = time.Now()
 	}
 	span := in.tracer.Begin("snapshot", in.node.name, in.id).SetInt("checkpoint", b.ID)
-	stateImg, err := in.backend.Snapshot()
+	data, err := in.captureSnapshot()
 	if err != nil {
-		return fmt.Errorf("snapshot state: %w", err)
-	}
-	timerImg, err := in.timers.snapshot()
-	if err != nil {
-		return err
-	}
-	snap := instanceSnapshot{State: stateImg, Timers: timerImg}
-	if s, ok := in.op.(Snapshotter); ok {
-		custom, err := s.SnapshotCustom()
-		if err != nil {
-			return fmt.Errorf("snapshot custom: %w", err)
-		}
-		snap.Custom = custom
-	}
-	data, err := encodeInstanceSnapshot(snap)
-	if err != nil {
-		return err
+		span.SetAttr("error", err.Error()).End()
+		in.job.failCheckpoint(b, in.id, err)
+		return
 	}
 	if instrumented {
 		reg := in.job.metrics
@@ -615,7 +603,28 @@ func (in *instance) snapshotAndAck(b barrierMark) error {
 	}
 	span.SetInt("bytes", int64(len(data)))
 	span.End()
-	return in.job.saveAndAck(b, in.id, data)
+	in.job.saveAndAck(ctx, b, in.id, data)
+}
+
+// captureSnapshot serialises the instance's full state image.
+func (in *instance) captureSnapshot() ([]byte, error) {
+	stateImg, err := in.backend.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot state: %w", err)
+	}
+	timerImg, err := in.timers.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	snap := instanceSnapshot{State: stateImg, Timers: timerImg}
+	if s, ok := in.op.(Snapshotter); ok {
+		custom, err := s.SnapshotCustom()
+		if err != nil {
+			return nil, fmt.Errorf("snapshot custom: %w", err)
+		}
+		snap.Custom = custom
+	}
+	return encodeInstanceSnapshot(snap)
 }
 
 func (in *instance) handleEOS(ctx context.Context, octx *opContext, channel int, drain bool) (bool, error) {

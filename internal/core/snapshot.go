@@ -2,11 +2,15 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -17,13 +21,23 @@ type SnapshotStore interface {
 	Save(checkpointID int64, instanceID string, data []byte) error
 	// Load retrieves one instance's snapshot.
 	Load(checkpointID int64, instanceID string) ([]byte, error)
-	// Complete marks a checkpoint finished with its metadata.
+	// Complete marks a checkpoint finished with its metadata. A checkpoint
+	// must never become visible through Latest before Complete returns: the
+	// engine treats anything un-completed as aborted on recovery.
 	Complete(meta CheckpointMeta) error
 	// Latest returns the newest completed checkpoint metadata, ok=false when
 	// none exists.
 	Latest() (CheckpointMeta, bool)
 	// Instances lists the instance IDs stored under a checkpoint.
 	Instances(checkpointID int64) ([]string, error)
+}
+
+// DiscardableStore is an optional SnapshotStore extension: the engine calls
+// Discard to free the partial snapshots of an aborted checkpoint.
+type DiscardableStore interface {
+	// Discard drops every snapshot saved under the (never completed)
+	// checkpoint. Discarding an unknown checkpoint is a no-op.
+	Discard(checkpointID int64) error
 }
 
 // CheckpointMeta describes one completed checkpoint.
@@ -71,11 +85,22 @@ type MemorySnapshotStore struct {
 	mu        sync.Mutex
 	data      map[int64]map[string][]byte
 	completed []CheckpointMeta
+	retain    int // completed checkpoints whose data is kept; 0 = unlimited
 }
 
 // NewMemorySnapshotStore returns an empty store.
 func NewMemorySnapshotStore() *MemorySnapshotStore {
 	return &MemorySnapshotStore{data: make(map[int64]map[string][]byte)}
+}
+
+// SetRetain bounds how many completed checkpoints keep their snapshot data:
+// completing a checkpoint frees the data of everything subsumed beyond the
+// newest n (metadata stays, so Completed still reports history). n <= 0 keeps
+// everything.
+func (s *MemorySnapshotStore) SetRetain(n int) {
+	s.mu.Lock()
+	s.retain = n
+	s.mu.Unlock()
 }
 
 // Save implements SnapshotStore.
@@ -109,6 +134,29 @@ func (s *MemorySnapshotStore) Complete(meta CheckpointMeta) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.completed = append(s.completed, meta)
+	// Keep completions ordered by checkpoint ID so Latest and the GC floor
+	// stay correct even when Complete calls arrive out of order.
+	if n := len(s.completed); n > 1 && s.completed[n-2].ID > meta.ID {
+		sort.Slice(s.completed, func(i, j int) bool { return s.completed[i].ID < s.completed[j].ID })
+	}
+	if s.retain > 0 && len(s.completed) > s.retain {
+		// GC subsumed checkpoints: everything older than the newest retain
+		// completed ones, including never-completed (aborted) leftovers.
+		floor := s.completed[len(s.completed)-s.retain].ID
+		for cp := range s.data {
+			if cp < floor {
+				delete(s.data, cp)
+			}
+		}
+	}
+	return nil
+}
+
+// Discard implements DiscardableStore.
+func (s *MemorySnapshotStore) Discard(cp int64) error {
+	s.mu.Lock()
+	delete(s.data, cp)
+	s.mu.Unlock()
 	return nil
 }
 
@@ -146,25 +194,193 @@ func (s *MemorySnapshotStore) Instances(cp int64) ([]string, error) {
 }
 
 var _ SnapshotStore = (*MemorySnapshotStore)(nil)
+var _ DiscardableStore = (*MemorySnapshotStore)(nil)
 
-// FileSnapshotStore persists checkpoints as files under a directory:
-// <dir>/chk-<id>/<instanceID> plus a _meta file on completion. It survives
-// process restarts, which the recovery experiments rely on.
-type FileSnapshotStore struct {
-	dir string
-	mu  sync.Mutex
+// Snapshot files are framed so a torn write is detectable on read:
+//
+//	magic "SNP1" | crc32(payload) | len(payload) | payload
+//
+// The frame is belt-and-braces on top of the atomic temp+rename commit: a
+// crash can only leave garbage under the reserved _tmp- prefix, but the
+// checksum also catches truncation or corruption that reached the final name
+// through lower layers (or a fault injector).
+const snapMagic = "SNP1"
+
+const snapHeaderLen = 4 + 4 + 8
+
+var errTornSnapshot = fmt.Errorf("core: torn or corrupt snapshot file")
+
+func frameSnapshot(data []byte) []byte {
+	out := make([]byte, snapHeaderLen+len(data))
+	copy(out, snapMagic)
+	binary.BigEndian.PutUint32(out[4:], crc32.ChecksumIEEE(data))
+	binary.BigEndian.PutUint64(out[8:], uint64(len(data)))
+	copy(out[snapHeaderLen:], data)
+	return out
 }
 
-// NewFileSnapshotStore creates the directory if needed.
+func unframeSnapshot(raw []byte) ([]byte, error) {
+	if len(raw) < snapHeaderLen || string(raw[:4]) != snapMagic {
+		return nil, errTornSnapshot
+	}
+	n := binary.BigEndian.Uint64(raw[8:])
+	if uint64(len(raw)-snapHeaderLen) != n {
+		return nil, errTornSnapshot
+	}
+	payload := raw[snapHeaderLen:]
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(raw[4:]) {
+		return nil, errTornSnapshot
+	}
+	return payload, nil
+}
+
+// tmpPrefix reserves a file-name namespace for in-flight writes; encoded
+// instance IDs can never start with '_' (it is percent-escaped), so store
+// bookkeeping files ("_meta", "_tmp-*") never collide with instance files.
+const tmpPrefix = "_tmp-"
+
+const metaFile = "_meta"
+
+// encodeInstanceFile maps an arbitrary instance ID to a safe file name:
+// bytes outside [A-Za-z0-9.-] are percent-escaped (so path separators,
+// '_' and '%' never appear raw), and the path-special names "." and ".."
+// are fully escaped.
+func encodeInstanceFile(id string) string {
+	var b strings.Builder
+	b.Grow(len(id))
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '-':
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	if n := b.String(); n != "." && n != ".." {
+		return n
+	}
+	var all strings.Builder
+	for i := 0; i < len(id); i++ {
+		fmt.Fprintf(&all, "%%%02X", id[i])
+	}
+	return all.String()
+}
+
+// decodeInstanceFile inverts encodeInstanceFile.
+func decodeInstanceFile(name string) string {
+	if !strings.ContainsRune(name, '%') {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		if name[i] == '%' && i+2 < len(name) {
+			var v int
+			if _, err := fmt.Sscanf(name[i+1:i+3], "%02X", &v); err == nil {
+				b.WriteByte(byte(v))
+				i += 2
+				continue
+			}
+		}
+		b.WriteByte(name[i])
+	}
+	return b.String()
+}
+
+// FileSnapshotStore persists checkpoints as files under a directory:
+// <dir>/chk-<id>/<encoded instanceID> plus a _meta file committed last. It
+// survives process restarts — and, because every file is committed via
+// temp+fsync+rename with the _meta written only after all snapshots are
+// verified on disk, it survives crashes at any point: a partially written
+// checkpoint is invisible to Latest and gets garbage-collected.
+type FileSnapshotStore struct {
+	dir    string
+	mu     sync.Mutex
+	retain int // completed checkpoints kept on disk; 0 = unlimited
+}
+
+// NewFileSnapshotStore creates the directory if needed and sweeps stray
+// temp files a previous crash may have left behind.
 func NewFileSnapshotStore(dir string) (*FileSnapshotStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: snapshot dir: %w", err)
 	}
-	return &FileSnapshotStore{dir: dir}, nil
+	s := &FileSnapshotStore{dir: dir}
+	s.sweepTmp()
+	return s, nil
+}
+
+// SetRetain bounds how many completed checkpoints are kept: completing a
+// checkpoint deletes everything subsumed beyond the newest n, including
+// never-completed (aborted) checkpoint directories older than the newest
+// completed one. n <= 0 keeps everything.
+func (s *FileSnapshotStore) SetRetain(n int) {
+	s.mu.Lock()
+	s.retain = n
+	s.mu.Unlock()
+}
+
+// sweepTmp removes in-flight temp files from every checkpoint directory;
+// they are torn by construction (the rename never happened).
+func (s *FileSnapshotStore) sweepTmp() {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "chk-") {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if strings.HasPrefix(f.Name(), tmpPrefix) {
+				os.Remove(filepath.Join(s.dir, e.Name(), f.Name()))
+			}
+		}
+	}
 }
 
 func (s *FileSnapshotStore) cpDir(cp int64) string {
 	return filepath.Join(s.dir, fmt.Sprintf("chk-%d", cp))
+}
+
+// commitFile atomically publishes data under dir/name: write to a reserved
+// temp name, fsync, rename, fsync the directory. A crash at any point leaves
+// either the old content (or nothing) or the complete new content — never a
+// prefix.
+func commitFile(dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, tmpPrefix+name)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("core: snapshot tmp: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: snapshot fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: snapshot rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // Save implements SnapshotStore.
@@ -173,26 +389,140 @@ func (s *FileSnapshotStore) Save(cp int64, instanceID string, data []byte) error
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("core: snapshot dir: %w", err)
 	}
-	return os.WriteFile(filepath.Join(dir, instanceID), data, 0o644)
+	return commitFile(dir, encodeInstanceFile(instanceID), frameSnapshot(data))
 }
 
-// Load implements SnapshotStore.
+// Load implements SnapshotStore. It validates the frame checksum, so a torn
+// or corrupt snapshot surfaces as an error instead of decoding garbage.
 func (s *FileSnapshotStore) Load(cp int64, instanceID string) ([]byte, error) {
-	return os.ReadFile(filepath.Join(s.cpDir(cp), instanceID))
+	raw, err := os.ReadFile(filepath.Join(s.cpDir(cp), encodeInstanceFile(instanceID)))
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint %d has no snapshot for %q: %w", cp, instanceID, err)
+	}
+	payload, err := unframeSnapshot(raw)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint %d snapshot for %q: %w", cp, instanceID, err)
+	}
+	return payload, nil
 }
 
-// Complete implements SnapshotStore.
+// verifyInstanceFile checks that the snapshot for instanceID exists and its
+// frame is structurally whole (magic + declared length), without paying a
+// full checksum read.
+func (s *FileSnapshotStore) verifyInstanceFile(cp int64, instanceID string) error {
+	path := filepath.Join(s.cpDir(cp), encodeInstanceFile(instanceID))
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var hdr [snapHeaderLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return errTornSnapshot
+	}
+	if string(hdr[:4]) != snapMagic {
+		return errTornSnapshot
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if uint64(st.Size())-snapHeaderLen != binary.BigEndian.Uint64(hdr[8:]) {
+		return errTornSnapshot
+	}
+	return nil
+}
+
+// Complete implements SnapshotStore. It verifies every snapshot the metadata
+// claims is durably on disk, then commits _meta atomically — so a checkpoint
+// visible through Latest is guaranteed restorable.
 func (s *FileSnapshotStore) Complete(meta CheckpointMeta) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for _, id := range meta.InstanceIDs {
+		if err := s.verifyInstanceFile(meta.ID, id); err != nil {
+			return fmt.Errorf("core: complete checkpoint %d: instance %q: %w", meta.ID, id, err)
+		}
+	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(meta); err != nil {
 		return fmt.Errorf("core: encode checkpoint meta: %w", err)
 	}
-	return os.WriteFile(filepath.Join(s.cpDir(meta.ID), "_meta"), buf.Bytes(), 0o644)
+	dir := s.cpDir(meta.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: snapshot dir: %w", err)
+	}
+	if err := commitFile(dir, metaFile, frameSnapshot(buf.Bytes())); err != nil {
+		return err
+	}
+	s.gcLocked(meta.ID)
+	return nil
 }
 
-// Latest implements SnapshotStore.
+// gcLocked deletes checkpoint directories subsumed by the just-completed
+// checkpoint: completed ones beyond the newest retain, and aborted
+// (never-completed) ones older than the newest completed. Requires s.mu.
+func (s *FileSnapshotStore) gcLocked(newest int64) {
+	if s.retain <= 0 {
+		return
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	var completed []int64
+	incomplete := make(map[int64]bool)
+	for _, e := range entries {
+		var id int64
+		if _, err := fmt.Sscanf(e.Name(), "chk-%d", &id); err != nil {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(s.dir, e.Name(), metaFile)); err == nil {
+			completed = append(completed, id)
+		} else {
+			incomplete[id] = true
+		}
+	}
+	sort.Slice(completed, func(i, j int) bool { return completed[i] > completed[j] })
+	for i, id := range completed {
+		if i >= s.retain {
+			os.RemoveAll(s.cpDir(id))
+		}
+	}
+	for id := range incomplete {
+		if id < newest {
+			os.RemoveAll(s.cpDir(id))
+		}
+	}
+}
+
+// Discard implements DiscardableStore.
+func (s *FileSnapshotStore) Discard(cp int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.RemoveAll(s.cpDir(cp))
+}
+
+// readMeta decodes a checkpoint's _meta, failing on torn frames.
+func (s *FileSnapshotStore) readMeta(cpDirName string) (CheckpointMeta, error) {
+	raw, err := os.ReadFile(filepath.Join(s.dir, cpDirName, metaFile))
+	if err != nil {
+		return CheckpointMeta{}, err
+	}
+	payload, err := unframeSnapshot(raw)
+	if err != nil {
+		return CheckpointMeta{}, err
+	}
+	var meta CheckpointMeta
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&meta); err != nil {
+		return CheckpointMeta{}, err
+	}
+	return meta, nil
+}
+
+// Latest implements SnapshotStore. Incomplete, torn or unverifiable
+// checkpoints are skipped, so the returned checkpoint is always restorable:
+// every instance file it references exists with an intact frame.
 func (s *FileSnapshotStore) Latest() (CheckpointMeta, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -200,31 +530,36 @@ func (s *FileSnapshotStore) Latest() (CheckpointMeta, bool) {
 	if err != nil {
 		return CheckpointMeta{}, false
 	}
-	best := CheckpointMeta{ID: -1}
+	var metas []CheckpointMeta
 	for _, e := range entries {
 		var id int64
 		if _, err := fmt.Sscanf(e.Name(), "chk-%d", &id); err != nil {
 			continue
 		}
-		raw, err := os.ReadFile(filepath.Join(s.dir, e.Name(), "_meta"))
+		meta, err := s.readMeta(e.Name())
 		if err != nil {
-			continue // incomplete checkpoint
+			continue // incomplete or torn checkpoint
 		}
-		var meta CheckpointMeta
-		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&meta); err != nil {
-			continue
+		metas = append(metas, meta)
+	}
+	sort.Slice(metas, func(i, j int) bool { return metas[i].ID > metas[j].ID })
+	for _, meta := range metas {
+		ok := true
+		for _, id := range meta.InstanceIDs {
+			if err := s.verifyInstanceFile(meta.ID, id); err != nil {
+				ok = false
+				break
+			}
 		}
-		if meta.ID > best.ID {
-			best = meta
+		if ok {
+			return meta, true
 		}
 	}
-	if best.ID < 0 {
-		return CheckpointMeta{}, false
-	}
-	return best, true
+	return CheckpointMeta{}, false
 }
 
-// Instances implements SnapshotStore.
+// Instances implements SnapshotStore. Store bookkeeping files (_meta,
+// in-flight temps) are never reported.
 func (s *FileSnapshotStore) Instances(cp int64) ([]string, error) {
 	entries, err := os.ReadDir(s.cpDir(cp))
 	if err != nil {
@@ -232,12 +567,14 @@ func (s *FileSnapshotStore) Instances(cp int64) ([]string, error) {
 	}
 	var ids []string
 	for _, e := range entries {
-		if e.Name() != "_meta" {
-			ids = append(ids, e.Name())
+		if strings.HasPrefix(e.Name(), "_") {
+			continue
 		}
+		ids = append(ids, decodeInstanceFile(e.Name()))
 	}
 	sort.Strings(ids)
 	return ids, nil
 }
 
 var _ SnapshotStore = (*FileSnapshotStore)(nil)
+var _ DiscardableStore = (*FileSnapshotStore)(nil)

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// snapshotStoreConformance is the shared behavioural contract every
+// SnapshotStore implementation must satisfy. Both stores run the identical
+// suite so the file store's crash-safety hardening cannot drift from the
+// memory store's semantics.
+func snapshotStoreConformance(t *testing.T, newStore func(t *testing.T) SnapshotStore) {
+	t.Run("EmptyLatest", func(t *testing.T) {
+		s := newStore(t)
+		if _, ok := s.Latest(); ok {
+			t.Fatal("fresh store must have no latest checkpoint")
+		}
+		if _, err := s.Instances(1); err == nil {
+			t.Fatal("Instances of a missing checkpoint must error")
+		}
+	})
+
+	t.Run("SaveLoadRoundtrip", func(t *testing.T) {
+		s := newStore(t)
+		payload := []byte("state-bytes \x00\x01\xff")
+		if err := s.Save(1, "op-0", payload); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Load(1, "op-0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("roundtrip mismatch: %q != %q", got, payload)
+		}
+		if _, err := s.Load(1, "missing"); err == nil {
+			t.Fatal("loading a missing instance must error")
+		}
+		if _, err := s.Load(2, "op-0"); err == nil {
+			t.Fatal("loading from a missing checkpoint must error")
+		}
+	})
+
+	t.Run("OverwriteKeepsLastWrite", func(t *testing.T) {
+		s := newStore(t)
+		if err := s.Save(1, "op-0", []byte("first")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Save(1, "op-0", []byte("second")); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Load(1, "op-0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "second" {
+			t.Fatalf("overwrite lost: %q", got)
+		}
+	})
+
+	t.Run("CompleteGatesLatest", func(t *testing.T) {
+		s := newStore(t)
+		if err := s.Save(1, "op-0", []byte("a")); err != nil {
+			t.Fatal(err)
+		}
+		// Saved but not completed: invisible.
+		if _, ok := s.Latest(); ok {
+			t.Fatal("an incomplete checkpoint must not be Latest")
+		}
+		if err := s.Complete(CheckpointMeta{ID: 1, InstanceIDs: []string{"op-0"}}); err != nil {
+			t.Fatal(err)
+		}
+		meta, ok := s.Latest()
+		if !ok || meta.ID != 1 {
+			t.Fatalf("Latest after Complete: %+v ok=%v", meta, ok)
+		}
+		if !reflect.DeepEqual(meta.InstanceIDs, []string{"op-0"}) {
+			t.Fatalf("meta instance IDs: %v", meta.InstanceIDs)
+		}
+	})
+
+	t.Run("LatestPicksNewestCompleted", func(t *testing.T) {
+		s := newStore(t)
+		for _, id := range []int64{1, 2, 3} {
+			if err := s.Save(id, "op-0", []byte(fmt.Sprintf("v%d", id))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Complete out of order; 3 stays incomplete.
+		if err := s.Complete(CheckpointMeta{ID: 2, InstanceIDs: []string{"op-0"}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Complete(CheckpointMeta{ID: 1, InstanceIDs: []string{"op-0"}}); err != nil {
+			t.Fatal(err)
+		}
+		meta, ok := s.Latest()
+		if !ok || meta.ID != 2 {
+			t.Fatalf("Latest should be newest completed (2), got %+v ok=%v", meta, ok)
+		}
+	})
+
+	t.Run("InstancesSortedAndScoped", func(t *testing.T) {
+		s := newStore(t)
+		for _, id := range []string{"zeta", "alpha", "mid"} {
+			if err := s.Save(7, id, []byte(id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Save(8, "other", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		ids, err := s.Instances(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ids, []string{"alpha", "mid", "zeta"}) {
+			t.Fatalf("Instances(7) = %v", ids)
+		}
+	})
+
+	t.Run("HostileInstanceIDs", func(t *testing.T) {
+		// IDs with path separators, reserved names and metacharacters must
+		// round-trip without colliding or escaping the store.
+		s := newStore(t)
+		ids := []string{"op/1", "op/2", "_meta", "..", ".", "a b%c", "_tmp-x", "操作子"}
+		for i, id := range ids {
+			if err := s.Save(5, id, []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+				t.Fatalf("Save(%q): %v", id, err)
+			}
+		}
+		for i, id := range ids {
+			got, err := s.Load(5, id)
+			if err != nil {
+				t.Fatalf("Load(%q): %v", id, err)
+			}
+			if want := fmt.Sprintf("payload-%d", i); string(got) != want {
+				t.Fatalf("Load(%q) = %q, want %q (ID collision?)", id, got, want)
+			}
+		}
+		listed, err := s.Instances(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(listed) != len(ids) {
+			t.Fatalf("Instances lists %d of %d hostile IDs: %v", len(listed), len(ids), listed)
+		}
+		if err := s.Complete(CheckpointMeta{ID: 5, InstanceIDs: ids}); err != nil {
+			t.Fatalf("Complete with hostile IDs: %v", err)
+		}
+		if meta, ok := s.Latest(); !ok || meta.ID != 5 {
+			t.Fatalf("hostile-ID checkpoint not restorable: %+v ok=%v", meta, ok)
+		}
+	})
+
+	t.Run("ConcurrentSaves", func(t *testing.T) {
+		s := newStore(t)
+		const workers = 8
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				id := fmt.Sprintf("op-%d", w)
+				for cp := int64(1); cp <= 5; cp++ {
+					if err := s.Save(cp, id, []byte(fmt.Sprintf("%s@%d", id, cp))); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for w, err := range errs {
+			if err != nil {
+				t.Fatalf("worker %d: %v", w, err)
+			}
+		}
+		for w := 0; w < workers; w++ {
+			id := fmt.Sprintf("op-%d", w)
+			got, err := s.Load(5, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := fmt.Sprintf("%s@5", id); string(got) != want {
+				t.Fatalf("concurrent save corrupted %s: %q", id, got)
+			}
+		}
+	})
+
+	t.Run("DiscardDropsData", func(t *testing.T) {
+		s := newStore(t)
+		d, ok := s.(DiscardableStore)
+		if !ok {
+			t.Skip("store does not support Discard")
+		}
+		if err := s.Save(3, "op-0", []byte("doomed")); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Discard(3); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Load(3, "op-0"); err == nil {
+			t.Fatal("discarded checkpoint must not load")
+		}
+	})
+}
+
+func TestMemorySnapshotStoreConformance(t *testing.T) {
+	snapshotStoreConformance(t, func(t *testing.T) SnapshotStore {
+		return NewMemorySnapshotStore()
+	})
+}
+
+func TestFileSnapshotStoreConformance(t *testing.T) {
+	snapshotStoreConformance(t, func(t *testing.T) SnapshotStore {
+		s, err := NewFileSnapshotStore(filepath.Join(t.TempDir(), "chk"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+}

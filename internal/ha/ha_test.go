@@ -3,6 +3,7 @@ package ha
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -111,6 +112,191 @@ func TestActiveStandbyPrimaryFinishesBeforeKill(t *testing.T) {
 	}
 	if rep.Output != n {
 		t.Fatalf("report output: %d", rep.Output)
+	}
+}
+
+func TestPassiveStandbyNoReplayReportsUnmeasuredRecovery(t *testing.T) {
+	// A pipeline that drops everything: the standby restores, replays, and
+	// legitimately produces no output at all. That must not be reported as a
+	// (huge) recovery time — the report flags recovery as unmeasured.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	events := make([]core.Event, 200)
+	for i := range events {
+		events[i] = core.Event{Key: "k", Timestamp: int64(i)}
+	}
+	fac := func(sink *core.CollectSink, store core.SnapshotStore) (*core.Job, error) {
+		b := core.NewBuilder(core.Config{
+			Name:            "silent",
+			SnapshotStore:   store,
+			CheckpointEvery: 20,
+			ChannelCapacity: 4, // backpressure the source so checkpoints land mid-stream
+		})
+		b.Source("src", core.NewSliceSourceFactory(events)).
+			Map("slow", func(e core.Event) (core.Event, bool) {
+				time.Sleep(50 * time.Microsecond) // give checkpoints time to complete
+				return e, true
+			}).
+			Filter("drop", func(core.Event) bool { return false }).
+			Sink("out", sink.Factory())
+		return b.Build()
+	}
+	store := core.NewMemorySnapshotStore()
+	out, rep, err := RunPassiveStandby(ctx, fac, store, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("drop-all pipeline produced output: %d", len(out))
+	}
+	if rep.RecoveryMeasured {
+		t.Fatalf("no post-failure output, yet recovery reported as measured: %+v", rep)
+	}
+	if rep.RecoveryMillis != 0 {
+		t.Fatalf("unmeasured recovery should not carry a duration: %d", rep.RecoveryMillis)
+	}
+}
+
+func TestPassiveStandbyWithOutputMeasuresRecovery(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	store := core.NewMemorySnapshotStore()
+	_, rep, err := RunPassiveStandby(ctx, factory(500), store, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.RecoveryMeasured {
+		t.Fatalf("standby replayed output but recovery unmeasured: %+v", rep)
+	}
+}
+
+// flakyOp fails the job once after `failAt` elements, then behaves as a
+// pass-through forever. The shared fired flag makes restarts run clean.
+type flakyOp struct {
+	core.BaseOperator
+	seen   *int64
+	failAt int64
+	fired  *int32
+}
+
+func (f *flakyOp) ProcessElement(e core.Event, ctx core.Context) error {
+	n := atomic.AddInt64(f.seen, 1)
+	if n >= f.failAt && atomic.CompareAndSwapInt32(f.fired, 0, 1) {
+		return fmt.Errorf("injected operator failure at element %d", n)
+	}
+	ctx.Emit(e)
+	return nil
+}
+
+func flakyFactory(n int, failAt int64) (JobFactory, *int32) {
+	events := make([]core.Event, n)
+	for i := range events {
+		events[i] = core.Event{Key: fmt.Sprintf("k%d", i%5), Timestamp: int64(i), Value: int64(i)}
+	}
+	fired := new(int32)
+	fac := func(sink *core.CollectSink, store core.SnapshotStore) (*core.Job, error) {
+		seen := new(int64)
+		b := core.NewBuilder(core.Config{
+			Name:            "supervised",
+			SnapshotStore:   store,
+			CheckpointEvery: 40,
+			ChannelCapacity: 4,
+		})
+		b.Source("src", core.NewSliceSourceFactory(events)).
+			Process("flaky", func() core.Operator {
+				return &flakyOp{seen: seen, failAt: failAt, fired: fired}
+			}).
+			Sink("out", sink.Factory())
+		return b.Build()
+	}
+	return fac, fired
+}
+
+func TestRunSupervisedRestartsFromCheckpoint(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	const n = 500
+	fac, _ := flakyFactory(n, 250)
+	store := core.NewMemorySnapshotStore()
+	out, rep, err := RunSupervised(ctx, fac, store, RestartStrategy{MaxRestarts: 3, Delay: time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n {
+		t.Fatalf("supervised run lost/duplicated output: want %d distinct, got %d", n, len(out))
+	}
+	if rep.Attempts != 2 || rep.Restarts != 1 {
+		t.Fatalf("want exactly one restart, got %+v", rep)
+	}
+	if len(rep.RecoveredFrom) != 2 || rep.RecoveredFrom[0] != -1 || rep.RecoveredFrom[1] < 0 {
+		t.Fatalf("restart should resume from a completed checkpoint: %v", rep.RecoveredFrom)
+	}
+	if len(rep.Failures) != 1 {
+		t.Fatalf("failures: %v", rep.Failures)
+	}
+}
+
+func TestRunSupervisedGivesUpAfterBudget(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	events := []core.Event{{Key: "k", Timestamp: 1}}
+	fac := func(sink *core.CollectSink, store core.SnapshotStore) (*core.Job, error) {
+		b := core.NewBuilder(core.Config{Name: "doomed", SnapshotStore: store})
+		b.Source("src", core.NewSliceSourceFactory(events)).
+			Process("fail", core.MapFunc(func(core.Event, core.Context) error {
+				return fmt.Errorf("always fails")
+			})).
+			Sink("out", sink.Factory())
+		return b.Build()
+	}
+	store := core.NewMemorySnapshotStore()
+	_, rep, err := RunSupervised(ctx, fac, store, RestartStrategy{MaxRestarts: 2, Delay: time.Millisecond}, nil)
+	if err == nil {
+		t.Fatal("a permanently failing job must exhaust its restart budget")
+	}
+	if rep.Attempts != 3 {
+		t.Fatalf("MaxRestarts=2 should allow 3 attempts, got %d", rep.Attempts)
+	}
+}
+
+func TestRunSupervisedRecoversFromPanic(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	const n = 400
+	events := make([]core.Event, n)
+	for i := range events {
+		events[i] = core.Event{Key: fmt.Sprintf("k%d", i%3), Timestamp: int64(i), Value: int64(i)}
+	}
+	var fired int32
+	fac := func(sink *core.CollectSink, store core.SnapshotStore) (*core.Job, error) {
+		seen := new(int64)
+		b := core.NewBuilder(core.Config{
+			Name:            "panicky",
+			SnapshotStore:   store,
+			CheckpointEvery: 30,
+			ChannelCapacity: 4,
+		})
+		b.Source("src", core.NewSliceSourceFactory(events)).
+			Process("boom", core.MapFunc(func(e core.Event, ctx core.Context) error {
+				if atomic.AddInt64(seen, 1) >= 180 && atomic.CompareAndSwapInt32(&fired, 0, 1) {
+					panic("injected operator panic")
+				}
+				ctx.Emit(e)
+				return nil
+			})).
+			Sink("out", sink.Factory())
+		return b.Build()
+	}
+	store := core.NewMemorySnapshotStore()
+	out, rep, err := RunSupervised(ctx, fac, store, RestartStrategy{MaxRestarts: 3, Delay: time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n {
+		t.Fatalf("panic recovery lost/duplicated output: want %d distinct, got %d", n, len(out))
+	}
+	if rep.Restarts != 1 {
+		t.Fatalf("want one restart after the panic, got %+v", rep)
 	}
 }
 

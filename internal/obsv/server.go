@@ -16,10 +16,19 @@ import (
 // core.Job.Describe; obsv owns the shape so the server stays decoupled from
 // the engine.
 type JobInfo struct {
-	Name           string     `json:"name"`
-	LastCheckpoint int64      `json:"last_checkpoint"`
-	Nodes          []NodeInfo `json:"nodes"`
-	Edges          []EdgeInfo `json:"edges"`
+	Name           string `json:"name"`
+	LastCheckpoint int64  `json:"last_checkpoint"`
+	// AbortedCheckpoints counts checkpoints abandoned after a snapshot
+	// failure (the job kept running; a later checkpoint subsumed them).
+	AbortedCheckpoints int64 `json:"aborted_checkpoints"`
+	// SnapshotSaveFailures counts individual failed snapshot attempts,
+	// post-retry.
+	SnapshotSaveFailures int64 `json:"snapshot_save_failures"`
+	// Restarts counts supervised restarts of this job's lineage (filled by a
+	// restart-strategy supervisor; 0 when the job runs unsupervised).
+	Restarts int64      `json:"restarts"`
+	Nodes    []NodeInfo `json:"nodes"`
+	Edges    []EdgeInfo `json:"edges"`
 }
 
 // NodeInfo describes one logical graph vertex and its aggregate counters.
