@@ -1,0 +1,83 @@
+// Command streamvet runs the engine's invariant analyzers (poolretain,
+// msgexhaustive, wallclock, lockcross) over Go package patterns:
+//
+//	go run ./cmd/streamvet ./...
+//	go run ./cmd/streamvet -run wallclock,lockcross ./internal/core
+//
+// It exits 1 when any diagnostic is reported, so it slots directly into CI.
+// The suite is standard-library only — type information comes from `go list
+// -export` build-cache export data — so it runs in offline environments
+// where golang.org/x/tools (and therefore `go vet -vettool`) is unavailable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis/streamvet"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: streamvet [-list] [-run a,b] [package patterns]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := streamvet.Suite()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *run != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var selected []*streamvet.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				selected = append(selected, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "streamvet: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = selected
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := streamvet.ModuleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "streamvet: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := streamvet.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "streamvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := streamvet.RunAnalyzers(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "streamvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "streamvet: %d violation(s) in %d package(s) scanned\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,134 @@
+package streamvet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// NewMsgExhaustive builds the msgexhaustive analyzer. kindTypes are the
+// qualified names ("pkgpath.Name") of enum-like kind types — msgKind,
+// PartitionKind, chaos.CrashPoint — whose switches must be exhaustive.
+//
+// A switch over a kind type must either list a case for every declared
+// constant of the type or carry an explicit default clause. The engine
+// multiplexes records, watermarks, barriers and end-of-stream markers over
+// one channel; a switch that silently ignores a kind drops control messages,
+// which wedges watermark progress or barrier alignment instead of failing
+// loudly.
+func NewMsgExhaustive(kindTypes ...string) *Analyzer {
+	kinds := make(map[string]bool, len(kindTypes))
+	for _, t := range kindTypes {
+		kinds[t] = true
+	}
+	a := &Analyzer{
+		Name: "msgexhaustive",
+		Doc:  "reports switches over engine kind types that neither cover every kind nor declare a default",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[sw.Tag]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				tagType := types.Unalias(tv.Type)
+				name := qualifiedTypeName(tagType)
+				if !kinds[name] {
+					return true
+				}
+				checkKindSwitch(pass, sw, tagType, name)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// checkKindSwitch verifies one switch over a designated kind type.
+func checkKindSwitch(pass *Pass, sw *ast.SwitchStmt, tagType types.Type, typeName string) {
+	named, ok := tagType.(*types.Named)
+	if !ok {
+		return
+	}
+	declared := declaredConstants(named)
+	if len(declared) == 0 {
+		return
+	}
+	covered := make(map[string]bool)
+	hasDefault := false
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || tv.Value == nil {
+				continue
+			}
+			covered[constKey(tv.Value)] = true
+		}
+	}
+	if hasDefault {
+		return
+	}
+	var missing []string
+	for key, names := range declared {
+		if !covered[key] {
+			missing = append(missing, names)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Switch,
+		"switch over %s is missing cases for %s and has no default; a silently dropped message kind wedges the engine — add the cases or a default that fails loudly",
+		typeName, strings.Join(missing, ", "))
+}
+
+// declaredConstants collects the package-level constants of the named type,
+// grouped by value (aliased constants count as one kind) and rendered as a
+// name list per value.
+func declaredConstants(named *types.Named) map[string]string {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil
+	}
+	byValue := make(map[string][]string)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if !types.Identical(types.Unalias(c.Type()), named) {
+			continue
+		}
+		key := constKey(c.Val())
+		byValue[key] = append(byValue[key], c.Name())
+	}
+	out := make(map[string]string, len(byValue))
+	for key, names := range byValue {
+		sort.Strings(names)
+		out[key] = strings.Join(names, "/")
+	}
+	return out
+}
+
+// constKey renders a constant value as a comparable map key.
+func constKey(v constant.Value) string {
+	return v.ExactString()
+}

@@ -1,0 +1,64 @@
+package streamvet
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSeededViolations is the negative CI check: each testdata/seeded
+// package plants exactly one violation, and the matching analyzer must
+// report it. If an analyzer regresses into reporting nothing, this test
+// fails instead of the whole-repo scan silently passing everything.
+func TestSeededViolations(t *testing.T) {
+	cases := []struct {
+		dir      string
+		analyzer *Analyzer
+		contains string
+	}{
+		{
+			dir:      "poolretain",
+			analyzer: NewPoolRetain("seedpoolretain.Event"),
+			contains: "stored in struct field",
+		},
+		{
+			dir:      "msgexhaustive",
+			analyzer: NewMsgExhaustive("seedmsgexhaustive.kind"),
+			contains: "missing cases for kindBarrier",
+		},
+		{
+			dir:      "wallclock",
+			analyzer: NewWallClock("seedwallclock"),
+			contains: "time.Now in event-time package seedwallclock",
+		},
+		{
+			dir:      "lockcross",
+			analyzer: NewLockCross("seedlockcross"),
+			contains: "channel send while holding b.mu",
+		},
+	}
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			dir := filepath.Join(root, "internal/analysis/streamvet/testdata/seeded", tc.dir)
+			pkg, err := LoadDir(root, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, err := RunAnalyzers([]*Analyzer{tc.analyzer}, []*Package{pkg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(diags) != 1 {
+				t.Fatalf("%s on seeded package: got %d diagnostics, want exactly 1: %v",
+					tc.analyzer.Name, len(diags), diags)
+			}
+			if !strings.Contains(diags[0].Message, tc.contains) {
+				t.Errorf("%s diagnostic %q does not contain %q", tc.analyzer.Name, diags[0].Message, tc.contains)
+			}
+		})
+	}
+}

@@ -1,0 +1,219 @@
+// Package streamvet is a static-analysis suite that enforces the engine's
+// runtime invariants at compile time. PRs 2–3 made correctness depend on
+// conventions the compiler cannot see:
+//
+//   - pooled []Event batches must not be retained past the exchange
+//     (poolretain),
+//   - every switch over an engine kind type must handle every kind or fail
+//     loudly in a default — a silently dropped barrier or watermark wedges
+//     alignment (msgexhaustive),
+//   - event-time code must never read the wall clock, or the crash-matrix
+//     and output-equality tests stop being deterministic (wallclock),
+//   - a mutex held across a channel operation is the deadlock shape that
+//     backpressure makes reachable (lockcross).
+//
+// The suite is built on the standard library only (go/ast, go/types, with
+// type information from `go list -export` build-cache export data), so it
+// mirrors the golang.org/x/tools/go/analysis shape — Analyzer, Pass,
+// Diagnostic — without requiring the module. It runs standalone:
+//
+//	go run ./cmd/streamvet ./...
+//
+// False positives in genuinely processing-time or ownership-transfer code
+// are silenced with an annotation on (or immediately above) the offending
+// line:
+//
+//	//streamvet:allow <analyzer> [<analyzer>...] — reason
+package streamvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check, mirroring
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //streamvet:allow annotations.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run inspects one package and reports violations through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// allow maps file name → line → the set of analyzer names allowed there,
+	// collected from //streamvet:allow comments.
+	allow map[string]map[int]map[string]bool
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a violation at pos unless a //streamvet:allow annotation
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowedAt(position) {
+		return
+	}
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowedAt reports whether an annotation for this pass's analyzer covers the
+// given source position.
+func (p *Pass) allowedAt(pos token.Position) bool {
+	lines := p.allow[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][p.Analyzer.Name]
+}
+
+// allowPrefix introduces a streamvet annotation comment.
+const allowPrefix = "//streamvet:allow"
+
+// collectAllows indexes every //streamvet:allow annotation in the package. A
+// trailing annotation covers its own line; a standalone annotation comment
+// additionally covers the following line, so it can sit above a long
+// statement.
+func collectAllows(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	out := make(map[string]map[int]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				names := strings.TrimPrefix(c.Text, allowPrefix)
+				// Everything after an em dash or "--" is a human reason.
+				if i := strings.IndexAny(names, "—"); i >= 0 {
+					names = names[:i]
+				}
+				if i := strings.Index(names, "--"); i >= 0 {
+					names = names[:i]
+				}
+				pos := fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					out[pos.Filename] = lines
+				}
+				add := func(line int, name string) {
+					set := lines[line]
+					if set == nil {
+						set = make(map[string]bool)
+						lines[line] = set
+					}
+					set[name] = true
+				}
+				for _, name := range strings.Fields(names) {
+					add(pos.Line, name)
+					add(pos.Line+1, name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// combined diagnostics sorted by position.
+func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allows := collectAllows(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				allow:     allows,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			diags = append(diags, pass.diagnostics...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// Suite returns the four analyzers configured for this repository's engine
+// types and packages.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		NewPoolRetain("repro/internal/core.Event"),
+		NewMsgExhaustive(
+			"repro/internal/core.msgKind",
+			"repro/internal/core.PartitionKind",
+			"repro/internal/chaos.CrashPoint",
+		),
+		NewWallClock(
+			"repro/internal/core",
+			"repro/internal/window",
+			"repro/internal/cep",
+			"repro/internal/eventtime",
+		),
+		NewLockCross(
+			"repro/internal/core",
+			"repro/internal/eventtime",
+		),
+	}
+}
+
+// qualifiedTypeName renders a named type as "pkgpath.Name" for matching
+// against analyzer configuration. Unnamed types return "".
+func qualifiedTypeName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name() // universe scope (error, ...)
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}

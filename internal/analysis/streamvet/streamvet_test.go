@@ -1,0 +1,81 @@
+package streamvet
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+// golden runs one analyzer against its testdata package and reports every
+// mismatch between diagnostics and `// want` comments.
+func golden(t *testing.T, dir string, a *Analyzer) {
+	t.Helper()
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems, err := CheckGolden(root, filepath.Join(root, "internal/analysis/streamvet/testdata", dir), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+func TestPoolRetainGolden(t *testing.T) {
+	golden(t, "poolretain", NewPoolRetain("poolretain.Event"))
+}
+
+func TestMsgExhaustiveGolden(t *testing.T) {
+	golden(t, "msgexhaustive", NewMsgExhaustive("msgexhaustive.kind", "msgexhaustive.faultPoint"))
+}
+
+func TestWallClockGolden(t *testing.T) {
+	golden(t, "wallclock", NewWallClock("wallclock"))
+}
+
+func TestLockCrossGolden(t *testing.T) {
+	golden(t, "lockcross", NewLockCross("lockcross"))
+}
+
+// TestAllowAnnotationScope pins the annotation contract: a trailing
+// annotation covers its line, a standalone annotation covers the next line,
+// and an annotation for one analyzer does not silence another.
+func TestAllowAnnotationScope(t *testing.T) {
+	allows := map[string]map[int]map[string]bool{
+		"f.go": {
+			10: {"wallclock": true},
+			11: {"wallclock": true},
+		},
+	}
+	pass := &Pass{Analyzer: &Analyzer{Name: "wallclock"}, allow: allows}
+	for line, want := range map[int]bool{9: false, 10: true, 11: true, 12: false} {
+		got := pass.allowedAt(token.Position{Filename: "f.go", Line: line})
+		if got != want {
+			t.Errorf("line %d: allowed = %v, want %v", line, got, want)
+		}
+	}
+	other := &Pass{Analyzer: &Analyzer{Name: "lockcross"}, allow: allows}
+	if other.allowedAt(token.Position{Filename: "f.go", Line: 10}) {
+		t.Error("wallclock annotation must not silence lockcross")
+	}
+}
+
+// TestSuiteComposition pins the suite: four analyzers under their contract
+// names, so a config regression (dropping one, renaming one) fails here.
+func TestSuiteComposition(t *testing.T) {
+	want := []string{"poolretain", "msgexhaustive", "wallclock", "lockcross"}
+	suite := Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("Suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("Suite[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("Suite[%d] (%s) has no Doc", i, a.Name)
+		}
+	}
+}

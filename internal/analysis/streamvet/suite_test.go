@@ -1,0 +1,31 @@
+package streamvet
+
+import "testing"
+
+// TestSuiteCleanOnRepo runs the full streamvet suite over the whole module —
+// the same scan CI performs with `go run ./cmd/streamvet ./...` — and fails
+// on any violation. Running it from `go test` means a violation cannot land
+// even when only the test step of CI runs.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo scan skipped in -short mode")
+	}
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	diags, err := RunAnalyzers(Suite(), pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("streamvet violation: %s", d)
+	}
+}

@@ -1,0 +1,129 @@
+// Package lockcross is golden testdata for the lockcross analyzer, with this
+// package designated as engine code. A sync.Mutex or RWMutex held across a
+// channel send, receive, select, range-over-channel or sync.Cond.Wait is the
+// deadlock shape backpressure makes reachable.
+package lockcross
+
+import "sync"
+
+type guarded struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	n    int
+}
+
+func sendUnderLock(g *guarded, ch chan int) {
+	g.mu.Lock()
+	ch <- g.n // want `channel send while holding g.mu`
+	g.mu.Unlock()
+}
+
+func receiveUnderLock(g *guarded, ch chan int) {
+	g.mu.Lock()
+	g.n = <-ch // want `channel receive while holding g.mu`
+	g.mu.Unlock()
+}
+
+func selectUnderLock(g *guarded, ch chan int) {
+	g.mu.Lock()
+	select { // want `select while holding g.mu`
+	case v := <-ch:
+		g.n = v
+	default:
+	}
+	g.mu.Unlock()
+}
+
+func condWaitUnderLock(g *guarded) {
+	g.mu.Lock()
+	g.cond.Wait() // want `sync.Cond.Wait while holding g.mu`
+	g.mu.Unlock()
+}
+
+func rlockAcrossReceive(g *guarded, ch chan int) {
+	g.rw.RLock()
+	g.n = <-ch // want `channel receive while holding g.rw`
+	g.rw.RUnlock()
+}
+
+func deferredUnlock(g *guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch <- g.n // want `channel send while holding g.mu`
+}
+
+func fallThroughStillHeld(g *guarded, ch chan int, fast bool) {
+	g.mu.Lock()
+	if fast {
+		g.mu.Unlock()
+		return
+	}
+	ch <- g.n // want `channel send while holding g.mu`
+	g.mu.Unlock()
+}
+
+func rangeOverChannelUnderLock(g *guarded, ch chan int) {
+	g.mu.Lock()
+	for v := range ch { // want `range over channel while holding g.mu`
+		g.n += v
+	}
+	g.mu.Unlock()
+}
+
+func twoLocksHeld(g *guarded, h *guarded, ch chan int) {
+	g.mu.Lock()
+	h.mu.Lock()
+	ch <- 1 // want `while holding g.mu` `while holding h.mu`
+	h.mu.Unlock()
+	g.mu.Unlock()
+}
+
+func lockInsideGoroutine(g *guarded, ch chan int) {
+	go func() {
+		g.mu.Lock()
+		ch <- g.n // want `channel send while holding g.mu`
+		g.mu.Unlock()
+	}()
+}
+
+func unlockBeforeSend(g *guarded, ch chan int) {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	ch <- n
+}
+
+func bothBranchesUnlock(g *guarded, ch chan int, fast bool) {
+	g.mu.Lock()
+	if fast {
+		g.mu.Unlock()
+	} else {
+		g.mu.Unlock()
+	}
+	ch <- g.n
+}
+
+func goroutineEscapesLockScope(g *guarded, ch chan int) {
+	g.mu.Lock()
+	// The goroutine body runs under its own lock state: the send below does
+	// not execute while this frame holds the mutex.
+	go func() {
+		ch <- 1
+	}()
+	g.mu.Unlock()
+}
+
+func annotatedSend(g *guarded, ch chan int) {
+	g.mu.Lock()
+	ch <- g.n //streamvet:allow lockcross — buffered private channel under test
+	g.mu.Unlock()
+}
+
+func rangeOverSliceUnderLock(g *guarded, xs []int) {
+	g.mu.Lock()
+	for _, v := range xs { // ranging over a slice is not a channel op
+		g.n += v
+	}
+	g.mu.Unlock()
+}

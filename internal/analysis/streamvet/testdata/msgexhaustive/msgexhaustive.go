@@ -1,0 +1,107 @@
+// Package msgexhaustive is golden testdata for the msgexhaustive analyzer,
+// configured with kind types "msgexhaustive.kind" and
+// "msgexhaustive.faultPoint". It mirrors the engine's message-kind switches:
+// every switch over a kind type must cover every declared constant or carry
+// an explicit default.
+package msgexhaustive
+
+type kind uint8
+
+const (
+	kindRecord kind = iota
+	kindWatermark
+	kindBarrier
+	kindEOS
+)
+
+type faultPoint int
+
+const (
+	faultNone faultPoint = iota
+	faultMidSave
+	faultPreComplete
+)
+
+// faultSaveAlias shares faultMidSave's value: covering either name covers
+// the kind.
+const faultSaveAlias = faultMidSave
+
+// other is not a designated kind type; its switches are never checked.
+type other uint8
+
+const (
+	otherA other = iota
+	otherB
+)
+
+func missingOne(k kind) {
+	switch k { // want `missing cases for kindEOS and has no default`
+	case kindRecord:
+	case kindWatermark:
+	case kindBarrier:
+	}
+}
+
+func missingSeveral(k kind) {
+	switch k { // want `missing cases for kindBarrier, kindEOS, kindWatermark and has no default`
+	case kindRecord:
+	}
+}
+
+func covered(k kind) {
+	switch k {
+	case kindRecord:
+	case kindWatermark:
+	case kindBarrier:
+	case kindEOS:
+	}
+}
+
+func coveredMultiValueCase(k kind) {
+	switch k {
+	case kindRecord, kindWatermark:
+	case kindBarrier, kindEOS:
+	}
+}
+
+func defaulted(k kind) {
+	switch k {
+	case kindRecord:
+	default:
+	}
+}
+
+func aliasedConstant(p faultPoint) {
+	// faultSaveAlias covers the same value as faultMidSave.
+	switch p {
+	case faultNone:
+	case faultSaveAlias:
+	case faultPreComplete:
+	}
+}
+
+func aliasMissing(p faultPoint) {
+	switch p { // want `missing cases for faultMidSave/faultSaveAlias and has no default`
+	case faultNone:
+	case faultPreComplete:
+	}
+}
+
+func undesignated(o other) {
+	switch o { // not a kind type: exhaustiveness not required
+	case otherA:
+	}
+}
+
+func noTag(k kind) {
+	switch { // tagless switches are ordinary if/else chains
+	case k == kindRecord:
+	}
+}
+
+func annotated(k kind) {
+	//streamvet:allow msgexhaustive — deliberate partial handling under test
+	switch k {
+	case kindRecord:
+	}
+}

@@ -1,0 +1,18 @@
+// Package seedlockcross carries exactly one lockcross violation: a mutex
+// held across a channel send.
+package seedlockcross
+
+import "sync"
+
+type inbox struct {
+	mu    sync.Mutex
+	queue chan int
+	depth int
+}
+
+func (b *inbox) push(v int) {
+	b.mu.Lock()
+	b.depth++
+	b.queue <- v // the seeded violation: send while holding b.mu
+	b.mu.Unlock()
+}

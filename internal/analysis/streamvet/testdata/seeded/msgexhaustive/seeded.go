@@ -1,0 +1,21 @@
+// Package seedmsgexhaustive carries exactly one msgexhaustive violation: a
+// switch over a kind type that misses a case and has no default.
+package seedmsgexhaustive
+
+type kind uint8
+
+const (
+	kindRecord kind = iota
+	kindWatermark
+	kindBarrier
+)
+
+func dispatch(k kind) string {
+	switch k { // the seeded violation: kindBarrier silently dropped
+	case kindRecord:
+		return "record"
+	case kindWatermark:
+		return "watermark"
+	}
+	return ""
+}

@@ -1,0 +1,23 @@
+// Package seedpoolretain carries exactly one poolretain violation: a pooled
+// batch stored in a struct field. The negative CI test asserts the analyzer
+// still reports it — a regression in the analyzer fails the build rather
+// than silently passing everything.
+package seedpoolretain
+
+import "sync"
+
+type Event struct {
+	Key       string
+	Timestamp int64
+}
+
+var pool = sync.Pool{New: func() any { b := make([]Event, 0, 8); return &b }}
+
+type receiver struct {
+	retained *[]Event
+}
+
+func (r *receiver) onBatch() {
+	b := pool.Get().(*[]Event)
+	r.retained = b // the seeded violation: batch retained past the call
+}

@@ -1,0 +1,12 @@
+// Package seedwallclock carries exactly one wallclock violation: an
+// unannotated wall-clock read in a designated event-time package.
+package seedwallclock
+
+import "time"
+
+func eventTimeOfRecord(ts int64) int64 {
+	if ts == 0 {
+		ts = time.Now().UnixMilli() // the seeded violation: wall clock in event-time code
+	}
+	return ts
+}

@@ -1,0 +1,51 @@
+// Package wallclock is golden testdata for the wallclock analyzer, with this
+// package designated as event-time code. time.Now and time.Since are banned
+// unless the line carries (or follows) a //streamvet:allow wallclock
+// annotation; the injected-clock path and other time functions stay legal.
+package wallclock
+
+import "time"
+
+// clock mirrors the engine's injected eventtime.Clock.
+type clock interface {
+	Now() int64
+	After(d time.Duration) <-chan time.Time
+}
+
+func readsWallClock() int64 {
+	return time.Now().UnixMilli() // want `time.Now in event-time package wallclock`
+}
+
+func measuresWallClock(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in event-time package wallclock`
+}
+
+// referenceWithoutCall: storing time.Now as a function value smuggles the
+// wall clock just as effectively as calling it.
+var nowFunc = time.Now // want `time.Now in event-time package wallclock`
+
+func injectedClock(c clock) int64 {
+	return c.Now() // the injected clock is the sanctioned path
+}
+
+func otherTimeFunctions(d time.Duration) {
+	<-time.After(d)        // After/Tick/Sleep are processing-time waits, not banned
+	_ = time.UnixMilli(42) // constructors are fine
+	_ = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+}
+
+func allowedTrailing() int64 {
+	return time.Now().UnixMilli() //streamvet:allow wallclock — metrics stamp under test
+}
+
+func allowedPreceding() int64 {
+	//streamvet:allow wallclock — metrics stamp under test
+	return time.Now().UnixMilli()
+}
+
+// localNow is a decoy: only the standard library's time package is banned.
+type fakeTime struct{}
+
+func (fakeTime) Now() int64           { return 0 }
+func (fakeTime) Since(int64) int64    { return 0 }
+func decoy(f fakeTime) (int64, int64) { return f.Now(), f.Since(0) }

@@ -1,0 +1,99 @@
+package streamvet
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// vettest: an analysistest-style golden harness. A testdata package marks
+// each line where a diagnostic is expected with a trailing comment:
+//
+//	x.f = batch // want `stored in struct field`
+//	mu.Lock()   // want `re1` `re2`   (two diagnostics on one line)
+//
+// Each quoted or backquoted string is a regular expression that must match
+// the message of exactly one diagnostic reported on that line; diagnostics
+// without a matching expectation, and expectations without a matching
+// diagnostic, are failures. Kept free of *testing.T so the harness is usable
+// from both tests and ad-hoc tools; tests report the returned problems.
+
+// wantExpr extracts the expectation strings from a `// want` comment.
+var wantExpr = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one `// want` regexp at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// CheckGolden runs one analyzer over the single-directory package at dir
+// (resolved through moduleRoot for imports) and compares the diagnostics
+// against the package's `// want` comments. It returns one human-readable
+// problem per mismatch; an empty slice means the golden run passed.
+func CheckGolden(moduleRoot, dir string, a *Analyzer) ([]string, error) {
+	pkg, err := LoadDir(moduleRoot, dir)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := RunAnalyzers([]*Analyzer{a}, []*Package{pkg})
+	if err != nil {
+		return nil, err
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, raw := range wantExpr.FindAllString(text, -1) {
+					var pattern string
+					if raw[0] == '`' {
+						pattern = raw[1 : len(raw)-1]
+					} else {
+						pattern, err = strconv.Unquote(raw)
+						if err != nil {
+							return nil, fmt.Errorf("%s: bad want string %s: %v", pos, raw, err)
+						}
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	var problems []string
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.used || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re))
+		}
+	}
+	return problems, nil
+}

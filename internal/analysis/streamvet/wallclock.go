@@ -1,0 +1,51 @@
+package streamvet
+
+import (
+	"go/ast"
+)
+
+// NewWallClock builds the wallclock analyzer. pkgs are the import paths of
+// the designated event-time packages.
+//
+// Inside a designated package, any reference to time.Now or time.Since is
+// reported: event-time logic must take its notion of "now" from the injected
+// eventtime.Clock (or from event timestamps and watermarks), or the
+// crash-matrix and output-equality tests stop being deterministic and
+// recovery replays diverge from the original run. Genuinely processing-time
+// code — metrics stamps, observability probes, the wall-clock implementation
+// of the Clock interface itself — opts out per line with
+// //streamvet:allow wallclock.
+func NewWallClock(pkgs ...string) *Analyzer {
+	designated := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		designated[p] = true
+	}
+	a := &Analyzer{
+		Name: "wallclock",
+		Doc:  "bans time.Now/time.Since in designated event-time packages unless routed through the injected clock",
+	}
+	banned := map[string]bool{"Now": true, "Since": true}
+	a.Run = func(pass *Pass) error {
+		if !designated[pass.Pkg.Path()] {
+			return nil
+		}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !banned[sel.Sel.Name] {
+					return true
+				}
+				obj := pass.TypesInfo.Uses[sel.Sel]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"time.%s in event-time package %s; route through the injected clock (eventtime.Clock) or annotate genuinely processing-time code with //streamvet:allow wallclock",
+					sel.Sel.Name, pass.Pkg.Path())
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

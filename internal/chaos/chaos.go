@@ -329,6 +329,8 @@ type snapshottingPanicOperator struct {
 }
 
 func (o *snapshottingPanicOperator) SnapshotCustom() ([]byte, error) { return o.snap.SnapshotCustom() }
-func (o *snapshottingPanicOperator) RestoreCustom(data []byte) error { return o.snap.RestoreCustom(data) }
+func (o *snapshottingPanicOperator) RestoreCustom(data []byte) error {
+	return o.snap.RestoreCustom(data)
+}
 
 var _ core.Snapshotter = (*snapshottingPanicOperator)(nil)

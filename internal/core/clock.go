@@ -1,0 +1,16 @@
+package core
+
+import "time"
+
+// nanotime is the engine's single sanctioned wall-clock read. All
+// processing-time instrumentation in this package — latency markers, barrier
+// alignment and snapshot timing, backpressure stall measurement — takes
+// nanosecond stamps through this hook, so streamvet's wallclock analyzer can
+// verify at compile time that no event-time logic reads the wall clock
+// directly: event-time code must use the injected eventtime.Clock (or event
+// timestamps and watermarks), or crash-matrix replays and output-equality
+// tests stop being deterministic. Tests may swap the hook for a virtual
+// nanosecond source.
+//
+//streamvet:allow wallclock — this is the one sanctioned wall-clock read
+var nanotime = func() int64 { return time.Now().UnixNano() }

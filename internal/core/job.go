@@ -72,7 +72,8 @@ type checkpointInflight struct {
 	bytes   int64
 	save    bool
 	// started and span time/trace the in-flight checkpoint (observability).
-	started time.Time
+	// started is a nanotime() stamp.
+	started int64
 	span    *obsv.Span
 	// waiters are closed when the checkpoint with the given ID completes.
 	waiters map[int64][]chan struct{}
@@ -229,7 +230,7 @@ func (c *sourceCtx) Collect(e Event) bool {
 		}
 	}
 	if me := c.si.markerEvery; me > 0 && c.count%me == 0 {
-		now := time.Now().UnixNano()
+		now := nanotime()
 		mk := &latencyMarker{origin: now, hopped: now, from: c.si.node.name, source: c.si.id}
 		for _, o := range c.si.outs {
 			if !o.sendMarker(c.runCtx, mk) {
@@ -644,7 +645,7 @@ func (j *Job) initiateCheckpoint(ctx context.Context, req barrierMark) {
 	j.inflight.save = req.Savepoint
 	j.inflight.bytes = 0
 	if j.cfg.Instrument {
-		j.inflight.started = time.Now()
+		j.inflight.started = nanotime()
 	}
 	if j.cfg.Tracer != nil {
 		j.inflight.span = j.cfg.Tracer.Begin("checkpoint", "", j.cfg.Name).SetInt("checkpoint", id)
@@ -724,7 +725,7 @@ func (j *Job) processAck(a ackMsg) {
 	j.inflight.span = nil
 	j.inflight.mu.Unlock()
 	if j.cfg.Instrument {
-		j.metrics.Histogram("checkpoint.duration_ns").Observe(int64(time.Since(started)))
+		j.metrics.Histogram("checkpoint.duration_ns").Observe(nanotime() - started)
 		j.metrics.Gauge("checkpoint.last_id").Set(meta.ID)
 		j.metrics.Gauge("checkpoint.last_bytes").Set(meta.Bytes)
 		j.metrics.Counter("checkpoint.completed").Inc()

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"log"
 	"sync"
-	"time"
 
 	"repro/internal/eventtime"
 	"repro/internal/metrics"
@@ -107,7 +106,10 @@ func (o *outEdge) enqueue(ctx context.Context, t int, e Event) bool {
 	b := o.pending[t]
 	if b == nil {
 		b = batchPool.Get().(*[]Event)
-		o.pending[t] = b
+		// The open batch is sender-owned until flushTarget hands it to the
+		// receiver; flushAll ships it before any control message, so it never
+		// outlives the exchange.
+		o.pending[t] = b //streamvet:allow poolretain — sender-owned open batch, flushed before any control message
 	}
 	*b = append(*b, e)
 	if len(*b) < o.maxBatch {
@@ -194,11 +196,11 @@ func (o *outEdge) send(ctx context.Context, ch chan message, m message) bool {
 		return true
 	default:
 	}
-	start := time.Now()
+	start := nanotime()
 	if !send(ctx, ch, m) {
 		return false
 	}
-	o.blocked.Observe(int64(time.Since(start)))
+	o.blocked.Observe(nanotime() - start)
 	return true
 }
 
@@ -235,7 +237,7 @@ type instance struct {
 	wmLag      *metrics.Gauge     // node.<n>.<i>.watermark_lag_ms
 	latency    *metrics.Histogram // node.<n>.latency_ns (marker end-to-end)
 	alignNs    *metrics.Histogram // node.<n>.align_ns (barrier alignment)
-	alignStart time.Time
+	alignStart int64              // nanotime() stamp at first barrier arrival
 	tracer     *obsv.Tracer
 	batchSpan  *obsv.Span // open operator.process span, record-batch scoped
 	batchSize  int64
@@ -371,8 +373,14 @@ func (in *instance) handle(ctx context.Context, octx *opContext, m message) (boo
 
 	case msgLatencyMarker:
 		return false, in.handleMarker(ctx, m.marker)
+
+	default:
+		// Fail loudly: a silently dropped message kind (a future msgKind this
+		// switch does not know) would wedge watermark progress or barrier
+		// alignment with no trace. streamvet's msgexhaustive analyzer enforces
+		// that this switch stays total.
+		return false, fmt.Errorf("unhandled message kind %d on channel %d", m.kind, m.channel)
 	}
-	return false, nil
 }
 
 // processBatch unpacks a batched exchange through the per-record path, then
@@ -393,7 +401,7 @@ func (in *instance) processBatch(octx *opContext, b *[]Event) error {
 // marker downstream. Markers are invisible to operators, so they can never
 // perturb window, CEP or user state.
 func (in *instance) handleMarker(ctx context.Context, mk *latencyMarker) error {
-	now := time.Now().UnixNano()
+	now := nanotime()
 	if in.latency != nil {
 		in.latency.Observe(now - mk.origin)
 		in.job.metrics.Histogram("edge." + mk.from + "." + in.node.name + ".hop_ns").
@@ -506,7 +514,7 @@ func (in *instance) handleBarrier(ctx context.Context, octx *opContext, channel 
 		in.pendingBarrier = &pb
 		in.barrierCount = 0
 		if in.alignNs != nil {
-			in.alignStart = time.Now()
+			in.alignStart = nanotime()
 		}
 		if in.tracer != nil {
 			in.alignSpan = in.tracer.Begin("barrier.align", in.node.name, in.id).
@@ -547,7 +555,7 @@ func (in *instance) handleBarrier(ctx context.Context, octx *opContext, channel 
 func (in *instance) completeBarrier(ctx context.Context, octx *opContext) (bool, error) {
 	b := *in.pendingBarrier
 	if in.alignNs != nil {
-		in.alignNs.Observe(int64(time.Since(in.alignStart)))
+		in.alignNs.Observe(nanotime() - in.alignStart)
 	}
 	if in.alignSpan != nil {
 		in.alignSpan.SetInt("stashed", int64(len(in.stash)))
@@ -584,10 +592,10 @@ func (in *instance) completeBarrier(ctx context.Context, octx *opContext) (bool,
 // fails the instance: it aborts the checkpoint via a failed ack and the job
 // keeps processing — the next barrier retries with a fresh checkpoint.
 func (in *instance) snapshotAndAck(ctx context.Context, b barrierMark) {
-	var start time.Time
+	var start int64
 	instrumented := in.job.cfg.Instrument
 	if instrumented {
-		start = time.Now()
+		start = nanotime()
 	}
 	span := in.tracer.Begin("snapshot", in.node.name, in.id).SetInt("checkpoint", b.ID)
 	data, err := in.captureSnapshot()
@@ -598,7 +606,7 @@ func (in *instance) snapshotAndAck(ctx context.Context, b barrierMark) {
 	}
 	if instrumented {
 		reg := in.job.metrics
-		reg.Histogram("node." + in.node.name + ".snapshot_ns").Observe(int64(time.Since(start)))
+		reg.Histogram("node." + in.node.name + ".snapshot_ns").Observe(nanotime() - start)
 		reg.Histogram("node." + in.node.name + ".snapshot_bytes").Observe(int64(len(data)))
 	}
 	span.SetInt("bytes", int64(len(data)))

@@ -26,7 +26,7 @@ type Clock interface {
 type SystemClock struct{}
 
 // Now returns the wall-clock time in Unix milliseconds.
-func (SystemClock) Now() int64 { return time.Now().UnixMilli() }
+func (SystemClock) Now() int64 { return time.Now().UnixMilli() } //streamvet:allow wallclock — SystemClock is the wall-clock Clock implementation
 
 // After defers to time.After.
 func (SystemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
@@ -59,15 +59,21 @@ func (c *VirtualClock) Now() int64 {
 
 // After returns a channel that fires when the virtual clock advances by d.
 func (c *VirtualClock) After(d time.Duration) <-chan time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	ch := make(chan time.Time, 1)
-	deadline := c.now + d.Milliseconds()
-	if deadline <= c.now {
-		ch <- time.UnixMilli(c.now)
+	c.mu.Lock()
+	now := c.now
+	deadline := now + d.Milliseconds()
+	if deadline > now {
+		c.waiters = append(c.waiters, virtualWaiter{deadline: deadline, ch: ch})
+		c.mu.Unlock()
 		return ch
 	}
-	c.waiters = append(c.waiters, virtualWaiter{deadline: deadline, ch: ch})
+	// Non-positive duration: fire immediately. The send happens after the
+	// unlock — the channel is buffered and private here, so it cannot block,
+	// but the engine-wide rule (enforced by streamvet's lockcross) is that no
+	// channel operation runs under a held mutex.
+	c.mu.Unlock()
+	ch <- time.UnixMilli(now)
 	return ch
 }
 

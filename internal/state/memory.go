@@ -13,7 +13,7 @@ import (
 type MemoryBackend struct {
 	numGroups  int
 	currentKey string
-	curGroup   int // key group of currentKey, hashed once per SetCurrentKey
+	curGroup   int                         // key group of currentKey, hashed once per SetCurrentKey
 	groups     []map[string]map[string]any // group -> name -> key -> value
 
 	// Handles are memoized per state name: operators call e.g. State().Map(n)

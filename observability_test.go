@@ -209,4 +209,3 @@ func TestIntrospectionServerAcceptance(t *testing.T) {
 		t.Fatal("/traces empty on a traced run")
 	}
 }
-
