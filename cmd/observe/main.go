@@ -24,7 +24,9 @@ import (
 	"repro/internal/cep"
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/elastic"
 	"repro/internal/gen"
+	"repro/internal/load"
 	"repro/internal/obsv"
 	"repro/internal/window"
 )
@@ -38,7 +40,13 @@ func main() {
 	dump := flag.Bool("dump", true, "fetch and print /metrics once the job finishes")
 	batch := flag.Int("batch", 0, "coalesce up to N records per exchange message (0/1 = per-record sends)")
 	chaosMode := flag.Bool("chaos", false, "inject snapshot-store faults (every 3rd save fails with a torn write, plus latency) so the abort/retry metrics go live")
+	elasticMode := flag.Bool("elastic", false, "run the elastic demo instead: a rate ramp drives the DS2 policy through live scale-out and scale-in, with rescale metrics on /metrics and /jobs")
 	flag.Parse()
+
+	if *elasticMode {
+		runElasticDemo(*addr)
+		return
+	}
 
 	var store core.SnapshotStore = core.NewMemorySnapshotStore()
 	var faulty *chaos.FaultyStore
@@ -132,5 +140,99 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("--- /metrics (%d bytes) ---\n%s", len(body), body)
+	}
+}
+
+// runElasticDemo drives a pipeline through a load ramp under the elastic
+// controller: a gentle phase (1 instance suffices), a burst (backpressure
+// pushes corrected demand past one instance's true rate, the DS2 policy
+// scales out via stop-with-savepoint -> rescale -> restore), and a cool-down
+// (hysteresis then scales back in). Rescale lineage is live on /metrics
+// (elastic.*) and /jobs while it runs.
+func runElasticDemo(addr string) {
+	const n = 4500
+	events := make([]core.Event, n)
+	for i := range events {
+		events[i] = core.Event{
+			Key:       fmt.Sprintf("k%d", i%5),
+			Timestamp: int64(i * 10),
+			Value:     int64(i),
+		}
+	}
+	pace := func(i int) time.Duration {
+		if i < n/3 || i >= 2*n/3 {
+			return time.Millisecond // gentle offered load
+		}
+		return 0 // burst: as fast as the pipeline admits
+	}
+
+	tracer := obsv.NewTracer(obsv.DefaultTraceCapacity)
+	build := func(par int, sink *core.CollectSink, store core.SnapshotStore) (*core.Job, error) {
+		b := core.NewBuilder(core.Config{
+			Name:              "elastic-demo",
+			Instrument:        true,
+			Tracer:            tracer,
+			SnapshotStore:     store,
+			CheckpointEvery:   500,
+			ChannelCapacity:   32,
+			WatermarkInterval: 1,
+		})
+		// ~150µs of simulated work per record bounds one instance's true
+		// processing rate, so the burst genuinely needs more instances.
+		work := core.MapFunc(func(e core.Event, ctx core.Context) error {
+			time.Sleep(150 * time.Microsecond)
+			ctx.Emit(e)
+			return nil
+		})
+		keyed := b.Source("src", elastic.NewPacedSourceFactory(events, pace),
+			core.WithParallelism(1), core.WithBoundedDisorder(0)).
+			KeyBy(func(e core.Event) string { return e.Key }).
+			ProcessWith("work", work, par).
+			KeyBy(func(e core.Event) string { return e.Key })
+		window.Apply(keyed, "win-1s", window.NewTumbling(1_000), window.CountAggregate()).
+			Sink("out", sink.Factory())
+		return b.Build()
+	}
+
+	ctrl, err := elastic.New(elastic.Config{
+		Node:                "work",
+		Upstream:            "src",
+		UpstreamParallelism: 1,
+		Build:               build,
+		Store:               core.NewMemorySnapshotStore(),
+		Policy:              load.NewScalingPolicy(0.8, 1, 4),
+		InitialParallelism:  1,
+		SampleEvery:         100 * time.Millisecond,
+		Tracer:              tracer,
+		Logger:              os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elastic:", err)
+		os.Exit(1)
+	}
+	srv, err := ctrl.ServeIntrospection(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("elastic demo on http://%s  (/metrics /jobs /traces)\n", srv.Addr())
+
+	start := time.Now()
+	out, rep, err := ctrl.Run(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("stream drained in %v: %d exactly-once results (%d duplicate emissions suppressed), %d incarnations, final parallelism %d\n",
+		time.Since(start).Round(time.Millisecond), rep.Output, rep.Duplicates, rep.Attempts, rep.FinalParallelism)
+	_ = out
+	for i, ev := range rep.Rescales {
+		fmt.Printf("rescale %d: %d -> %d  downtime=%v offline=%v state=%dB timers=%d (savepoint %d -> checkpoint %d)\n",
+			i+1, ev.From, ev.To, ev.Downtime.Round(time.Millisecond), ev.Offline.Round(time.Millisecond),
+			ev.StateBytes, ev.Timers, ev.SavepointID, ev.RescaledID)
+	}
+	if len(rep.Rescales) == 0 {
+		fmt.Println("no rescale triggered — try a slower machine or a longer burst")
 	}
 }

@@ -47,6 +47,18 @@ const (
 	// CrashMidRestore kills the job during the At-th Load call, i.e. while a
 	// restarted incarnation is reading its restore snapshots.
 	CrashMidRestore
+	// CrashPostSavepoint kills the job right after the At-th *savepoint*
+	// Complete commits durably — the start of a live-rescale window: the
+	// savepoint exists, but the reconfiguration that was about to consume it
+	// never ran. Recovery must resume from that savepoint. At counts
+	// savepoint completions only.
+	CrashPostSavepoint
+	// CrashPreRescaleComplete fails the At-th Complete of a checkpoint
+	// synthesised by RescaleCheckpoint before it reaches the underlying
+	// store — a crash at the end of the rescale window, leaving the rescaled
+	// checkpoint invisible so recovery rolls back to the pre-rescale
+	// savepoint at the old parallelism. At counts rescale completions only.
+	CrashPreRescaleComplete
 )
 
 func (p CrashPoint) String() string {
@@ -57,6 +69,10 @@ func (p CrashPoint) String() string {
 		return "pre-complete"
 	case CrashMidRestore:
 		return "mid-restore"
+	case CrashPostSavepoint:
+		return "post-savepoint"
+	case CrashPreRescaleComplete:
+		return "pre-rescale-complete"
 	default:
 		return "none"
 	}
@@ -115,6 +131,12 @@ type FaultyStore struct {
 	crashAt int
 	crashed bool
 	kill    atomic.Value // func()
+
+	// Per-kind Complete ordinals, so the rescale-window crash points can be
+	// aimed at "the Nth savepoint" / "the Nth rescale" instead of counting
+	// periodic checkpoint completions that vary with timing.
+	savepointCompletes int
+	rescaleCompletes   int
 }
 
 // Wrap builds a FaultyStore injecting plan over inner.
@@ -233,24 +255,43 @@ func (s *FaultyStore) Complete(meta core.CheckpointMeta) error {
 	s.mu.Lock()
 	ord := s.stats.Completes
 	s.stats.Completes++
-	crash := s.crash == CrashPreComplete && !s.crashed && ord >= s.crashAt
-	fail := crash || inWindow(ord, s.plan.FailCompleteFrom, s.plan.FailCompleteCount)
+	var kindOrd int
+	switch {
+	case meta.Rescaled:
+		kindOrd = s.rescaleCompletes
+		s.rescaleCompletes++
+	case meta.Savepoint:
+		kindOrd = s.savepointCompletes
+		s.savepointCompletes++
+	}
+	armed := !s.crashed
+	crashPre := armed && (s.crash == CrashPreComplete && ord >= s.crashAt ||
+		s.crash == CrashPreRescaleComplete && meta.Rescaled && kindOrd >= s.crashAt)
+	// The post-savepoint crash lets the Complete reach the medium first: the
+	// savepoint is durable, the process dies immediately after — the moment a
+	// live rescale would begin.
+	crashPost := armed && s.crash == CrashPostSavepoint && meta.Savepoint && kindOrd >= s.crashAt
+	fail := crashPre || inWindow(ord, s.plan.FailCompleteFrom, s.plan.FailCompleteCount)
 	if fail {
 		s.stats.CompleteFaults++
 	}
 	var kill func()
-	if crash {
+	if crashPre || crashPost {
 		kill = s.fireLocked()
 	}
 	s.mu.Unlock()
 
+	if fail {
+		if kill != nil {
+			kill()
+		}
+		return fmt.Errorf("%w: complete #%d (checkpoint %d)", ErrInjected, ord, meta.ID)
+	}
+	err := s.inner.Complete(meta)
 	if kill != nil {
 		kill()
 	}
-	if fail {
-		return fmt.Errorf("%w: complete #%d (checkpoint %d)", ErrInjected, ord, meta.ID)
-	}
-	return s.inner.Complete(meta)
+	return err
 }
 
 // Latest implements core.SnapshotStore.

@@ -46,6 +46,10 @@ type Job struct {
 
 	// LastCheckpoint is the ID of the most recently completed checkpoint.
 	lastCheckpoint atomic.Int64
+	// savepointStopped flips when a stop-with-savepoint barrier halts a
+	// source mid-stream, distinguishing that exit from a natural
+	// end-of-stream once Run returns.
+	savepointStopped atomic.Bool
 	// abortedCP counts checkpoints abandoned because an instance's snapshot
 	// failed; saveFailures counts the individual failed snapshot attempts.
 	// The job keeps running through both — the next barrier subsumes the
@@ -75,8 +79,16 @@ type checkpointInflight struct {
 	// started is a nanotime() stamp.
 	started int64
 	span    *obsv.Span
-	// waiters are closed when the checkpoint with the given ID completes.
+	// waiters are closed when a checkpoint with at least the given ID
+	// completes (a later checkpoint subsumes earlier aborted ones).
 	waiters map[int64][]chan struct{}
+	// pendingSave records a savepoint request that arrived while another
+	// checkpoint was in flight. The coordinator re-initiates it when the
+	// in-flight checkpoint completes or aborts, so an accepted savepoint is
+	// never silently coalesced away — callers that got `true` from
+	// TriggerSavepoint can rely on the job eventually stopping (unless the
+	// stream ends first).
+	pendingSave bool
 }
 
 func newJob(cfg Config, g *Graph) *Job {
@@ -121,6 +133,48 @@ func (j *Job) RestoreFrom(checkpointID int64) { j.restoreCP = checkpointID }
 
 // LastCheckpoint returns the most recently completed checkpoint ID, or -1.
 func (j *Job) LastCheckpoint() int64 { return j.lastCheckpoint.Load() }
+
+// SavepointStopped reports whether a stop-with-savepoint barrier halted the
+// job's sources mid-stream. Meaningful once Run has returned: true means the
+// exit was a savepoint stop (no final watermark, open windows preserved in
+// state), false means the stream ended naturally or the run failed. Note the
+// savepoint itself may still have aborted (snapshot failure) — check
+// LastCheckpoint or the store for what actually completed.
+func (j *Job) SavepointStopped() bool { return j.savepointStopped.Load() }
+
+// WhenCheckpoint returns a channel closed once a checkpoint with ID >= id
+// completes. Aborted checkpoints are subsumed by the next completed one, so
+// waiting on an aborted ID still unblocks. The channel never closes if the
+// job stops before any such checkpoint completes.
+func (j *Job) WhenCheckpoint(id int64) <-chan struct{} {
+	ch := make(chan struct{})
+	j.inflight.mu.Lock()
+	if j.lastCheckpoint.Load() >= id {
+		j.inflight.mu.Unlock()
+		close(ch)
+		return ch
+	}
+	j.inflight.waiters[id] = append(j.inflight.waiters[id], ch)
+	j.inflight.mu.Unlock()
+	return ch
+}
+
+// notifyCheckpoint releases every waiter registered for a checkpoint ID the
+// completed checkpoint covers. Channels close outside the lock.
+func (j *Job) notifyCheckpoint(completed int64) {
+	var release []chan struct{}
+	j.inflight.mu.Lock()
+	for id, ws := range j.inflight.waiters {
+		if id <= completed {
+			release = append(release, ws...)
+			delete(j.inflight.waiters, id)
+		}
+	}
+	j.inflight.mu.Unlock()
+	for _, w := range release {
+		close(w)
+	}
+}
 
 // AbortedCheckpoints returns how many checkpoints were aborted (and subsumed
 // by a later one) because an instance snapshot failed.
@@ -308,6 +362,9 @@ drain:
 			break drain
 		}
 	}
+	if sctx.savepointStop {
+		s.job.savepointStopped.Store(true)
+	}
 	for _, o := range s.outs {
 		// A natural end drains: event time advances to infinity so all open
 		// windows fire. A stop-with-savepoint ends without draining.
@@ -385,6 +442,7 @@ func (j *Job) buildPhysical() error {
 				inst.queueDepth = j.metrics.Gauge(pfx + "queue_depth")
 				inst.wmGauge = j.metrics.Gauge(pfx + "watermark")
 				inst.wmLag = j.metrics.Gauge(pfx + "watermark_lag_ms")
+				inst.busyNs = j.metrics.Counter(pfx + "busy_ns")
 				inst.latency = j.metrics.Histogram("node." + n.name + ".latency_ns")
 				inst.alignNs = j.metrics.Histogram("node." + n.name + ".align_ns")
 			}
@@ -586,22 +644,35 @@ func (j *Job) Fail(err error) {
 	j.Stop()
 }
 
-// requestCheckpoint asks the coordinator to start a checkpoint; concurrent
-// requests while one is in flight are coalesced.
-func (j *Job) requestCheckpoint(savepoint bool) {
+// requestCheckpoint asks the coordinator to start a checkpoint and reports
+// whether the request was accepted. The send is non-blocking by design —
+// sources call this from their hot path — so a full request queue rejects
+// rather than stalls; callers that must not lose the request (the elastic
+// controller's savepoint trigger) retry on false instead of assuming the
+// checkpoint will happen.
+func (j *Job) requestCheckpoint(savepoint bool) bool {
 	select {
 	case j.cpRequest <- barrierMark{Savepoint: savepoint}:
+		return true
 	default:
+		return false
 	}
 }
 
-// TriggerCheckpoint manually starts a checkpoint (no-op without a store).
-func (j *Job) TriggerCheckpoint() { j.requestCheckpoint(false) }
+// TriggerCheckpoint manually starts a checkpoint (no-op without a store). It
+// returns whether the request was accepted; false means the coordinator's
+// request queue was full and the caller should retry.
+func (j *Job) TriggerCheckpoint() bool { return j.requestCheckpoint(false) }
 
 // TriggerSavepoint starts a final checkpoint and stops the sources once the
 // barrier is emitted; the pipeline then drains and Run returns. The
 // savepoint's checkpoint ID is reported via LastCheckpoint after completion.
-func (j *Job) TriggerSavepoint() { j.requestCheckpoint(true) }
+// It returns whether the request was accepted; false means the request queue
+// was full and the savepoint will NOT happen unless retried. An accepted
+// savepoint is never dropped: if another checkpoint is in flight when the
+// request is dequeued, the savepoint is held and initiated as soon as the
+// in-flight checkpoint completes or aborts.
+func (j *Job) TriggerSavepoint() bool { return j.requestCheckpoint(true) }
 
 // coordinate runs the checkpoint coordinator: it serialises checkpoint
 // initiation and completes checkpoints as acks arrive. Once the job's
@@ -625,7 +696,11 @@ func (j *Job) coordinate(ctx context.Context, done chan struct{}) {
 		case req := <-j.cpRequest:
 			j.initiateCheckpoint(ctx, req)
 		case a := <-j.acks:
-			j.processAck(a)
+			if j.processAck(a) {
+				// A savepoint arrived while that checkpoint was in flight;
+				// start it now that the slot is free.
+				j.initiateCheckpoint(ctx, barrierMark{Savepoint: true})
+			}
 		}
 	}
 }
@@ -636,8 +711,17 @@ func (j *Job) initiateCheckpoint(ctx context.Context, req barrierMark) {
 	}
 	j.inflight.mu.Lock()
 	if j.inflight.active {
+		// Coalesce concurrent checkpoint requests — but hold a savepoint for
+		// re-initiation, because dropping it would leave a TriggerSavepoint
+		// caller waiting for a stop that never comes.
+		if req.Savepoint {
+			j.inflight.pendingSave = true
+		}
 		j.inflight.mu.Unlock()
-		return // coalesce concurrent requests
+		return
+	}
+	if req.Savepoint {
+		j.inflight.pendingSave = false
 	}
 	id := j.cpSeq.Add(1)
 	j.inflight.active = true
@@ -671,11 +755,15 @@ func (j *Job) initiateCheckpoint(ctx context.Context, req barrierMark) {
 	}
 }
 
-func (j *Job) processAck(a ackMsg) {
+// processAck folds one instance ack into the in-flight checkpoint. The
+// return value reports whether a held savepoint should be initiated now that
+// the in-flight slot is free (completion or abort of a non-savepoint
+// checkpoint with pendingSave set).
+func (j *Job) processAck(a ackMsg) bool {
 	j.inflight.mu.Lock()
 	if !j.inflight.active || a.cp != j.inflight.id {
 		j.inflight.mu.Unlock()
-		return
+		return false
 	}
 	if a.failed {
 		// Abort-and-subsume: abandon this checkpoint, discard its partial
@@ -683,6 +771,10 @@ func (j *Job) processAck(a ackMsg) {
 		// fresh checkpoint that subsumes it. Late acks for the aborted ID
 		// fall through the active/id guard above.
 		j.inflight.active = false
+		// An aborted savepoint already stopped the sources, so a held
+		// follow-up savepoint has nothing left to snapshot — drop it.
+		resume := j.inflight.pendingSave && !j.inflight.save
+		j.inflight.pendingSave = false
 		span := j.inflight.span
 		j.inflight.span = nil
 		j.inflight.mu.Unlock()
@@ -697,13 +789,13 @@ func (j *Job) processAck(a ackMsg) {
 			}
 		}
 		j.logger.Printf("checkpoint %d aborted (snapshot failed at %s)", a.cp, a.instanceID)
-		return
+		return resume
 	}
 	delete(j.inflight.pending, a.instanceID)
 	j.inflight.bytes += a.bytes
 	if len(j.inflight.pending) > 0 {
 		j.inflight.mu.Unlock()
-		return
+		return false
 	}
 	meta := CheckpointMeta{
 		ID:        j.inflight.id,
@@ -718,8 +810,8 @@ func (j *Job) processAck(a ackMsg) {
 		meta.InstanceIDs = append(meta.InstanceIDs, s.id)
 	}
 	j.inflight.active = false
-	waiters := j.inflight.waiters[meta.ID]
-	delete(j.inflight.waiters, meta.ID)
+	resume := j.inflight.pendingSave && !j.inflight.save
+	j.inflight.pendingSave = false
 	started := j.inflight.started
 	span := j.inflight.span
 	j.inflight.span = nil
@@ -734,13 +826,12 @@ func (j *Job) processAck(a ackMsg) {
 	span.End()
 	if err := j.cfg.SnapshotStore.Complete(meta); err != nil {
 		j.logger.Printf("checkpoint %d: complete: %v", meta.ID, err)
-		return
+		return resume
 	}
 	j.lastCheckpoint.Store(meta.ID)
 	j.logger.Printf("checkpoint %d complete (%d bytes)", meta.ID, meta.Bytes)
-	for _, w := range waiters {
-		close(w)
-	}
+	j.notifyCheckpoint(meta.ID)
+	return resume
 }
 
 // saveAndAck persists one instance snapshot (retrying transient store I/O

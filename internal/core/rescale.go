@@ -75,11 +75,46 @@ func RescaleCheckpoint(store SnapshotStore, fromCP, toCP int64, nodeName string,
 		if err != nil {
 			return stats, fmt.Errorf("core: rescale %s: %w", id, err)
 		}
+		// A non-empty image must declare the fan-out its keys were hashed
+		// under. NumGroups == 0 with state present means the snapshot was
+		// produced outside the managed backends (or corrupted): redistributing
+		// it under this rescale's group count would route keys to instances
+		// that will never look them up. An empty image with NumGroups == 0 is
+		// fine — it is what an instance that held no state snapshots.
+		if img.NumGroups == 0 && len(img.Groups) > 0 {
+			return stats, fmt.Errorf("core: rescale %s: image carries %d key groups but declares no fan-out; cannot verify key placement", id, len(img.Groups))
+		}
 		if img.NumGroups != 0 && img.NumGroups != numGroups {
 			return stats, fmt.Errorf("core: rescale %s: image has %d key groups, want %d", id, img.NumGroups, numGroups)
 		}
+		// Deep-merge per (group, state, key). Old instances own disjoint group
+		// ranges in a well-formed checkpoint, but nothing enforces that here —
+		// snapshots may come from overlapping incarnations or hand-built
+		// images — so a plain `merged.Groups[g] = names` would silently drop
+		// every earlier instance's keys for an overlapping group. Inner maps
+		// are copied, not aliased, so the sub-images written below never share
+		// structure with the decoded inputs (or with the caller's maps in
+		// tests). On a per-key conflict the later instance wins — store
+		// ordering (sorted instance IDs) makes that deterministic.
 		for g, names := range img.Groups {
-			merged.Groups[g] = names
+			if g < 0 || g >= numGroups {
+				return stats, fmt.Errorf("core: rescale %s: key group %d out of range [0,%d)", id, g, numGroups)
+			}
+			dst := merged.Groups[g]
+			if dst == nil {
+				dst = make(map[string]map[string]any, len(names))
+				merged.Groups[g] = dst
+			}
+			for name, kv := range names {
+				dkv := dst[name]
+				if dkv == nil {
+					dkv = make(map[string]any, len(kv))
+					dst[name] = dkv
+				}
+				for k, v := range kv {
+					dkv[k] = v
+				}
+			}
 		}
 		ts := newTimerService()
 		if err := ts.restore(snap.Timers); err != nil {
@@ -142,6 +177,7 @@ func RescaleCheckpoint(store SnapshotStore, fromCP, toCP int64, nodeName string,
 	meta := CheckpointMeta{
 		ID:          toCP,
 		JobName:     fmt.Sprintf("rescale(%s->%d)", nodeName, newParallelism),
+		Rescaled:    true,
 		InstanceIDs: append(passthrough, newIDs...),
 		Bytes:       total,
 	}
@@ -149,6 +185,22 @@ func RescaleCheckpoint(store SnapshotStore, fromCP, toCP int64, nodeName string,
 		return stats, err
 	}
 	return stats, nil
+}
+
+// NodeParallelismIn counts the instances of nodeName recorded in a checkpoint,
+// i.e. the parallelism a job must be rebuilt with to RestoreFrom it. Zero
+// means the checkpoint holds no instances of that node. The elastic controller
+// uses this to roll back to a checkpoint's parallelism after a crash
+// mid-rescale, when the checkpoint it recovers from may predate or postdate
+// the reconfiguration.
+func NodeParallelismIn(meta CheckpointMeta, nodeName string) int {
+	n := 0
+	for _, id := range meta.InstanceIDs {
+		if name, _, ok := splitInstanceID(id); ok && name == nodeName {
+			n++
+		}
+	}
+	return n
 }
 
 // splitInstanceID splits "name-3" into ("name", 3). Node names may themselves

@@ -235,6 +235,7 @@ type instance struct {
 	queueDepth *metrics.Gauge     // node.<n>.<i>.queue_depth
 	wmGauge    *metrics.Gauge     // node.<n>.<i>.watermark
 	wmLag      *metrics.Gauge     // node.<n>.<i>.watermark_lag_ms
+	busyNs     *metrics.Counter   // node.<n>.<i>.busy_ns (useful-work time)
 	latency    *metrics.Histogram // node.<n>.latency_ns (marker end-to-end)
 	alignNs    *metrics.Histogram // node.<n>.align_ns (barrier alignment)
 	alignStart int64              // nanotime() stamp at first barrier arrival
@@ -328,7 +329,17 @@ func (in *instance) run(ctx context.Context) error {
 			if in.queueDepth != nil {
 				in.queueDepth.Set(int64(len(in.inbox)))
 			}
+			// busyNs accumulates only time spent handling messages — inbox
+			// waits are excluded — giving the DS2-style "true" (useful-work)
+			// processing rate the scaling policy divides the input rate by.
+			var busyStart int64
+			if in.busyNs != nil {
+				busyStart = nanotime()
+			}
 			done, err := in.handle(ctx, octx, m)
+			if in.busyNs != nil {
+				in.busyNs.Add(nanotime() - busyStart)
+			}
 			if err != nil {
 				return fmt.Errorf("%s: %w", in.id, err)
 			}

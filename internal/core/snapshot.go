@@ -45,6 +45,10 @@ type CheckpointMeta struct {
 	ID        int64
 	JobName   string
 	Savepoint bool
+	// Rescaled marks a checkpoint synthesised offline by RescaleCheckpoint
+	// rather than taken from a running job. Fault injectors use it to place
+	// crash points inside the reconfiguration window.
+	Rescaled bool
 	// InstanceIDs lists every instance that contributed a snapshot.
 	InstanceIDs []string
 	// Bytes is the total snapshot volume, for experiment accounting.

@@ -1,0 +1,350 @@
+package elastic
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/ha"
+	"repro/internal/load"
+	"repro/internal/metrics"
+	"repro/internal/window"
+)
+
+// elasticEvents is the E17 workload: n events over five keys, 10ms of event
+// time apart, so a tumbling 1s window yields a fully deterministic result set
+// regardless of the window operator's parallelism.
+func elasticEvents(n int) []core.Event {
+	events := make([]core.Event, n)
+	for i := range events {
+		events[i] = core.Event{
+			Key:       fmt.Sprintf("k%d", i%5),
+			Timestamp: int64(i * 10),
+			Value:     int64(i),
+		}
+	}
+	return events
+}
+
+// makeBuild returns the pipeline under test: paced source (fixed parallelism
+// 1) -> keyed tumbling count window "win" (the scaled node) -> sink. The
+// small channel capacity keeps the source backpressured so savepoint barriers
+// always land mid-stream.
+func makeBuild(events []core.Event, pace func(int) time.Duration) BuildFunc {
+	return func(par int, sink *core.CollectSink, store core.SnapshotStore) (*core.Job, error) {
+		b := core.NewBuilder(core.Config{
+			Name:               "elastic-e17",
+			SnapshotStore:      store,
+			CheckpointEvery:    60,
+			ChannelCapacity:    4,
+			WatermarkInterval:  1,
+			DefaultParallelism: par,
+			Instrument:         true,
+		})
+		keyed := b.Source("src", NewPacedSourceFactory(events, pace),
+			core.WithParallelism(1), core.WithBoundedDisorder(0)).
+			KeyBy(func(e core.Event) string { return e.Key })
+		window.Apply(keyed, "win", window.NewTumbling(1_000), window.CountAggregate()).
+			Sink("out", sink.Factory())
+		return b.Build()
+	}
+}
+
+// signature reduces a result set to a canonical order-independent form
+// including values, so a rescale that mis-merged window state (wrong count,
+// lost or duplicated window) fails the equality check.
+func signature(events []core.Event) []string {
+	out := make([]string, len(events))
+	for i, e := range events {
+		out[i] = fmt.Sprintf("%s@%d=%v", e.Key, e.Timestamp, e.Value)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// runBaseline runs the pipeline at a fixed parallelism with no pacing and no
+// controller, returning its output signature — the ground truth every elastic
+// run must reproduce byte-for-byte.
+func runBaseline(t *testing.T, events []core.Event, par int) []string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	sink := core.NewCollectSink()
+	job, err := makeBuild(events, nil)(par, sink, core.NewMemorySnapshotStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Run(ctx); err != nil {
+		t.Fatalf("baseline run failed: %v", err)
+	}
+	return signature(sink.Events())
+}
+
+func pace50us(int) time.Duration { return 50 * time.Microsecond }
+
+// TestLiveRescaleEquality is the E17 headline: a keyed-window pipeline that
+// is rescaled up AND back down mid-stream by the controller must produce
+// byte-identical exactly-once output versus a fixed-parallelism run, with no
+// crash recoveries and a measurable (bounded) downtime per rescale.
+func TestLiveRescaleEquality(t *testing.T) {
+	const n = 1200
+	events := elasticEvents(n)
+	want := runBaseline(t, events, 2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c, err := New(Config{
+		Node:  "win",
+		Build: makeBuild(events, pace50us),
+		Store: core.NewMemorySnapshotStore(),
+		// Scripted on stream position so the rescale points are deterministic;
+		// the rate-driven path is covered by the sampler/decide tests below.
+		Decider: func(s Sample, current int) int {
+			switch {
+			case s.Records > 800:
+				return 3 // scale in once most of the stream has passed
+			case s.Records > 250:
+				return 4 // scale out early
+			}
+			return current
+		},
+		InitialParallelism: 2,
+		SampleEvery:        3 * time.Millisecond,
+		Restart:            ha.RestartStrategy{MaxRestarts: 2, Delay: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rep, err := c.Run(ctx)
+	if err != nil {
+		t.Fatalf("elastic run failed (report %+v): %v", rep, err)
+	}
+
+	if got := signature(out); !reflect.DeepEqual(got, want) {
+		t.Fatalf("elastic output diverged from fixed-parallelism run:\n got %d results %v\nwant %d results %v",
+			len(got), got, len(want), want)
+	}
+	if rep.Restarts != 0 {
+		t.Fatalf("clean rescales must not consume crash restarts: %+v", rep)
+	}
+	if rep.ScaleUps() < 1 || rep.ScaleDowns() < 1 {
+		t.Fatalf("want at least one scale-up and one scale-down, got %+v", rep.Rescales)
+	}
+	if rep.FinalParallelism != 3 {
+		t.Fatalf("final parallelism: want 3, got %d", rep.FinalParallelism)
+	}
+	for i, ev := range rep.Rescales {
+		if ev.Downtime <= 0 {
+			t.Fatalf("rescale %d has no measured downtime: %+v", i, ev)
+		}
+		if ev.Downtime > 30*time.Second {
+			t.Fatalf("rescale %d downtime implausible: %+v", i, ev)
+		}
+		if ev.RescaledID != ev.SavepointID+1 {
+			t.Fatalf("rescale %d checkpoint lineage broken: %+v", i, ev)
+		}
+	}
+	for i, ev := range rep.Rescales {
+		t.Logf("rescale %d: %d -> %d downtime=%v offline=%v state=%dB (savepoint %d -> checkpoint %d)",
+			i+1, ev.From, ev.To, ev.Downtime, ev.Offline, ev.StateBytes, ev.SavepointID, ev.RescaledID)
+	}
+	// The lineage counters surfaced via Describe must agree with the report.
+	infos := c.Describe()
+	if len(infos) != 1 || infos[0].Rescales != int64(len(rep.Rescales)) {
+		t.Fatalf("Describe rescale lineage mismatch: %+v vs report %+v", infos, rep)
+	}
+	if infos[0].LastRescaleDowntimeMs < 0 {
+		t.Fatalf("Describe downtime negative: %+v", infos[0])
+	}
+}
+
+// TestRescaleCrashMatrix drives the reconfiguration window through injected
+// crashes at its three exposed seams — after the savepoint committed, before
+// the rescaled checkpoint's metadata committed, and mid-restore into the
+// rescaled topology — asserting exactly-once output equality and that the
+// controller both recovered and eventually completed the rescale.
+func TestRescaleCrashMatrix(t *testing.T) {
+	const n = 900
+	events := elasticEvents(n)
+	want := runBaseline(t, events, 2)
+
+	scenarios := []struct {
+		name  string
+		crash chaos.CrashPoint
+		at    int
+	}{
+		// Killed right after the stop-with-savepoint's metadata reached the
+		// store: recovery restores the savepoint at the OLD parallelism and
+		// the decision logic re-triggers the rescale.
+		{name: "crash-post-savepoint", crash: chaos.CrashPostSavepoint, at: 0},
+		// The rescaled checkpoint's Complete fails (its snapshots are torn
+		// garbage as far as Latest is concerned): the controller rolls back
+		// to the savepoint and retries the whole reconfiguration.
+		{name: "crash-pre-rescale-complete", crash: chaos.CrashPreRescaleComplete, at: 0},
+		// Killed while loading the rescaled checkpoint into the new topology
+		// (the rescale itself reads 4 snapshots first, so load ordinal 5 is
+		// inside the restore): recovery restores the SAME rescaled
+		// checkpoint, deriving the new parallelism from its instance list.
+		{name: "crash-mid-restore", crash: chaos.CrashMidRestore, at: 5},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			store := chaos.Wrap(core.NewMemorySnapshotStore(), chaos.FaultPlan{}).Arm(sc.crash, sc.at)
+			c, err := New(Config{
+				Node:  "win",
+				Build: makeBuild(events, pace50us),
+				Store: store,
+				Decider: func(s Sample, current int) int {
+					if s.Records > 250 {
+						return 4
+					}
+					return current
+				},
+				InitialParallelism: 2,
+				SampleEvery:        3 * time.Millisecond,
+				Restart:            ha.RestartStrategy{MaxRestarts: 4, Delay: 2 * time.Millisecond},
+				OnStart: func(_ int, job *core.Job) {
+					store.SetKill(func() { job.Fail(chaos.ErrInjectedCrash) })
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, rep, err := c.Run(ctx)
+			if err != nil {
+				t.Fatalf("elastic run failed (report %+v, stats %+v): %v", rep, store.Stats(), err)
+			}
+			if got := signature(out); !reflect.DeepEqual(got, want) {
+				t.Fatalf("output diverged from fault-free fixed run:\n got %d results %v\nwant %d results %v",
+					len(got), got, len(want), want)
+			}
+			if rep.Restarts < 1 {
+				t.Fatalf("injected crash did not register as a restart: %+v (stats %+v)", rep, store.Stats())
+			}
+			if store.Stats().Crashes != 1 {
+				t.Fatalf("armed crash fired %d times, want exactly 1", store.Stats().Crashes)
+			}
+			if rep.ScaleUps() < 1 {
+				t.Fatalf("rescale never completed despite recovery: %+v", rep)
+			}
+			if rep.FinalParallelism != 4 {
+				t.Fatalf("final parallelism: want 4, got %d", rep.FinalParallelism)
+			}
+		})
+	}
+}
+
+// TestSamplerRates pins the metric-delta arithmetic: warm-up yields NaN (so
+// the policy holds), and after counter movement the true rate is exactly
+// records-per-busy-second while the blocked fraction stays inside [0, 0.95].
+func TestSamplerRates(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := newSampler(reg, "win", "src", 1, 2, 100)
+	first := s.sample()
+	if !math.IsNaN(first.TrueRate) {
+		t.Fatalf("warm-up TrueRate must be NaN, got %v", first.TrueRate)
+	}
+	if first.Records != 100 {
+		t.Fatalf("Records must include the lineage base: want 100, got %d", first.Records)
+	}
+
+	reg.Counter("node.win.in").Add(1000)
+	reg.Counter("node.win.0.busy_ns").Add(5e8)
+	reg.Counter("node.win.1.busy_ns").Add(5e8)
+	reg.Histogram("edge.src.win.blocked_ns").Observe(int64(5 * time.Millisecond))
+	time.Sleep(15 * time.Millisecond)
+	got := s.sample()
+	if got.InputRate <= 0 {
+		t.Fatalf("InputRate must be positive after arrivals: %v", got.InputRate)
+	}
+	// 1000 records over exactly 1.0s of summed busy time, wall-clock free.
+	if got.TrueRate != 1000 {
+		t.Fatalf("TrueRate: want 1000, got %v", got.TrueRate)
+	}
+	if got.BlockedFraction <= 0 || got.BlockedFraction > 0.95 {
+		t.Fatalf("BlockedFraction out of range: %v", got.BlockedFraction)
+	}
+	if got.Records != 1100 {
+		t.Fatalf("Records: want 1100, got %d", got.Records)
+	}
+}
+
+// TestDecideBackpressureCorrection pins the demand inflation: an input rate
+// observed while senders were blocked half the time represents twice the
+// offered load.
+func TestDecideBackpressureCorrection(t *testing.T) {
+	c, err := New(Config{
+		Node:   "win",
+		Build:  makeBuild(nil, nil),
+		Store:  core.NewMemorySnapshotStore(),
+		Policy: load.NewScalingPolicy(0.8, 1, 16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// demand = 500/(1-0.5) = 1000; ceil(1000/(200*0.8)) = 7.
+	if got := c.decide(Sample{InputRate: 500, TrueRate: 200, BlockedFraction: 0.5}, 1); got != 7 {
+		t.Fatalf("corrected decision: want 7, got %d", got)
+	}
+	// Without blocking the throttled rate is taken at face value: ceil(500/160)=4.
+	if got := c.decide(Sample{InputRate: 500, TrueRate: 200}, 1); got != 4 {
+		t.Fatalf("uncorrected decision: want 4, got %d", got)
+	}
+}
+
+// TestPacedSourceOffsetRoundTrip pins the snapshot wire format and the
+// round-robin global indexing that keeps a rescaled replay identical.
+func TestPacedSourceOffsetRoundTrip(t *testing.T) {
+	events := elasticEvents(10)
+	s := &pacedSource{events: events, instance: 1, par: 2}
+	s.offset = 3
+	data, err := s.SnapshotOffset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := &pacedSource{events: events, instance: 1, par: 2}
+	if err := s2.RestoreOffset(data); err != nil {
+		t.Fatal(err)
+	}
+	if s2.offset != 3 {
+		t.Fatalf("offset round-trip: want 3, got %d", s2.offset)
+	}
+	// Instance 1 of 2 owns global indices 1,3,5,... — offset 3 maps to 7.
+	if g := s2.globalIndex(s2.offset); g != 7 {
+		t.Fatalf("global index: want 7, got %d", g)
+	}
+}
+
+// TestNewValidation pins the config contract.
+func TestNewValidation(t *testing.T) {
+	build := makeBuild(nil, nil)
+	store := core.NewMemorySnapshotStore()
+	pol := load.NewScalingPolicy(0.8, 1, 4)
+	cases := []Config{
+		{Build: build, Store: store, Policy: pol}, // no node
+		{Node: "win", Store: store, Policy: pol},  // no build
+		{Node: "win", Build: build, Policy: pol},  // no store
+		{Node: "win", Build: build, Store: store}, // no policy or decider
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+	c, err := New(Config{Node: "win", Build: build, Store: store, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CurrentParallelism() != 1 {
+		t.Fatalf("default initial parallelism: want 1, got %d", c.CurrentParallelism())
+	}
+}

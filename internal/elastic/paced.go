@@ -1,0 +1,88 @@
+package elastic
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// NewPacedSourceFactory replays a fixed event set round-robin across source
+// instances (like core.NewSliceSourceFactory) but sleeps delay(globalIndex)
+// before each emit, so demos and tests can shape the offered input rate —
+// ramps, bursts, lulls — without changing the event content. Pacing only
+// affects timing: the source is replayable, and a rescaled incarnation
+// resumes from its checkpointed offset emitting identical data, which is what
+// makes the elastic-vs-fixed equality experiment well-defined.
+//
+// delay receives the event's index in the original slice (not the instance's
+// sub-stream), so one schedule shapes the whole stream regardless of source
+// parallelism. A nil delay emits as fast as the pipeline accepts.
+func NewPacedSourceFactory(events []core.Event, delay func(globalIndex int) time.Duration) core.SourceFactory {
+	return func(instance, parallelism int) core.Source {
+		return &pacedSource{events: events, instance: instance, par: parallelism, delay: delay}
+	}
+}
+
+type pacedSource struct {
+	events   []core.Event
+	instance int
+	par      int
+	delay    func(globalIndex int) time.Duration
+
+	mu     sync.Mutex
+	offset int // index into the instance's own sub-stream
+}
+
+// own returns (event, globalIndex) pairs assigned to this instance.
+func (s *pacedSource) globalIndex(i int) int {
+	if s.par <= 1 {
+		return i
+	}
+	return s.instance + i*s.par
+}
+
+func (s *pacedSource) Run(ctx core.SourceContext) error {
+	for {
+		s.mu.Lock()
+		i := s.offset
+		s.mu.Unlock()
+		g := s.globalIndex(i)
+		if g >= len(s.events) {
+			return nil
+		}
+		if s.delay != nil {
+			if d := s.delay(g); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		if !ctx.Collect(s.events[g]) {
+			return nil
+		}
+		s.mu.Lock()
+		s.offset = i + 1
+		s.mu.Unlock()
+	}
+}
+
+// SnapshotOffset captures the replay position (same wire format as
+// core.SliceSource).
+func (s *pacedSource) SnapshotOffset() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := s.offset
+	return []byte{byte(o >> 24), byte(o >> 16), byte(o >> 8), byte(o)}, nil
+}
+
+// RestoreOffset rewinds to a captured position.
+func (s *pacedSource) RestoreOffset(data []byte) error {
+	if len(data) != 4 {
+		return nil
+	}
+	s.mu.Lock()
+	s.offset = int(data[0])<<24 | int(data[1])<<16 | int(data[2])<<8 | int(data[3])
+	s.mu.Unlock()
+	return nil
+}
+
+var _ core.ReplayableSource = (*pacedSource)(nil)

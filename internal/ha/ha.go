@@ -68,6 +68,15 @@ func eventID(e core.Event) string {
 	return fmt.Sprintf("%s@%d", e.Key, e.Timestamp)
 }
 
+// Dedup merges result-event slices from successive job incarnations keeping
+// first occurrences, and counts the suppressed duplicates — the exactly-once
+// merge every supervised/reconfigured lineage uses (restarts here, live
+// rescales in internal/elastic). Events are identified by (Key, Timestamp);
+// see eventID.
+func Dedup(slices ...[]core.Event) ([]core.Event, int) {
+	return dedup(slices...)
+}
+
 // dedup merges event slices keeping first occurrences, and counts
 // suppressed duplicates.
 func dedup(slices ...[]core.Event) (out []core.Event, duplicates int) {

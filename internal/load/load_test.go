@@ -1,6 +1,7 @@
 package load
 
 import (
+	"math"
 	"sync"
 	"testing"
 
@@ -261,6 +262,35 @@ func TestScalingPolicyClamps(t *testing.T) {
 	p := NewScalingPolicy(0.8, 2, 4)
 	if got := p.Decide(1e9, 1, 2); got != 4 {
 		t.Fatalf("max clamp: want 4, got %d", got)
+	}
+}
+
+func TestScalingPolicyHoldsOnNonFiniteRates(t *testing.T) {
+	// Warm-up readings are not numbers: an EWMA meter reports NaN before its
+	// first window closes, and a busy-time capacity estimate divides by zero
+	// (±Inf) until the instance has processed anything. None of these may
+	// move the operator — and none may advance the scale-down hysteresis
+	// counter either.
+	p := NewScalingPolicy(0.8, 1, 16)
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct{ in, per float64 }{
+		{nan, 150}, {1000, nan}, {nan, nan},
+		{inf, 150}, {1000, inf}, {-inf, 150}, {1000, -inf}, {inf, nan},
+	}
+	for _, c := range cases {
+		if got := p.Decide(c.in, c.per, 5); got != 5 {
+			t.Fatalf("Decide(%v, %v, 5) = %d, want hold at 5", c.in, c.per, got)
+		}
+	}
+	// A garbage burst between two valid low readings must not count toward
+	// hysteresis: two finite below-target decisions plus a NaN in between is
+	// still only two, so the third finite reading triggers the scale-in.
+	p2 := NewScalingPolicy(0.8, 1, 16)
+	p2.Decide(100, 150, 8)
+	p2.Decide(nan, nan, 8)
+	p2.Decide(100, 150, 8)
+	if got := p2.Decide(100, 150, 8); got == 8 {
+		t.Fatal("hysteresis window corrupted by non-finite sample")
 	}
 }
 

@@ -44,7 +44,18 @@ func NewScalingPolicy(targetUtilisation float64, min, max int) *ScalingPolicy {
 
 // Decide returns the parallelism for the observed input rate and measured
 // per-instance processing capacity, given the current parallelism.
+//
+// Non-finite rates hold the current parallelism: EWMA meters emit NaN before
+// their first sample window closes, and a busy-time-derived capacity divides
+// by zero (→ ±Inf) until the instance has done any work. Feeding either into
+// the ceil() below would produce a garbage target (int(math.Ceil(NaN)) is
+// platform-dependent and typically a huge negative number), so warm-up
+// readings must not move the operator.
 func (p *ScalingPolicy) Decide(inputRate, perInstanceRate float64, current int) int {
+	if math.IsNaN(inputRate) || math.IsInf(inputRate, 0) ||
+		math.IsNaN(perInstanceRate) || math.IsInf(perInstanceRate, 0) {
+		return current
+	}
 	if perInstanceRate <= 0 {
 		return current
 	}

@@ -26,9 +26,19 @@ type JobInfo struct {
 	SnapshotSaveFailures int64 `json:"snapshot_save_failures"`
 	// Restarts counts supervised restarts of this job's lineage (filled by a
 	// restart-strategy supervisor; 0 when the job runs unsupervised).
-	Restarts int64      `json:"restarts"`
-	Nodes    []NodeInfo `json:"nodes"`
-	Edges    []EdgeInfo `json:"edges"`
+	Restarts int64 `json:"restarts"`
+	// Rescales counts completed live reconfigurations of this job's lineage
+	// (filled by the elastic controller; 0 for a fixed-parallelism job).
+	Rescales int64 `json:"rescales,omitempty"`
+	// LastRescaleDowntimeMs is the output gap of the most recent rescale:
+	// savepoint trigger → first output of the re-parallelised incarnation.
+	LastRescaleDowntimeMs int64 `json:"last_rescale_downtime_ms,omitempty"`
+	// LastRescaleDurationMs is the offline span of the most recent rescale:
+	// old incarnation exited → rescaled checkpoint written and new job
+	// rebuilt/restored.
+	LastRescaleDurationMs int64      `json:"last_rescale_duration_ms,omitempty"`
+	Nodes                 []NodeInfo `json:"nodes"`
+	Edges                 []EdgeInfo `json:"edges"`
 }
 
 // NodeInfo describes one logical graph vertex and its aggregate counters.
