@@ -1,0 +1,95 @@
+// Command benchdrive runs the benchmark scenario matrix and persists one
+// BENCH_<scenario>.json per scenario, or diffs two recorded result sets.
+//
+// Run the full matrix at a reduced scale into the repo root:
+//
+//	go run ./cmd/benchdrive -scale 0.25 -out .
+//
+// Run a subset:
+//
+//	go run ./cmd/benchdrive -only quickstart-b64-p4,quickstart-crash-b16-p2
+//
+// Gate on a recorded baseline (exit 1 on any regression past the threshold):
+//
+//	go run ./cmd/benchdrive -compare -threshold 0.5 baseline/ fresh/
+//
+// The compare arguments are directories of BENCH_*.json files or single
+// result files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		scale     = flag.Float64("scale", 1.0, "workload scale factor (events multiplier)")
+		only      = flag.String("only", "", "comma-separated scenario names to run (default: all)")
+		out       = flag.String("out", ".", "directory to write BENCH_<scenario>.json files into (empty: don't persist)")
+		list      = flag.Bool("list", false, "list the scenario matrix and exit")
+		compare   = flag.Bool("compare", false, "compare two result sets: benchdrive -compare [-threshold T] OLD NEW")
+		threshold = flag.Float64("threshold", bench.DefaultThreshold, "fractional worsening treated as a regression by -compare")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sc := range bench.Matrix() {
+			fmt.Printf("%-28s %-12s %-7s batch=%-3d par=%d %-14s events=%d  %s\n",
+				sc.Name, sc.Pipeline, sc.Arrival, sc.Batch, sc.Parallelism,
+				sc.Guarantee(), sc.Events, sc.Description)
+		}
+		return
+	}
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatalf("usage: benchdrive -compare [-threshold T] OLD NEW (got %d args)", flag.NArg())
+		}
+		rep, err := bench.CompareFiles(flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fatalf("compare: %v", err)
+		}
+		fmt.Print(rep.Format())
+		if len(rep.Regressions()) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	scenarios := bench.Matrix()
+	if *only != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var picked []bench.Scenario
+		for _, sc := range scenarios {
+			if want[sc.Name] {
+				picked = append(picked, sc)
+				delete(want, sc.Name)
+			}
+		}
+		if len(want) > 0 {
+			var unknown []string
+			for name := range want {
+				unknown = append(unknown, name)
+			}
+			fatalf("unknown scenario(s) %s; use -list", strings.Join(unknown, ", "))
+		}
+		scenarios = picked
+	}
+
+	if _, err := bench.RunMatrix(scenarios, *scale, *out, os.Stdout); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdrive: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,211 @@
+// Package bench is the perf-trajectory harness: a scenario benchmark driver
+// that turns the engine's own observability substrate — in-band latency
+// markers, registry histograms and their quantiles, checkpoint timings,
+// supervised-recovery and rescale-downtime measurements — into persisted,
+// diffable BENCH_<scenario>.json files so every future change can prove its
+// performance delta mechanically instead of in prose.
+//
+// A Scenario couples a pipeline (the quickstart windowed count, frauddetect
+// CEP, netmon heavy-hitter aggregation or ridesharing zone demand, all
+// driven by internal/gen specs), an arrival shape (steady, zipfian hot-key,
+// burst ramp via a paced source) and a config point (batch size ×
+// parallelism × delivery guarantee, optionally a mid-run crash via
+// internal/chaos or a mid-run rescale via internal/elastic). The runner
+// executes the matrix, samples each job's metrics registry, and writes one
+// schema-versioned Result per scenario; Compare diffs two result sets with a
+// configurable regression threshold so CI can gate on "no silent perf loss".
+package bench
+
+import (
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// SchemaVersion is bumped whenever Result's JSON shape changes
+// incompatibly; Compare refuses to diff across schema versions.
+const SchemaVersion = 1
+
+// Arrival shapes.
+const (
+	// ArrivalSteady offers records as fast as the pipeline admits, with a
+	// uniform key distribution.
+	ArrivalSteady = "steady"
+	// ArrivalHotKey is ArrivalSteady with zipf-skewed keys, stressing
+	// key-group balance (the skew the elastic controller must survive).
+	ArrivalHotKey = "hotkey"
+	// ArrivalBurst paces the source through a lull → burst → lull ramp, the
+	// diurnal shape that motivates elasticity.
+	ArrivalBurst = "burst"
+)
+
+// Pipeline names.
+const (
+	PipelineQuickstart  = "quickstart"
+	PipelineFraudDetect = "frauddetect"
+	PipelineNetmon      = "netmon"
+	PipelineRideSharing = "ridesharing"
+)
+
+// Scenario is one cell of the benchmark matrix.
+type Scenario struct {
+	// Name keys the persisted file (BENCH_<Name>.json) and the compare
+	// pairing; it must be unique within a matrix.
+	Name string `json:"name"`
+	// Pipeline selects the workload topology (Pipeline* constants).
+	Pipeline string `json:"pipeline"`
+	// Arrival selects the offered-load shape (Arrival* constants).
+	Arrival string `json:"arrival"`
+	// Batch is Config.MaxBatchSize (0/1 = per-record exchange).
+	Batch int `json:"batch"`
+	// Parallelism is the default node parallelism.
+	Parallelism int `json:"parallelism"`
+	// AtLeastOnce selects unaligned barriers; default exactly-once.
+	AtLeastOnce bool `json:"at_least_once,omitempty"`
+	// Crash kills the job mid-checkpoint via an armed chaos store and runs
+	// it under supervision, measuring recovery time.
+	Crash bool `json:"crash,omitempty"`
+	// Rescale runs the pipeline under the elastic controller with a
+	// scripted scale-out + scale-in, measuring rescale downtime.
+	Rescale bool `json:"rescale,omitempty"`
+	// Events is the stream length at scale 1.0.
+	Events int `json:"events"`
+	// Description says what the scenario exercises.
+	Description string `json:"description,omitempty"`
+}
+
+// Guarantee renders the delivery mode for reports.
+func (s Scenario) Guarantee() string {
+	if s.AtLeastOnce {
+		return "at-least-once"
+	}
+	return "exactly-once"
+}
+
+// Matrix returns the default scenario matrix: the four example pipelines
+// swept across arrival shapes and config points, plus the fault-recovery and
+// live-rescale cells whose metrics only exist under failure/reconfiguration.
+func Matrix() []Scenario {
+	return []Scenario{
+		{
+			Name: "quickstart-b1-p1", Pipeline: PipelineQuickstart, Arrival: ArrivalSteady,
+			Batch: 1, Parallelism: 1, Events: 40_000,
+			Description: "windowed count, per-record exchange baseline",
+		},
+		{
+			Name: "quickstart-b64-p4", Pipeline: PipelineQuickstart, Arrival: ArrivalSteady,
+			Batch: 64, Parallelism: 4, Events: 40_000,
+			Description: "windowed count, batched exchange at fan-out parallelism",
+		},
+		{
+			Name: "quickstart-hotkey-b64-p4", Pipeline: PipelineQuickstart, Arrival: ArrivalHotKey,
+			Batch: 64, Parallelism: 4, Events: 40_000,
+			Description: "windowed count under zipfian hot keys (key-group imbalance)",
+		},
+		{
+			Name: "quickstart-alo-b64-p4", Pipeline: PipelineQuickstart, Arrival: ArrivalSteady,
+			Batch: 64, Parallelism: 4, AtLeastOnce: true, Events: 40_000,
+			Description: "windowed count with unaligned at-least-once barriers",
+		},
+		{
+			Name: "frauddetect-b64-p2", Pipeline: PipelineFraudDetect, Arrival: ArrivalSteady,
+			Batch: 64, Parallelism: 2, Events: 30_000,
+			Description: "CEP probe-probe-hit pattern per card",
+		},
+		{
+			Name: "netmon-hotkey-b64-p4", Pipeline: PipelineNetmon, Arrival: ArrivalHotKey,
+			Batch: 64, Parallelism: 4, Events: 40_000,
+			Description: "per-source byte aggregation over zipf-skewed flows",
+		},
+		{
+			Name: "ridesharing-burst-b16-p2", Pipeline: PipelineRideSharing, Arrival: ArrivalBurst,
+			Batch: 16, Parallelism: 2, Events: 15_000,
+			Description: "zone demand windows under a paced burst ramp",
+		},
+		{
+			Name: "quickstart-crash-b16-p2", Pipeline: PipelineQuickstart, Arrival: ArrivalSteady,
+			Batch: 16, Parallelism: 2, Crash: true, Events: 8_000,
+			Description: "mid-checkpoint crash, supervised restart: recovery time",
+		},
+		{
+			Name: "quickstart-rescale-p2", Pipeline: PipelineQuickstart, Arrival: ArrivalSteady,
+			Batch: 1, Parallelism: 2, Rescale: true, Events: 4_000,
+			Description: "scripted live scale-out and scale-in: rescale downtime",
+		},
+	}
+}
+
+// Env fingerprints the machine a Result was recorded on, so a regression
+// report can flag apples-to-oranges comparisons.
+type Env struct {
+	GoVersion      string `json:"go_version"`
+	GOOS           string `json:"goos"`
+	GOARCH         string `json:"goarch"`
+	NumCPU         int    `json:"num_cpu"`
+	GOMAXPROCS     int    `json:"gomaxprocs"`
+	GitRev         string `json:"git_rev,omitempty"`
+	RecordedAtUnix int64  `json:"recorded_at_unix"`
+}
+
+// Fingerprint captures the current environment. The git revision is best
+// effort (empty outside a work tree).
+func Fingerprint() Env {
+	env := Env{
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		NumCPU:         runtime.NumCPU(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		RecordedAtUnix: time.Now().Unix(),
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		env.GitRev = strings.TrimSpace(string(out))
+	}
+	return env
+}
+
+// Result is the persisted outcome of one scenario run — the perf trajectory
+// record future PRs diff against. Latencies are in-band marker latencies
+// (source → named instrument), not sink-side estimates.
+type Result struct {
+	Schema   int      `json:"schema"`
+	Scenario Scenario `json:"scenario"`
+	// Scale is the workload scale factor the run used; compares across
+	// different scales are flagged.
+	Scale float64 `json:"scale"`
+	// Events is the actual (scaled) stream length.
+	Events int `json:"events"`
+	Env    Env `json:"env"`
+
+	// ElapsedMs is total wall time, including any recovery or rescale.
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// RecordsPerSec is source records per second over the measured window
+	// (post-warmup where the scenario has one).
+	RecordsPerSec float64 `json:"records_per_sec"`
+	// LatencyP*Ns are end-to-end latency-marker quantiles at the sink.
+	LatencyP50Ns int64 `json:"latency_p50_ns"`
+	LatencyP95Ns int64 `json:"latency_p95_ns"`
+	LatencyP99Ns int64 `json:"latency_p99_ns"`
+	// Markers counts latency markers behind those quantiles.
+	Markers int64 `json:"markers"`
+	// MaxWatermarkLagMs is the worst watermark lag observed by the
+	// sampling poller across all instances.
+	MaxWatermarkLagMs int64 `json:"max_watermark_lag_ms"`
+	// Checkpoint stats from the checkpoint.duration_ns histogram.
+	Checkpoints      int64   `json:"checkpoints"`
+	CheckpointMeanMs float64 `json:"checkpoint_mean_ms"`
+	CheckpointMaxMs  float64 `json:"checkpoint_max_ms"`
+	// RecoveryMs/Restarts are filled by crash scenarios (failure → first
+	// post-restart output, per ha.SupervisionReport).
+	RecoveryMs int64 `json:"recovery_ms,omitempty"`
+	Restarts   int   `json:"restarts,omitempty"`
+	// Rescale stats are filled by elastic scenarios: worst downtime (output
+	// gap) and offline span across the run's rescales.
+	Rescales          int   `json:"rescales,omitempty"`
+	RescaleDowntimeMs int64 `json:"rescale_downtime_ms,omitempty"`
+	RescaleOfflineMs  int64 `json:"rescale_offline_ms,omitempty"`
+	// Output is the sink result count (sanity: a perf win that loses
+	// results is a bug, not a win).
+	Output int `json:"output"`
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// testScale keeps unit-test runs tiny; minEvents floors the stream so the
+// crash and rescale machinery still trips.
+const testScale = 0.01
+
+func findScenario(t *testing.T, name string) Scenario {
+	t.Helper()
+	for _, sc := range Matrix() {
+		if sc.Name == name {
+			return sc
+		}
+	}
+	t.Fatalf("scenario %s not in Matrix", name)
+	return Scenario{}
+}
+
+func TestMatrixIsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	crash, rescale := false, false
+	for _, sc := range Matrix() {
+		if seen[sc.Name] {
+			t.Fatalf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if sc.Events <= 0 || sc.Parallelism <= 0 {
+			t.Fatalf("scenario %s: non-positive events/parallelism", sc.Name)
+		}
+		if _, err := pipelineFor(sc, minEvents); err != nil {
+			t.Fatalf("scenario %s: %v", sc.Name, err)
+		}
+		crash = crash || sc.Crash
+		rescale = rescale || sc.Rescale
+	}
+	if !crash || !rescale {
+		t.Fatal("matrix must include a crash and a rescale scenario")
+	}
+}
+
+func TestRunSteadyScenario(t *testing.T) {
+	res, err := Run(findScenario(t, "quickstart-b64-p4"), testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema != SchemaVersion {
+		t.Fatalf("schema: want %d, got %d", SchemaVersion, res.Schema)
+	}
+	if res.RecordsPerSec <= 0 {
+		t.Fatalf("records/s not measured: %+v", res)
+	}
+	if res.Markers <= 0 || res.LatencyP99Ns <= 0 {
+		t.Fatalf("marker latency not measured: markers=%d p99=%d", res.Markers, res.LatencyP99Ns)
+	}
+	if res.LatencyP50Ns > res.LatencyP99Ns {
+		t.Fatalf("quantiles inverted: p50=%d p99=%d", res.LatencyP50Ns, res.LatencyP99Ns)
+	}
+	if res.Checkpoints <= 0 || res.CheckpointMeanMs < 0 {
+		t.Fatalf("checkpoints not measured: %+v", res)
+	}
+	if res.Output <= 0 {
+		t.Fatal("sink produced no output")
+	}
+	if res.Env.GoVersion == "" || res.Env.GOMAXPROCS <= 0 {
+		t.Fatalf("env fingerprint missing: %+v", res.Env)
+	}
+}
+
+func TestRunBurstScenario(t *testing.T) {
+	res, err := Run(findScenario(t, "ridesharing-burst-b16-p2"), testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecordsPerSec <= 0 || res.Output <= 0 {
+		t.Fatalf("burst run unmeasured: %+v", res)
+	}
+}
+
+func TestRunCrashScenario(t *testing.T) {
+	res, err := Run(findScenario(t, "quickstart-crash-b16-p2"), testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts < 1 {
+		t.Fatalf("crash scenario did not restart: %+v", res)
+	}
+	if res.RecoveryMs <= 0 {
+		t.Fatalf("recovery time not measured: %+v", res)
+	}
+	if res.Output <= 0 {
+		t.Fatal("no output after recovery")
+	}
+}
+
+func TestRunRescaleScenario(t *testing.T) {
+	res, err := Run(findScenario(t, "quickstart-rescale-p2"), testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rescales < 1 {
+		t.Fatalf("rescale scenario did not rescale: %+v", res)
+	}
+	if res.RescaleDowntimeMs <= 0 {
+		t.Fatalf("rescale downtime not measured: %+v", res)
+	}
+	if res.Output <= 0 {
+		t.Fatal("no output across rescale")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Run(findScenario(t, "quickstart-b1-p1"), testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := WriteResult(dir, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_quickstart-b1-p1.json"); path != want {
+		t.Fatalf("path: want %s, got %s", want, path)
+	}
+	got, err := ReadResult(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scenario.Name != res.Scenario.Name || got.Events != res.Events ||
+		got.LatencyP99Ns != res.LatencyP99Ns || got.Schema != res.Schema {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, res)
+	}
+	set, err := ReadSet(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 || set[res.Scenario.Name].Events != res.Events {
+		t.Fatalf("ReadSet mismatch: %+v", set)
+	}
+}

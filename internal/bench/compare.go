@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FileFor returns the persisted filename for a scenario name.
+func FileFor(name string) string { return "BENCH_" + name + ".json" }
+
+// WriteResult persists one result as dir/BENCH_<scenario>.json (indented, so
+// diffs are reviewable) and returns the path written.
+func WriteResult(dir string, res Result) (string, error) {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, FileFor(res.Scenario.Name))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadResult loads one persisted result file.
+func ReadResult(path string) (Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return Result{}, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return res, nil
+}
+
+// ReadSet loads a result set. A directory is globbed for BENCH_*.json; a
+// file path loads that single result.
+func ReadSet(path string) (map[string]Result, error) {
+	set := map[string]Result{}
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	paths := []string{path}
+	if info.IsDir() {
+		paths, err = filepath.Glob(filepath.Join(path, "BENCH_*.json"))
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range paths {
+		res, err := ReadResult(p)
+		if err != nil {
+			return nil, err
+		}
+		set[res.Scenario.Name] = res
+	}
+	return set, nil
+}
+
+// DefaultThreshold is the Change (see Delta) above which Compare flags a
+// regression when the caller doesn't pick one: 0.30 means "more than 1.3x
+// worse".
+const DefaultThreshold = 0.30
+
+// metricDef describes one compared metric: its direction and the absolute
+// floor below which both values are considered noise (microbenchmark jitter
+// on sub-threshold values would otherwise drown the report in false alarms).
+type metricDef struct {
+	name         string
+	value        func(Result) float64
+	higherBetter bool
+	floor        float64
+}
+
+var comparedMetrics = []metricDef{
+	{"records_per_sec", func(r Result) float64 { return r.RecordsPerSec }, true, 0},
+	{"latency_p50_ns", func(r Result) float64 { return float64(r.LatencyP50Ns) }, false, 50_000},
+	{"latency_p99_ns", func(r Result) float64 { return float64(r.LatencyP99Ns) }, false, 100_000},
+	{"checkpoint_mean_ms", func(r Result) float64 { return r.CheckpointMeanMs }, false, 0.5},
+	{"recovery_ms", func(r Result) float64 { return float64(r.RecoveryMs) }, false, 5},
+	{"rescale_downtime_ms", func(r Result) float64 { return float64(r.RescaleDowntimeMs) }, false, 5},
+}
+
+// Delta is one metric comparison within one scenario.
+type Delta struct {
+	Scenario string  `json:"scenario"`
+	Metric   string  `json:"metric"`
+	Old      float64 `json:"old"`
+	New      float64 `json:"new"`
+	// Change is how many times worse the new value is, minus one — 0 means
+	// unchanged, 1 means 2x worse, negative means improved — regardless of
+	// the metric's direction. The ratio form keeps one threshold meaningful
+	// for both throughput collapses and latency blowups.
+	Change     float64 `json:"change"`
+	Regression bool    `json:"regression"`
+}
+
+// appearedFromZero is the capped Change for a lower-is-better metric that
+// was zero in the baseline but now exceeds its noise floor (a true ratio
+// would be infinite, which JSON cannot carry).
+const appearedFromZero = 99.0
+
+// CompareReport is the outcome of diffing two result sets.
+type CompareReport struct {
+	Threshold float64 `json:"threshold"`
+	Deltas    []Delta `json:"deltas"`
+	// Missing lists scenarios present in old but absent from new.
+	Missing []string `json:"missing,omitempty"`
+	// Notes records skipped comparisons (scale mismatches, env changes).
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Regressions returns the deltas that crossed the threshold.
+func (r CompareReport) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Format renders the report for terminals and CI logs.
+func (r CompareReport) Format() string {
+	var b strings.Builder
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	for _, m := range r.Missing {
+		fmt.Fprintf(&b, "missing: scenario %s has no new result\n", m)
+	}
+	for _, d := range r.Deltas {
+		mark := "ok  "
+		if d.Regression {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "%s %-28s %-20s %12.1f -> %12.1f  (%+.1f%%)\n",
+			mark, d.Scenario, d.Metric, d.Old, d.New, d.Change*100)
+	}
+	regs := r.Regressions()
+	if len(regs) == 0 {
+		fmt.Fprintf(&b, "no regressions beyond %.0f%% threshold\n", r.Threshold*100)
+	} else {
+		fmt.Fprintf(&b, "%d regression(s) beyond %.0f%% threshold\n", len(regs), r.Threshold*100)
+	}
+	return b.String()
+}
+
+// CompareFiles loads two result sets (directories of BENCH_*.json or single
+// files) and diffs them — the programmatic form of `benchdrive -compare`,
+// usable directly from tests.
+func CompareFiles(oldPath, newPath string, threshold float64) (CompareReport, error) {
+	old, err := ReadSet(oldPath)
+	if err != nil {
+		return CompareReport{}, err
+	}
+	cur, err := ReadSet(newPath)
+	if err != nil {
+		return CompareReport{}, err
+	}
+	return Compare(old, cur, threshold)
+}
+
+// Compare diffs two result sets keyed by scenario name. threshold <= 0
+// selects DefaultThreshold. Scenarios recorded at different scales are
+// noted and skipped (the numbers aren't comparable); mismatched schema
+// versions are an error.
+func Compare(old, new map[string]Result, threshold float64) (CompareReport, error) {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	rep := CompareReport{Threshold: threshold}
+	names := make([]string, 0, len(old))
+	for name := range old {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o := old[name]
+		n, ok := new[name]
+		if !ok {
+			rep.Missing = append(rep.Missing, name)
+			continue
+		}
+		if o.Schema != SchemaVersion || n.Schema != SchemaVersion {
+			return rep, fmt.Errorf("bench: scenario %s: schema mismatch (old=%d new=%d, supported=%d)",
+				name, o.Schema, n.Schema, SchemaVersion)
+		}
+		if o.Scale != n.Scale {
+			rep.Notes = append(rep.Notes,
+				fmt.Sprintf("scenario %s: scale mismatch (old=%g new=%g), skipped", name, o.Scale, n.Scale))
+			continue
+		}
+		for _, m := range comparedMetrics {
+			ov, nv := m.value(o), m.value(n)
+			if ov == 0 && nv == 0 {
+				continue // metric not produced by this scenario
+			}
+			if ov <= m.floor && nv <= m.floor {
+				continue // both under the noise floor
+			}
+			var change float64
+			if m.higherBetter {
+				if nv > 0 {
+					change = ov/nv - 1
+				} else if ov > 0 {
+					change = appearedFromZero // collapsed to zero
+				}
+			} else {
+				if ov > 0 {
+					change = nv/ov - 1
+				} else if nv > m.floor {
+					change = appearedFromZero
+				}
+			}
+			rep.Deltas = append(rep.Deltas, Delta{
+				Scenario: name, Metric: m.name, Old: ov, New: nv,
+				Change: change, Regression: change > threshold,
+			})
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func baseline(name string) Result {
+	return Result{
+		Schema:        SchemaVersion,
+		Scenario:      Scenario{Name: name},
+		Scale:         1.0,
+		RecordsPerSec: 100_000,
+		LatencyP50Ns:  400_000,
+		LatencyP99Ns:  2_000_000,
+		Checkpoints:   10, CheckpointMeanMs: 3,
+	}
+}
+
+func set(results ...Result) map[string]Result {
+	m := map[string]Result{}
+	for _, r := range results {
+		m[r.Scenario.Name] = r
+	}
+	return m
+}
+
+func TestCompareDetectsInjectedRegression(t *testing.T) {
+	old := set(baseline("a"))
+	// Inject a synthetic regression: throughput halves, p99 triples.
+	bad := baseline("a")
+	bad.RecordsPerSec = 50_000
+	bad.LatencyP99Ns = 6_000_000
+	rep, err := Compare(old, set(bad), 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := rep.Regressions()
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions, got %d: %+v", len(regs), regs)
+	}
+	byMetric := map[string]Delta{}
+	for _, d := range regs {
+		byMetric[d.Metric] = d
+	}
+	// Halved throughput is 2x worse: Change = 1.0 in ratio form.
+	if d, ok := byMetric["records_per_sec"]; !ok || d.Change < 0.99 || d.Change > 1.01 {
+		t.Fatalf("records_per_sec regression wrong: %+v", byMetric)
+	}
+	if d, ok := byMetric["latency_p99_ns"]; !ok || d.Change < 1.9 {
+		t.Fatalf("latency_p99_ns regression wrong: %+v", byMetric)
+	}
+	if !strings.Contains(rep.Format(), "FAIL") {
+		t.Fatalf("formatted report missing FAIL markers:\n%s", rep.Format())
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	old := set(baseline("a"))
+	near := baseline("a")
+	near.RecordsPerSec = 85_000  // -15%
+	near.LatencyP99Ns = 2_300_000 // +15%
+	rep, err := Compare(old, set(near), 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Fatalf("15%% drift under a 30%% threshold must pass, got %+v", regs)
+	}
+	if len(rep.Deltas) == 0 {
+		t.Fatal("deltas should still be reported")
+	}
+}
+
+func TestCompareImprovementIsNotRegression(t *testing.T) {
+	old := set(baseline("a"))
+	better := baseline("a")
+	better.RecordsPerSec = 300_000 // 3x faster
+	better.LatencyP99Ns = 500_000  // 4x lower
+	rep, err := Compare(old, set(better), 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Fatalf("improvements flagged as regressions: %+v", regs)
+	}
+}
+
+func TestCompareNoiseFloorSuppressesTinyLatencies(t *testing.T) {
+	old := set(baseline("a"))
+	old["a"] = func() Result {
+		r := old["a"]
+		r.LatencyP50Ns = 10_000 // both sides under the 50µs floor
+		return r
+	}()
+	noisy := old["a"]
+	noisy.LatencyP50Ns = 40_000 // 4x, but still sub-floor
+	rep, err := Compare(old, set(noisy), 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range rep.Deltas {
+		if d.Metric == "latency_p50_ns" {
+			t.Fatalf("sub-floor latency compared: %+v", d)
+		}
+	}
+}
+
+func TestCompareScaleMismatchSkipped(t *testing.T) {
+	old := set(baseline("a"))
+	rescaled := baseline("a")
+	rescaled.Scale = 0.25
+	rescaled.RecordsPerSec = 1 // would be a huge regression if compared
+	rep, err := Compare(old, set(rescaled), 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Deltas) != 0 {
+		t.Fatalf("mismatched scales must not be compared: %+v", rep.Deltas)
+	}
+	if len(rep.Notes) != 1 || !strings.Contains(rep.Notes[0], "scale mismatch") {
+		t.Fatalf("expected a scale-mismatch note, got %+v", rep.Notes)
+	}
+}
+
+func TestCompareSchemaMismatchErrors(t *testing.T) {
+	old := set(baseline("a"))
+	future := baseline("a")
+	future.Schema = SchemaVersion + 1
+	if _, err := Compare(old, set(future), 0.30); err == nil {
+		t.Fatal("schema mismatch must be an error, not a silent skip")
+	}
+}
+
+func TestCompareMissingScenarioReported(t *testing.T) {
+	old := set(baseline("a"), baseline("b"))
+	rep, err := Compare(old, set(baseline("a")), 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != "b" {
+		t.Fatalf("missing scenario not reported: %+v", rep.Missing)
+	}
+}
+
+func TestCompareRecoveryAppearingFromZeroFlagged(t *testing.T) {
+	old := set(baseline("a")) // RecoveryMs zero
+	degraded := baseline("a")
+	degraded.RecoveryMs = 400
+	rep, err := Compare(old, set(degraded), 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range rep.Regressions() {
+		if d.Metric == "recovery_ms" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("recovery_ms appearing from zero must regress: %+v", rep.Deltas)
+	}
+}
+
+func TestCompareDefaultThreshold(t *testing.T) {
+	rep, err := Compare(set(baseline("a")), set(baseline("a")), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Threshold != DefaultThreshold {
+		t.Fatalf("threshold: want %g, got %g", DefaultThreshold, rep.Threshold)
+	}
+}

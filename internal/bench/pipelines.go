@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cep"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/window"
+)
+
+// pipeline is a benchmark workload wired for measurement: every pipeline
+// names its source node "src" (throughput counter), its sink node "out"
+// (end-to-end marker latency histogram), and designates the keyed hot
+// operator as the node an elastic scenario scales.
+type pipeline struct {
+	events []core.Event
+	source string
+	sink   string
+	scaled string
+	build  func(b *core.Builder, src core.SourceFactory, srcOpts []core.SourceOption, sink *core.CollectSink)
+}
+
+// pipelineFor materialises the scenario's input stream (deterministic in the
+// scenario, so every run and every compare sees identical data) and returns
+// the topology builder.
+func pipelineFor(sc Scenario, n int) (pipeline, error) {
+	hot := sc.Arrival == ArrivalHotKey
+	switch sc.Pipeline {
+	case PipelineQuickstart:
+		return quickstartPipeline(n, hot), nil
+	case PipelineFraudDetect:
+		return fraudPipeline(n, hot), nil
+	case PipelineNetmon:
+		return netmonPipeline(n, hot), nil
+	case PipelineRideSharing:
+		return ridesharingPipeline(n), nil
+	}
+	return pipeline{}, fmt.Errorf("bench: unknown pipeline %q", sc.Pipeline)
+}
+
+// quickstartPipeline is the canonical windowed count: keyed stream into a
+// 5s tumbling count window.
+func quickstartPipeline(n int, hot bool) pipeline {
+	spec := gen.Spec{N: n, Keys: 64, IntervalMs: 10, Seed: 42}
+	if hot {
+		spec.ZipfS = 1.4
+	}
+	return pipeline{
+		events: gen.Events(spec),
+		source: "src", sink: "out", scaled: "count-5s",
+		build: func(b *core.Builder, src core.SourceFactory, srcOpts []core.SourceOption, sink *core.CollectSink) {
+			keyed := b.Source("src", src, srcOpts...).
+				KeyBy(func(e core.Event) string { return e.Key })
+			window.Apply(keyed, "count-5s", window.NewTumbling(5_000), window.CountAggregate()).
+				Sink("out", sink.Factory())
+		},
+	}
+}
+
+// fraudPipeline is the frauddetect example's CEP branch: the
+// probe-probe-hit pattern per card.
+func fraudPipeline(n int, hot bool) pipeline {
+	spec := gen.FraudSpec(n, 50, 0.03, 7)
+	if hot {
+		spec.ZipfS = 1.4
+	}
+	small := func(e core.Event) bool { return e.Value.(gen.Transaction).Amount < 100 }
+	large := func(e core.Event) bool { return e.Value.(gen.Transaction).Amount >= 500 }
+	pattern := cep.Begin("probe1", small).
+		FollowedBy("probe2", small).
+		FollowedBy("hit", large).
+		Within(60_000).
+		MustBuild()
+	return pipeline{
+		events: gen.Events(spec),
+		source: "src", sink: "out", scaled: "pattern",
+		build: func(b *core.Builder, src core.SourceFactory, srcOpts []core.SourceOption, sink *core.CollectSink) {
+			keyed := b.Source("src", src, srcOpts...).
+				KeyBy(func(e core.Event) string { return e.Value.(gen.Transaction).Card })
+			cep.PatternStream(keyed, "pattern", pattern, func(card string, m cep.Match, emit func(core.Event)) {
+				hit := m.Events["hit"][0].Value.(gen.Transaction)
+				emit(core.Event{Key: card, Timestamp: m.End, Value: hit.Amount})
+			}, cep.SkipPastLastEvent()).Sink("out", sink.Factory())
+		},
+	}
+}
+
+// netmonPipeline is the netmon example's aggregation core: per-source byte
+// totals in tumbling windows over (by default zipf-skewed) flows.
+func netmonPipeline(n int, hot bool) pipeline {
+	spec := gen.FlowSpec(n, 2_000, 99)
+	if !hot {
+		spec.ZipfS = 0 // steady variant: uniform sources
+	}
+	return pipeline{
+		events: gen.Events(spec),
+		source: "src", sink: "out", scaled: "bytes-10s",
+		build: func(b *core.Builder, src core.SourceFactory, srcOpts []core.SourceOption, sink *core.CollectSink) {
+			keyed := b.Source("src", src, srcOpts...).
+				KeyBy(func(e core.Event) string { return e.Value.(gen.NetFlow).SrcIP })
+			window.Apply(keyed, "bytes-10s", window.NewTumbling(10_000),
+				window.FloatAggregate(window.Sum,
+					func(e core.Event) float64 { return float64(e.Value.(gen.NetFlow).Bytes) })).
+				Sink("out", sink.Factory())
+		},
+	}
+}
+
+// ridesharingPipeline is the ridesharing example's demand branch: trips
+// re-keyed by pickup zone into sliding demand windows.
+func ridesharingPipeline(n int) pipeline {
+	spec := gen.TripSpec(n, 200, 12, 11)
+	return pipeline{
+		events: gen.Events(spec),
+		source: "src", sink: "out", scaled: "demand-60s",
+		build: func(b *core.Builder, src core.SourceFactory, srcOpts []core.SourceOption, sink *core.CollectSink) {
+			zoneKeyed := b.Source("src", src, srcOpts...).
+				Map("pickup-zone", func(e core.Event) (core.Event, bool) {
+					t := e.Value.(gen.Trip)
+					e.Key = fmt.Sprintf("zone%d", t.ZoneFrom)
+					e.Value = 1.0
+					return e, true
+				}).
+				KeyBy(func(e core.Event) string { return e.Key })
+			window.Apply(zoneKeyed, "demand-60s", window.NewSliding(60_000, 15_000), window.CountAggregate()).
+				Sink("out", sink.Factory())
+		},
+	}
+}

@@ -1,0 +1,445 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/elastic"
+	"repro/internal/ha"
+	"repro/internal/metrics"
+)
+
+const (
+	// markerEvery injects a latency marker every this many source records.
+	markerEvery = 32
+	// minEvents floors the scaled stream length so crash/rescale scenarios
+	// still cross their checkpoint and decision thresholds at tiny scales.
+	minEvents = 500
+	// warmupFraction of the stream runs before histograms and meters are
+	// reset, separating JIT/pool/backpressure ramp-up from the measured
+	// window (steady scenarios only; crash and rescale runs measure the
+	// whole disturbance on purpose).
+	warmupFraction = 5 // 1/5 of the stream
+	// pollEvery is the watch goroutine's sampling interval for watermark
+	// lag and the warmup threshold.
+	pollEvery = 500 * time.Microsecond
+	// runTimeout bounds one scenario so a wedged pipeline fails the bench
+	// instead of hanging CI.
+	runTimeout = 2 * time.Minute
+)
+
+// Run executes one scenario at the given workload scale and returns its
+// Result. Scale 1.0 is the recorded trajectory size; CI uses a smaller scale
+// with the same scenario names.
+func Run(sc Scenario, scale float64) (Result, error) {
+	if scale <= 0 {
+		scale = 1.0
+	}
+	n := int(float64(sc.Events) * scale)
+	if n < minEvents {
+		n = minEvents
+	}
+	p, err := pipelineFor(sc, n)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Schema:   SchemaVersion,
+		Scenario: sc,
+		Scale:    scale,
+		Events:   n,
+		Env:      Fingerprint(),
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), runTimeout)
+	defer cancel()
+	switch {
+	case sc.Crash:
+		err = runCrash(ctx, sc, p, n, &res)
+	case sc.Rescale:
+		err = runRescale(ctx, sc, p, n, &res)
+	default:
+		err = runSteady(ctx, sc, p, n, &res)
+	}
+	if err != nil {
+		return Result{}, fmt.Errorf("bench: scenario %s: %w", sc.Name, err)
+	}
+	return res, nil
+}
+
+// RunMatrix runs every scenario, writing one BENCH_<name>.json per scenario
+// into outDir when outDir is non-empty, and progress lines to log when
+// non-nil.
+func RunMatrix(scenarios []Scenario, scale float64, outDir string, log io.Writer) ([]Result, error) {
+	logf := func(format string, args ...any) {
+		if log != nil {
+			fmt.Fprintf(log, format, args...)
+		}
+	}
+	results := make([]Result, 0, len(scenarios))
+	for _, sc := range scenarios {
+		start := time.Now()
+		res, err := Run(sc, scale)
+		if err != nil {
+			return results, err
+		}
+		logf("%-28s %9.0f rec/s  p50=%-8v p99=%-8v ckpt=%d rec=%dms down=%dms (%v)\n",
+			sc.Name, res.RecordsPerSec,
+			time.Duration(res.LatencyP50Ns).Round(time.Microsecond),
+			time.Duration(res.LatencyP99Ns).Round(time.Microsecond),
+			res.Checkpoints, res.RecoveryMs, res.RescaleDowntimeMs,
+			time.Since(start).Round(time.Millisecond))
+		if outDir != "" {
+			path, err := WriteResult(outDir, res)
+			if err != nil {
+				return results, err
+			}
+			logf("  wrote %s\n", path)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// baseConfig is the instrumented job configuration every scenario starts
+// from. CheckpointEvery is per source instance, sized for several completed
+// checkpoints per run so checkpoint timings are always populated.
+func baseConfig(sc Scenario, n int, store core.SnapshotStore) core.Config {
+	par := sc.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	ce := n / (6 * par)
+	if ce < 50 {
+		ce = 50
+	}
+	return core.Config{
+		Name:                  sc.Name,
+		DefaultParallelism:    par,
+		MaxBatchSize:          sc.Batch,
+		AtLeastOnce:           sc.AtLeastOnce,
+		SnapshotStore:         store,
+		CheckpointEvery:       ce,
+		Instrument:            true,
+		LatencyMarkerInterval: markerEvery,
+	}
+}
+
+// watch polls a (possibly changing) registry while a scenario runs: it
+// tracks the worst watermark lag across all instances and, when warmAt > 0,
+// resets every histogram and meter once the source has emitted warmAt
+// records, opening the clean measured window.
+type watch struct {
+	mu      sync.Mutex
+	reg     *metrics.Registry
+	source  string
+	warmAt  int64
+	warmCap int64
+	warmed  bool
+	baseOut int64
+	measure time.Time
+	maxLag  int64
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+func newWatch(reg *metrics.Registry, source string, warmAt, warmCap int64) *watch {
+	w := &watch{
+		reg: reg, source: source, warmAt: warmAt, warmCap: warmCap,
+		measure: time.Now(),
+		stop:    make(chan struct{}), done: make(chan struct{}),
+	}
+	go w.run()
+	return w
+}
+
+// setRegistry re-points the watch at a new incarnation's registry (crash and
+// rescale scenarios rebuild the job, and with it the registry, mid-run).
+func (w *watch) setRegistry(reg *metrics.Registry) {
+	w.mu.Lock()
+	w.reg = reg
+	w.mu.Unlock()
+}
+
+func (w *watch) run() {
+	defer close(w.done)
+	ticker := time.NewTicker(pollEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-ticker.C:
+			w.sample()
+		}
+	}
+}
+
+func (w *watch) sample() {
+	w.mu.Lock()
+	reg := w.reg
+	warmed, warmAt := w.warmed, w.warmAt
+	w.mu.Unlock()
+
+	var lag int64
+	reg.Each(metrics.Visitor{Gauge: func(name string, v int64) {
+		if strings.HasSuffix(name, ".watermark_lag_ms") && v > lag {
+			lag = v
+		}
+	}})
+	out := reg.Counter("node." + w.source + ".out").Value()
+
+	w.mu.Lock()
+	if lag > w.maxLag {
+		w.maxLag = lag
+	}
+	w.mu.Unlock()
+
+	if !warmed && warmAt > 0 && out >= warmAt {
+		if out >= w.warmCap {
+			// The run outpaced the poller: resetting now would leave almost
+			// no measured window. Keep whole-run stats instead.
+			w.mu.Lock()
+			w.warmed = true
+			w.mu.Unlock()
+			return
+		}
+		// End of warmup: clear distribution instruments so quantiles and
+		// rates describe only the measured window (checkpoint durations are
+		// kept — they don't ramp, and tiny runs may not checkpoint again).
+		// Counters keep counting; throughput is the delta past this point.
+		reg.Each(metrics.Visitor{
+			Histogram: func(name string, h *metrics.Histogram) {
+				if name != "checkpoint.duration_ns" {
+					h.Reset()
+				}
+			},
+			Meter: func(_ string, m *metrics.Meter) { m.Reset() },
+		})
+		w.mu.Lock()
+		w.warmed = true
+		w.baseOut = reg.Counter("node." + w.source + ".out").Value()
+		w.measure = time.Now()
+		w.maxLag = 0
+		w.mu.Unlock()
+	}
+}
+
+// finish stops the poller and returns the measured window's start, the
+// source-records base at that point, and the worst watermark lag seen.
+func (w *watch) finish() (measureStart time.Time, baseOut, maxLag int64) {
+	close(w.stop)
+	<-w.done
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.measure, w.baseOut, w.maxLag
+}
+
+// fillFromRegistry reads the observability substrate the run leaves behind:
+// marker-latency quantiles at the sink and checkpoint durations.
+func fillFromRegistry(res *Result, reg *metrics.Registry, sinkNode string) {
+	lat := reg.Histogram("node." + sinkNode + ".latency_ns")
+	res.LatencyP50Ns = lat.Quantile(0.50)
+	res.LatencyP95Ns = lat.Quantile(0.95)
+	res.LatencyP99Ns = lat.Quantile(0.99)
+	res.Markers = lat.Count()
+	ck := reg.Histogram("checkpoint.duration_ns").Export()
+	res.Checkpoints = ck.Count
+	if ck.Count > 0 {
+		res.CheckpointMeanMs = float64(ck.Sum) / float64(ck.Count) / 1e6
+		res.CheckpointMaxMs = float64(ck.Max) / 1e6
+	}
+}
+
+// sourceFactory shapes the offered load: steady and hotkey replay the
+// materialised stream as fast as the pipeline admits; burst paces it through
+// lull → burst → lull.
+func sourceFactory(sc Scenario, p pipeline, n int) core.SourceFactory {
+	if sc.Arrival == ArrivalBurst {
+		third := n / 3
+		return elastic.NewPacedSourceFactory(p.events, func(i int) time.Duration {
+			if i < third || i >= 2*third {
+				return 200 * time.Microsecond
+			}
+			return 0
+		})
+	}
+	return core.NewSliceSourceFactory(p.events)
+}
+
+// runSteady measures throughput and tails on an undisturbed run: warmup,
+// reset, measured window.
+func runSteady(ctx context.Context, sc Scenario, p pipeline, n int, res *Result) error {
+	sink := core.NewCollectSink()
+	b := core.NewBuilder(baseConfig(sc, n, core.NewMemorySnapshotStore()))
+	p.build(b, sourceFactory(sc, p, n), []core.SourceOption{core.WithBoundedDisorder(0)}, sink)
+	job, err := b.Build()
+	if err != nil {
+		return err
+	}
+	reg := job.Metrics()
+	w := newWatch(reg, p.source, int64(n/warmupFraction), int64(n/2))
+	start := time.Now()
+	if err := job.Run(ctx); err != nil {
+		w.finish()
+		return err
+	}
+	end := time.Now()
+	measureStart, baseOut, maxLag := w.finish()
+
+	res.ElapsedMs = float64(end.Sub(start).Nanoseconds()) / 1e6
+	total := reg.Counter("node." + p.source + ".out").Value()
+	if window := end.Sub(measureStart).Seconds(); window > 0 && total > baseOut {
+		res.RecordsPerSec = float64(total-baseOut) / window
+	} else if secs := end.Sub(start).Seconds(); secs > 0 {
+		res.RecordsPerSec = float64(n) / secs
+	}
+	res.MaxWatermarkLagMs = maxLag
+	res.Output = sink.Len()
+	fillFromRegistry(res, reg, p.sink)
+	return nil
+}
+
+// runCrash kills the job mid-checkpoint via an armed chaos store and runs it
+// under supervision: the headline metrics are recovery time (failure → first
+// post-restart output) and whole-run throughput including the disturbance.
+func runCrash(ctx context.Context, sc Scenario, p pipeline, n int, res *Result) error {
+	// The source is paced (and pinned to one instance) so several
+	// checkpoints complete mid-stream instead of the whole run draining in
+	// one burst; the crash ordinal then lands inside the second checkpoint's
+	// saves (source + every operator instance save once per checkpoint), so
+	// recovery restores a completed checkpoint and replays a real tail.
+	saves := 1 + 2*sc.Parallelism
+	store := chaos.Wrap(core.NewMemorySnapshotStore(), chaos.FaultPlan{}).
+		Arm(chaos.CrashMidSave, saves+1)
+	pace := func(int) time.Duration { return 40 * time.Microsecond }
+	factory := func(sink *core.CollectSink, st core.SnapshotStore) (*core.Job, error) {
+		cfg := baseConfig(sc, n, st)
+		cfg.ChannelCapacity = 8
+		cfg.WatermarkInterval = 1
+		b := core.NewBuilder(cfg)
+		p.build(b, elastic.NewPacedSourceFactory(p.events, pace),
+			[]core.SourceOption{core.WithBoundedDisorder(0), core.WithParallelism(1)}, sink)
+		return b.Build()
+	}
+	var mu sync.Mutex
+	var lastReg *metrics.Registry
+	w := newWatch(metrics.NewRegistry(), p.source, 0, 0)
+	onStart := func(_ int, job *core.Job) {
+		mu.Lock()
+		lastReg = job.Metrics()
+		mu.Unlock()
+		w.setRegistry(job.Metrics())
+		store.SetKill(func() { job.Fail(chaos.ErrInjectedCrash) })
+	}
+	start := time.Now()
+	out, rep, err := ha.RunSupervised(ctx, factory, store,
+		ha.RestartStrategy{MaxRestarts: 3, Delay: 5 * time.Millisecond}, onStart)
+	end := time.Now()
+	_, _, maxLag := w.finish()
+	if err != nil {
+		return err
+	}
+
+	res.ElapsedMs = float64(end.Sub(start).Nanoseconds()) / 1e6
+	if secs := end.Sub(start).Seconds(); secs > 0 {
+		res.RecordsPerSec = float64(n) / secs
+	}
+	res.MaxWatermarkLagMs = maxLag
+	res.RecoveryMs = rep.RecoveryMillis
+	res.Restarts = rep.Restarts
+	res.Output = len(out)
+	mu.Lock()
+	reg := lastReg
+	mu.Unlock()
+	if reg != nil {
+		fillFromRegistry(res, reg, p.sink)
+	}
+	return nil
+}
+
+// runRescale drives the pipeline through a scripted scale-out and scale-in
+// under the elastic controller, measuring per-rescale downtime and offline
+// spans. The source is paced (and pinned to parallelism 1) so savepoint
+// barriers land mid-stream, exactly like the E17 experiment.
+func runRescale(ctx context.Context, sc Scenario, p pipeline, n int, res *Result) error {
+	build := func(par int, sink *core.CollectSink, st core.SnapshotStore) (*core.Job, error) {
+		cfg := baseConfig(sc, n, st)
+		cfg.DefaultParallelism = par
+		cfg.ChannelCapacity = 8
+		cfg.WatermarkInterval = 1
+		b := core.NewBuilder(cfg)
+		pace := func(int) time.Duration { return 50 * time.Microsecond }
+		p.build(b, elastic.NewPacedSourceFactory(p.events, pace),
+			[]core.SourceOption{core.WithBoundedDisorder(0), core.WithParallelism(1)}, sink)
+		return b.Build()
+	}
+	w := newWatch(metrics.NewRegistry(), p.source, 0, 0)
+	var mu sync.Mutex
+	var lastReg *metrics.Registry
+	up := sc.Parallelism * 2
+	quarter, threeQuarters := int64(n/4), int64(3*n/4)
+	ctrl, err := elastic.New(elastic.Config{
+		Node:  p.scaled,
+		Build: build,
+		Store: core.NewMemorySnapshotStore(),
+		Decider: func(s elastic.Sample, current int) int {
+			switch {
+			case s.Records > threeQuarters:
+				return sc.Parallelism // scale back in for the tail
+			case s.Records > quarter:
+				return up // scale out once the stream is established
+			}
+			return current
+		},
+		InitialParallelism: sc.Parallelism,
+		SampleEvery:        3 * time.Millisecond,
+		Restart:            ha.RestartStrategy{MaxRestarts: 2, Delay: 5 * time.Millisecond},
+		OnStart: func(_ int, job *core.Job) {
+			mu.Lock()
+			lastReg = job.Metrics()
+			mu.Unlock()
+			w.setRegistry(job.Metrics())
+		},
+	})
+	if err != nil {
+		w.finish()
+		return err
+	}
+	start := time.Now()
+	out, rep, err := ctrl.Run(ctx)
+	end := time.Now()
+	_, _, maxLag := w.finish()
+	if err != nil {
+		return err
+	}
+
+	res.ElapsedMs = float64(end.Sub(start).Nanoseconds()) / 1e6
+	if secs := end.Sub(start).Seconds(); secs > 0 {
+		res.RecordsPerSec = float64(n) / secs
+	}
+	res.MaxWatermarkLagMs = maxLag
+	res.Rescales = len(rep.Rescales)
+	for _, ev := range rep.Rescales {
+		if ms := ev.Downtime.Milliseconds(); ms > res.RescaleDowntimeMs {
+			res.RescaleDowntimeMs = ms
+		}
+		if ms := ev.Offline.Milliseconds(); ms > res.RescaleOfflineMs {
+			res.RescaleOfflineMs = ms
+		}
+	}
+	res.Restarts = rep.Restarts
+	res.Output = len(out)
+	mu.Lock()
+	reg := lastReg
+	mu.Unlock()
+	if reg != nil {
+		fillFromRegistry(res, reg, p.sink)
+	}
+	return nil
+}

@@ -88,6 +88,20 @@ func (h *Histogram) Observe(v int64) {
 // ObserveDuration records a duration in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
 
+// Reset discards every observation, returning the histogram to its empty
+// state. Harnesses use it to separate a warmup phase from the measured
+// window without rebuilding the registry (the instrument identity — and any
+// pointer an operator captured at wiring time — stays valid).
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.buckets = [64]int64{}
+	h.count = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = 0
+	h.mu.Unlock()
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
 	h.mu.Lock()
@@ -268,6 +282,21 @@ func (m *Meter) Rate() float64 {
 	m.lastCount = n
 	m.lastTime = t
 	return m.ewma
+}
+
+// Reset zeroes the count and restarts both rate windows (EWMA and lifetime)
+// from now, as if the meter had just been created. Concurrent Marks may land
+// on either side of the reset.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	now := m.now()
+	m.count.Store(0)
+	m.start = now
+	m.lastTime = now
+	m.lastCount = 0
+	m.ewma = 0
+	m.primed = false
+	m.mu.Unlock()
 }
 
 // LifetimeRate returns events per second averaged since the meter was

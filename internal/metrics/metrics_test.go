@@ -167,6 +167,51 @@ func TestMeterRateBackToBackCallsStable(t *testing.T) {
 	}
 }
 
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatalf("reset histogram should report zeros: %s", h.Snapshot())
+	}
+	if s := h.Export(); s.Count != 0 || s.Sum != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("reset histogram export not empty: %+v", s)
+	}
+	// The instrument stays usable and min/max re-prime from fresh data.
+	h.Observe(7)
+	if h.Count() != 1 || h.Min() != 7 || h.Max() != 7 {
+		t.Fatalf("histogram broken after reset: %s", h.Snapshot())
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	m, advance := virtualMeter()
+	m.Mark(1000)
+	advance(time.Second)
+	if m.Rate() < 999 {
+		t.Fatal("meter should be primed before reset")
+	}
+	m.Reset()
+	if m.Count() != 0 {
+		t.Fatalf("reset meter count: want 0, got %d", m.Count())
+	}
+	if lr := m.LifetimeRate(); lr != 0 {
+		t.Fatalf("reset meter lifetime rate: want 0, got %v", lr)
+	}
+	// A fresh measurement window: 200 events over 1s reads ~200/s, not a
+	// blend with the pre-reset rate.
+	m.Mark(200)
+	advance(time.Second)
+	if r := m.Rate(); r < 199 || r > 201 {
+		t.Fatalf("post-reset rate: want ~200, got %v", r)
+	}
+	if lr := m.LifetimeRate(); lr < 199 || lr > 201 {
+		t.Fatalf("post-reset lifetime rate: want ~200, got %v", lr)
+	}
+}
+
 func TestHistogramExport(t *testing.T) {
 	h := NewHistogram()
 	h.Observe(1)   // bucket 0, ub 1

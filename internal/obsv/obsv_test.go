@@ -2,6 +2,7 @@ package obsv
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http/httptest"
 	"strings"
@@ -102,6 +103,36 @@ func TestWritePrometheus(t *testing.T) {
 	// Buckets must be cumulative and ascending.
 	if !strings.Contains(out, `node_win_5s_latency_ns_bucket{le="127"} 1`) {
 		t.Fatalf("expected cumulative bucket for 100 at le=127:\n%s", out)
+	}
+}
+
+func TestWritePrometheusQuantiles(t *testing.T) {
+	r := metrics.NewRegistry()
+	h := r.Histogram("node.win.latency_ns")
+	// 99 small observations and one huge one: p50 must sit in the small
+	// bucket, p99 in the large one, exactly as Histogram.Quantile reports.
+	for i := 0; i < 99; i++ {
+		h.Observe(100)
+	}
+	h.Observe(1_000_000)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE node_win_latency_ns_quantile gauge",
+		fmt.Sprintf(`node_win_latency_ns_quantile{quantile="0.5"} %d`, h.Quantile(0.5)),
+		fmt.Sprintf(`node_win_latency_ns_quantile{quantile="0.95"} %d`, h.Quantile(0.95)),
+		fmt.Sprintf(`node_win_latency_ns_quantile{quantile="0.99"} %d`, h.Quantile(0.99)),
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	if h.Quantile(0.99) <= h.Quantile(0.5) {
+		t.Fatalf("tail quantile should exceed median: p50=%d p99=%d", h.Quantile(0.5), h.Quantile(0.99))
 	}
 }
 

@@ -15,7 +15,11 @@ import (
 //   - gauges     -> `# TYPE name gauge` (stored and callback gauges alike)
 //   - histograms -> `# TYPE name histogram` with cumulative `name_bucket`
 //     samples over the registry histogram's exponential bounds,
-//     plus `name_sum` and `name_count`
+//     plus `name_sum` and `name_count`, plus a summary-style companion
+//     gauge family `name_quantile{quantile="0.5"|"0.95"|"0.99"}` so
+//     scrapers see the same tail estimates the engine itself reports
+//     (Histogram.Quantile's bucket upper bounds) without re-deriving them
+//     from the exponential buckets
 //   - meters     -> `name_total` counter plus `name_rate` (EWMA) and
 //     `name_lifetime_rate` gauges
 //
@@ -49,6 +53,13 @@ func WritePrometheus(w io.Writer, r *metrics.Registry) error {
 			}
 			emit("%s_bucket{le=\"+Inf\"} %d\n", n, snap.Count)
 			emit("%s_sum %d\n%s_count %d\n", n, snap.Sum, n, snap.Count)
+			// The `name` family is a histogram, whose sample vocabulary is
+			// fixed (_bucket/_sum/_count) — the quantiles go out as a
+			// separate gauge family to stay within the exposition grammar.
+			emit("# TYPE %s_quantile gauge\n", n)
+			for _, q := range promQuantiles {
+				emit("%s_quantile{quantile=\"%s\"} %d\n", n, q.label, h.Quantile(q.q))
+			}
 		},
 		Meter: func(name string, m *metrics.Meter) {
 			n := promName(name)
@@ -58,6 +69,17 @@ func WritePrometheus(w io.Writer, r *metrics.Registry) error {
 		},
 	})
 	return err
+}
+
+// promQuantiles are the exported tail estimates, matching the quantiles the
+// engine's own Snapshot strings and the bench harness record.
+var promQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.50},
+	{"0.95", 0.95},
+	{"0.99", 0.99},
 }
 
 func promName(name string) string {
