@@ -69,6 +69,14 @@ type Scenario struct {
 	// Rescale runs the pipeline under the elastic controller with a
 	// scripted scale-out + scale-in, measuring rescale downtime.
 	Rescale bool `json:"rescale,omitempty"`
+	// Keys overrides the quickstart pipeline's key cardinality (0 = the
+	// default 64). High-cardinality cells make checkpoint size a function of
+	// total state, which is what the delta scenarios measure.
+	Keys int `json:"keys,omitempty"`
+	// Delta enables incremental (delta) checkpoints; the run then also
+	// records checkpoint-bytes stats and the delta count, the sublinearity
+	// metrics the perf gate tracks.
+	Delta bool `json:"delta,omitempty"`
 	// Events is the stream length at scale 1.0.
 	Events int `json:"events"`
 	// Description says what the scenario exercises.
@@ -127,6 +135,11 @@ func Matrix() []Scenario {
 			Name: "quickstart-crash-b16-p2", Pipeline: PipelineQuickstart, Arrival: ArrivalSteady,
 			Batch: 16, Parallelism: 2, Crash: true, Events: 8_000,
 			Description: "mid-checkpoint crash, supervised restart: recovery time",
+		},
+		{
+			Name: "quickstart-1mkey-delta", Pipeline: PipelineQuickstart, Arrival: ArrivalSteady,
+			Batch: 64, Parallelism: 2, Keys: 1_000_000, Delta: true, Crash: true, Events: 1_000_000,
+			Description: "1M-key windowed count with incremental checkpoints: checkpoint bytes and delta-chain recovery",
 		},
 		{
 			Name: "quickstart-rescale-p2", Pipeline: PipelineQuickstart, Arrival: ArrivalSteady,
@@ -196,6 +209,13 @@ type Result struct {
 	Checkpoints      int64   `json:"checkpoints"`
 	CheckpointMeanMs float64 `json:"checkpoint_mean_ms"`
 	CheckpointMaxMs  float64 `json:"checkpoint_max_ms"`
+	// Checkpoint size stats (checkpoint.bytes histogram) and the number of
+	// incremental checkpoints, recorded for Delta scenarios only so older
+	// baselines compare cleanly. Mean bytes is the sublinearity headline: a
+	// delta chain keeps it far below the full-image max.
+	CheckpointMeanBytes float64 `json:"checkpoint_mean_bytes,omitempty"`
+	CheckpointMaxBytes  float64 `json:"checkpoint_max_bytes,omitempty"`
+	DeltaCheckpoints    int64   `json:"delta_checkpoints,omitempty"`
 	// RecoveryMs/Restarts are filled by crash scenarios (failure → first
 	// post-restart output, per ha.SupervisionReport).
 	RecoveryMs int64 `json:"recovery_ms,omitempty"`

@@ -96,6 +96,32 @@ func TestRunCrashScenario(t *testing.T) {
 	}
 }
 
+func TestRun1MKeyDeltaScenario(t *testing.T) {
+	// testScale of the 1M-event trajectory is still a 10k-event run: large
+	// enough for several checkpoints, a mid-delta-save crash, and a
+	// delta-chain recovery.
+	res, err := Run(findScenario(t, "quickstart-1mkey-delta"), testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts < 1 {
+		t.Fatalf("delta crash scenario did not restart: %+v", res)
+	}
+	if res.RecoveryMs <= 0 {
+		t.Fatalf("recovery time not measured: %+v", res)
+	}
+	if res.DeltaCheckpoints < 1 {
+		t.Fatalf("no incremental checkpoints recorded: %+v", res)
+	}
+	if res.CheckpointMeanBytes <= 0 || res.CheckpointMaxBytes < res.CheckpointMeanBytes {
+		t.Fatalf("checkpoint byte stats not measured: mean=%.0f max=%.0f",
+			res.CheckpointMeanBytes, res.CheckpointMaxBytes)
+	}
+	if res.Output <= 0 {
+		t.Fatal("no output after recovery")
+	}
+}
+
 func TestRunRescaleScenario(t *testing.T) {
 	res, err := Run(findScenario(t, "quickstart-rescale-p2"), testScale)
 	if err != nil {

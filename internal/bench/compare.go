@@ -84,6 +84,8 @@ var comparedMetrics = []metricDef{
 	{"latency_p50_ns", func(r Result) float64 { return float64(r.LatencyP50Ns) }, false, 50_000},
 	{"latency_p99_ns", func(r Result) float64 { return float64(r.LatencyP99Ns) }, false, 100_000},
 	{"checkpoint_mean_ms", func(r Result) float64 { return r.CheckpointMeanMs }, false, 0.5},
+	{"checkpoint_mean_bytes", func(r Result) float64 { return r.CheckpointMeanBytes }, false, 4096},
+	{"checkpoint_max_bytes", func(r Result) float64 { return r.CheckpointMaxBytes }, false, 4096},
 	{"recovery_ms", func(r Result) float64 { return float64(r.RecoveryMs) }, false, 5},
 	{"rescale_downtime_ms", func(r Result) float64 { return float64(r.RescaleDowntimeMs) }, false, 5},
 }

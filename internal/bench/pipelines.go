@@ -28,7 +28,7 @@ func pipelineFor(sc Scenario, n int) (pipeline, error) {
 	hot := sc.Arrival == ArrivalHotKey
 	switch sc.Pipeline {
 	case PipelineQuickstart:
-		return quickstartPipeline(n, hot), nil
+		return quickstartPipeline(n, hot, sc.Keys), nil
 	case PipelineFraudDetect:
 		return fraudPipeline(n, hot), nil
 	case PipelineNetmon:
@@ -40,9 +40,13 @@ func pipelineFor(sc Scenario, n int) (pipeline, error) {
 }
 
 // quickstartPipeline is the canonical windowed count: keyed stream into a
-// 5s tumbling count window.
-func quickstartPipeline(n int, hot bool) pipeline {
-	spec := gen.Spec{N: n, Keys: 64, IntervalMs: 10, Seed: 42}
+// 5s tumbling count window. keys = 0 selects the default 64-key stream;
+// high-cardinality cells pass the scenario's Keys override.
+func quickstartPipeline(n int, hot bool, keys int) pipeline {
+	if keys <= 0 {
+		keys = 64
+	}
+	spec := gen.Spec{N: n, Keys: keys, IntervalMs: 10, Seed: 42}
 	if hot {
 		spec.ZipfS = 1.4
 	}

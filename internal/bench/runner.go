@@ -127,6 +127,7 @@ func baseConfig(sc Scenario, n int, store core.SnapshotStore) core.Config {
 		CheckpointEvery:       ce,
 		Instrument:            true,
 		LatencyMarkerInterval: markerEvery,
+		DeltaCheckpoints:      sc.Delta,
 	}
 }
 
@@ -254,6 +255,17 @@ func fillFromRegistry(res *Result, reg *metrics.Registry, sinkNode string) {
 		res.CheckpointMeanMs = float64(ck.Sum) / float64(ck.Count) / 1e6
 		res.CheckpointMaxMs = float64(ck.Max) / 1e6
 	}
+	// Checkpoint size and delta counts are recorded for Delta scenarios only:
+	// older baselines predate these fields, and Compare treats a metric that
+	// appears from zero as a regression.
+	if res.Scenario.Delta {
+		cb := reg.Histogram("checkpoint.bytes").Export()
+		if cb.Count > 0 {
+			res.CheckpointMeanBytes = float64(cb.Sum) / float64(cb.Count)
+			res.CheckpointMaxBytes = float64(cb.Max)
+		}
+		res.DeltaCheckpoints = reg.Counter("checkpoint.deltas").Value()
+	}
 }
 
 // sourceFactory shapes the offered load: steady and hotkey replay the
@@ -313,11 +325,35 @@ func runCrash(ctx context.Context, sc Scenario, p pipeline, n int, res *Result) 
 	// checkpoints complete mid-stream instead of the whole run draining in
 	// one burst; the crash ordinal then lands inside the second checkpoint's
 	// saves (source + every operator instance save once per checkpoint), so
-	// recovery restores a completed checkpoint and replays a real tail.
+	// recovery restores a completed checkpoint and replays a real tail. A
+	// delta scenario crashes two checkpoints later, so the checkpoint it
+	// recovers from is a delta and the restore resolves a real chain.
 	saves := 1 + 2*sc.Parallelism
+	crashAt := saves + 1
+	if sc.Delta {
+		crashAt = 3*saves + 1
+	}
 	store := chaos.Wrap(core.NewMemorySnapshotStore(), chaos.FaultPlan{}).
-		Arm(chaos.CrashMidSave, saves+1)
-	pace := func(int) time.Duration { return 40 * time.Microsecond }
+		Arm(chaos.CrashMidSave, crashAt)
+	// Delta cells sleep every Nth record instead of every record: the pacing
+	// exists to let checkpoints land mid-stream, not to stretch a 1M-event
+	// run into minutes (a nominal 40µs sleep costs ~1ms of wall time at
+	// kernel timer granularity). Bounding the sleep count keeps the pacing
+	// cost roughly constant across scales; the small per-record-paced crash
+	// cells keep their recorded trajectories.
+	stride := 1
+	if sc.Delta {
+		stride = n / 2_000
+		if stride < 1 {
+			stride = 1
+		}
+	}
+	pace := func(i int) time.Duration {
+		if i%stride == 0 {
+			return 40 * time.Microsecond
+		}
+		return 0
+	}
 	factory := func(sink *core.CollectSink, st core.SnapshotStore) (*core.Job, error) {
 		cfg := baseConfig(sc, n, st)
 		cfg.ChannelCapacity = 8

@@ -59,6 +59,16 @@ const (
 	// checkpoint invisible so recovery rolls back to the pre-rescale
 	// savepoint at the old parallelism. At counts rescale completions only.
 	CrashPreRescaleComplete
+	// CrashMidDeltaSave kills the job during the At-th Save of a *delta*
+	// payload (an incremental checkpoint), after a torn prefix reached the
+	// underlying store — the worst case for chain integrity: a torn delta
+	// must never become a restorable link. At counts delta saves only.
+	CrashMidDeltaSave
+	// CrashMidChainRestore kills the job during the At-th *ancestor* Load —
+	// a Load for a checkpoint older than Latest, which only happens while a
+	// restarted incarnation is resolving a delta chain back to its full
+	// parent. At counts ancestor loads only.
+	CrashMidChainRestore
 )
 
 func (p CrashPoint) String() string {
@@ -73,6 +83,10 @@ func (p CrashPoint) String() string {
 		return "post-savepoint"
 	case CrashPreRescaleComplete:
 		return "pre-rescale-complete"
+	case CrashMidDeltaSave:
+		return "mid-delta-save"
+	case CrashMidChainRestore:
+		return "mid-chain-restore"
 	default:
 		return "none"
 	}
@@ -137,6 +151,10 @@ type FaultyStore struct {
 	// periodic checkpoint completions that vary with timing.
 	savepointCompletes int
 	rescaleCompletes   int
+	// Per-kind Save/Load ordinals for the incremental-checkpoint crash
+	// points: delta-payload saves and ancestor (chain-link) loads.
+	deltaSaves int
+	chainLoads int
 }
 
 // Wrap builds a FaultyStore injecting plan over inner.
@@ -187,10 +205,19 @@ func (s *FaultyStore) Save(cp int64, instanceID string, data []byte) error {
 	if s.plan.SaveLatency > 0 {
 		time.Sleep(s.plan.SaveLatency)
 	}
+	// Sniffing delta payloads costs a decode per Save, which is fine for a
+	// fault-injection harness and keeps the mid-delta-save ordinal exact.
+	isDelta := core.SnapshotIsDelta(data)
 	s.mu.Lock()
 	ord := s.stats.Saves
 	s.stats.Saves++
-	crash := s.crash == CrashMidSave && !s.crashed && ord >= s.crashAt
+	var deltaOrd int
+	if isDelta {
+		deltaOrd = s.deltaSaves
+		s.deltaSaves++
+	}
+	crash := !s.crashed && (s.crash == CrashMidSave && ord >= s.crashAt ||
+		s.crash == CrashMidDeltaSave && isDelta && deltaOrd >= s.crashAt)
 	fail := crash ||
 		inWindow(ord, s.plan.FailSaveFrom, s.plan.FailSaveCount) ||
 		(s.plan.FailSaveEvery > 0 && ord%s.plan.FailSaveEvery == s.plan.FailSaveEvery-1)
@@ -223,10 +250,20 @@ func (s *FaultyStore) Save(cp int64, instanceID string, data []byte) error {
 // Load implements core.SnapshotStore with restore-path faults and the
 // mid-restore crash point.
 func (s *FaultyStore) Load(cp int64, instanceID string) ([]byte, error) {
+	// A Load for a checkpoint older than Latest is a chain-link load: only
+	// the delta-chain resolver reads ancestors during restore.
+	lm, lok := s.inner.Latest()
+	chainLoad := lok && cp != lm.ID
 	s.mu.Lock()
 	ord := s.stats.Loads
 	s.stats.Loads++
-	crash := s.crash == CrashMidRestore && !s.crashed && ord >= s.crashAt
+	var chainOrd int
+	if chainLoad {
+		chainOrd = s.chainLoads
+		s.chainLoads++
+	}
+	crash := !s.crashed && (s.crash == CrashMidRestore && ord >= s.crashAt ||
+		s.crash == CrashMidChainRestore && chainLoad && chainOrd >= s.crashAt)
 	fail := crash || inWindow(ord, s.plan.FailLoadFrom, s.plan.FailLoadCount)
 	if fail {
 		s.stats.LoadFaults++
@@ -308,8 +345,28 @@ func (s *FaultyStore) Discard(cp int64) error {
 	return nil
 }
 
+// LinkFile implements core.FileLinkingStore by forwarding to the wrapped
+// store; when the inner store cannot link files it reports
+// core.ErrFileLinkUnsupported so instances fall back to embedding file
+// contents, exactly as they would against the inner store directly.
+func (s *FaultyStore) LinkFile(cp int64, name, src string) error {
+	if ls, ok := s.inner.(core.FileLinkingStore); ok {
+		return ls.LinkFile(cp, name, src)
+	}
+	return core.ErrFileLinkUnsupported
+}
+
+// LinkedPath implements core.FileLinkingStore (see LinkFile).
+func (s *FaultyStore) LinkedPath(cp int64, name string) (string, error) {
+	if ls, ok := s.inner.(core.FileLinkingStore); ok {
+		return ls.LinkedPath(cp, name)
+	}
+	return "", core.ErrFileLinkUnsupported
+}
+
 var _ core.SnapshotStore = (*FaultyStore)(nil)
 var _ core.DiscardableStore = (*FaultyStore)(nil)
+var _ core.FileLinkingStore = (*FaultyStore)(nil)
 
 // PanicInjector makes one wrapped operator instance panic after the injector
 // has seen After elements in total — once per injector lifetime, so a

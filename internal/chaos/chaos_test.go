@@ -9,11 +9,13 @@ import (
 	"reflect"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/ha"
+	"repro/internal/state"
 	"repro/internal/window"
 )
 
@@ -39,16 +41,20 @@ func pipelineEvents() []core.Event {
 // exactly-once checkpointing every 50 records. The small channel capacity
 // backpressures the source and the relay paces the stream, so several
 // checkpoints complete mid-run and the armed crash ordinals are reached.
-func pipelineFactory(events []core.Event, inj *PanicInjector) ha.JobFactory {
+func pipelineFactory(events []core.Event, inj *PanicInjector, mutate func(*core.Config)) ha.JobFactory {
 	return func(sink *core.CollectSink, store core.SnapshotStore) (*core.Job, error) {
-		b := core.NewBuilder(core.Config{
+		cfg := core.Config{
 			Name:               "chaos-matrix",
 			SnapshotStore:      store,
 			CheckpointEvery:    50,
 			ChannelCapacity:    4,
 			WatermarkInterval:  1,
 			DefaultParallelism: 2,
-		})
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		b := core.NewBuilder(cfg)
 		relay := core.MapFunc(func(e core.Event, ctx core.Context) error {
 			time.Sleep(120 * time.Microsecond)
 			ctx.Emit(e)
@@ -109,7 +115,7 @@ func baseline(t *testing.T, ctx context.Context, events []core.Event) []string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, rep, err := ha.RunSupervised(ctx, pipelineFactory(events, nil), store,
+	out, rep, err := ha.RunSupervised(ctx, pipelineFactory(events, nil, nil), store,
 		ha.RestartStrategy{MaxRestarts: 1, Delay: time.Millisecond}, nil)
 	if err != nil {
 		t.Fatalf("baseline run failed: %v", err)
@@ -127,9 +133,36 @@ type matrixScenario struct {
 	crash      CrashPoint
 	crashAt    int
 	panicAfter int // 0 = no operator panic
+	// delta runs the pipeline with incremental (delta) checkpoints on, so
+	// the fault hits a checkpoint chain instead of self-contained snapshots.
+	delta bool
+	// lsmNative runs every operator on an LSM backend with SSTable-native
+	// snapshots, so saves carry linked-file manifests instead of state
+	// images. Restarted incarnations open fresh LSM dirs — recovery must
+	// come entirely from the checkpoint store, as on a replacement worker.
+	lsmNative bool
 	// wantRestart requires at least one supervised restart (crash/panic
 	// scenarios); scenarios that must survive in-place set it false.
 	wantRestart bool
+}
+
+// configMutator builds the Config hook for the scenario's checkpoint mode.
+func (sc matrixScenario) configMutator(t *testing.T) func(*core.Config) {
+	if !sc.delta && !sc.lsmNative {
+		return nil
+	}
+	base := t.TempDir()
+	var seq atomic.Int64
+	return func(c *core.Config) {
+		c.DeltaCheckpoints = sc.delta
+		if sc.lsmNative {
+			c.LSMNativeSnapshots = true
+			c.BackendFactory = func(node string, instance int) (state.Backend, error) {
+				dir := filepath.Join(base, fmt.Sprintf("%s-%d-inc%d", node, instance, seq.Add(1)))
+				return state.NewLSMBackend(dir, 0)
+			}
+		}
+	}
 }
 
 func (sc matrixScenario) run(t *testing.T, ctx context.Context, events []core.Event, want []string) {
@@ -148,7 +181,7 @@ func (sc matrixScenario) run(t *testing.T, ctx context.Context, events []core.Ev
 		lastJob = job
 		store.SetKill(func() { job.Fail(ErrInjectedCrash) })
 	}
-	out, rep, err := ha.RunSupervised(ctx, pipelineFactory(events, inj), store,
+	out, rep, err := ha.RunSupervised(ctx, pipelineFactory(events, inj, sc.configMutator(t)), store,
 		ha.RestartStrategy{MaxRestarts: 4, Delay: 2 * time.Millisecond}, onStart)
 	if err != nil {
 		t.Fatalf("supervised run failed (report %+v): %v", rep, err)
@@ -209,6 +242,24 @@ func TestCrashMatrix(t *testing.T) {
 		{name: "torn-save-intermittent", plan: FaultPlan{FailSaveEvery: 7, TornSave: true}},
 		// Plain operator panic, recovered from the latest checkpoint.
 		{name: "operator-panic", panicAfter: 500, wantRestart: true},
+		// Killed during a *delta* save, after a torn prefix of the delta
+		// reached disk: the torn link must never commit, and recovery from
+		// the intact chain must replay exactly once.
+		{name: "crash-mid-delta-save", delta: true, crash: CrashMidDeltaSave, crashAt: 2, wantRestart: true},
+		// A panic forces a restore whose Latest is a delta; the restart is
+		// then killed while loading an *ancestor* of the chain, forcing a
+		// second chain resolution.
+		{name: "crash-mid-chain-restore", delta: true, crash: CrashMidChainRestore, crashAt: 1, panicAfter: 600, wantRestart: true},
+		// Intermittent torn writes against a checkpoint chain: aborted delta
+		// checkpoints must not corrupt later links or the restore path.
+		{name: "delta-torn-save-intermittent", delta: true, plan: FaultPlan{FailSaveEvery: 7, TornSave: true}},
+		// SSTable-native checkpoints: killed mid-save while snapshots are
+		// linked-file manifests; the replacement incarnation starts on empty
+		// LSM dirs and must rebuild purely from the store's linked files.
+		{name: "native-crash-mid-save", lsmNative: true, crash: CrashMidSave, crashAt: 8, wantRestart: true},
+		// Delta chains layered on SSTable-native fulls, recovered across an
+		// operator panic with no crash-point assist.
+		{name: "native-delta-panic", delta: true, lsmNative: true, panicAfter: 500, wantRestart: true},
 	}
 	for _, sc := range scenarios {
 		sc := sc
@@ -230,7 +281,9 @@ func TestCrashMatrixRandomized(t *testing.T) {
 
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 4; i++ {
-		sc := matrixScenario{name: fmt.Sprintf("rand-%d", i)}
+		// Alternate checkpoint modes outside the rng stream so the fault
+		// draws stay identical to earlier seeds.
+		sc := matrixScenario{name: fmt.Sprintf("rand-%d", i), delta: i%2 == 1}
 		switch rng.Intn(3) {
 		case 0:
 			sc.crash = CrashMidSave
@@ -314,12 +367,23 @@ func TestFaultyStoreSchedules(t *testing.T) {
 	if got := fs2.Stats().Crashes; got != 1 {
 		t.Fatalf("crash count: %d", got)
 	}
+
+	// File-link forwarding: over a memory store (no linking) the wrapper must
+	// report the sentinel so instances fall back to embedding file bytes.
+	if err := fs.LinkFile(1, "a/x.sst", "/no/such/file"); !errors.Is(err, core.ErrFileLinkUnsupported) {
+		t.Fatalf("LinkFile over a non-linking store: %v", err)
+	}
+	if _, err := fs.LinkedPath(1, "a/x.sst"); !errors.Is(err, core.ErrFileLinkUnsupported) {
+		t.Fatalf("LinkedPath over a non-linking store: %v", err)
+	}
 }
 
 // TestCrashPointString keeps the matrix output readable.
 func TestCrashPointString(t *testing.T) {
 	for p, want := range map[CrashPoint]string{
 		CrashNone: "none", CrashMidSave: "mid-save", CrashPreComplete: "pre-complete", CrashMidRestore: "mid-restore",
+		CrashPostSavepoint: "post-savepoint", CrashPreRescaleComplete: "pre-rescale-complete",
+		CrashMidDeltaSave: "mid-delta-save", CrashMidChainRestore: "mid-chain-restore",
 	} {
 		if got := p.String(); got != want {
 			t.Fatalf("CrashPoint(%d).String() = %q, want %q", p, got, want)

@@ -97,4 +97,8 @@ type barrierMark struct {
 	ID int64
 	// Savepoint marks a final checkpoint taken for a planned stop/rescale.
 	Savepoint bool
+	// DeltaBase, when non-zero, asks backends to snapshot only the state
+	// changed since that (completed) checkpoint. Backends that cannot honor
+	// it fall back to a full snapshot. Savepoints are never deltas.
+	DeltaBase int64
 }

@@ -208,6 +208,23 @@ type Config struct {
 	// alignment, source/instance lifecycles) into a ring buffer for the
 	// /traces endpoint. nil disables tracing.
 	Tracer *obsv.Tracer
+	// DeltaCheckpoints makes checkpoints between periodic full snapshots
+	// serialize only the state changed since the last completed checkpoint
+	// (RocksDB/Samza-style incremental checkpointing): checkpoint bytes scale
+	// with the change rate instead of total state size. Recovery replays the
+	// full image plus the delta chain. Backends that don't implement
+	// state.DeltaBackend, and savepoints, always take full snapshots. Off by
+	// default.
+	DeltaCheckpoints bool
+	// FullSnapshotEvery bounds the delta chain: every Nth checkpoint is a
+	// full snapshot (recovery replays at most N-1 deltas). Default 8.
+	FullSnapshotEvery int
+	// LSMNativeSnapshots makes state.FileBackend backends (the LSM backend)
+	// checkpoint by referencing their immutable SSTables — hard-linked into a
+	// FileSnapshotStore when local, embedded otherwise — instead of
+	// serializing a full state image: unchanged SSTables cost zero bytes.
+	// Savepoints still serialize the portable image. Off by default.
+	LSMNativeSnapshots bool
 }
 
 func (c Config) withDefaults() Config {
@@ -230,6 +247,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SnapshotRetryBackoff <= 0 {
 		c.SnapshotRetryBackoff = 2 * time.Millisecond
+	}
+	if c.FullSnapshotEvery <= 0 {
+		c.FullSnapshotEvery = 8
 	}
 	if c.BackendFactory == nil {
 		groups := c.NumKeyGroups

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,6 +57,11 @@ type Job struct {
 	// aborted checkpoint.
 	abortedCP    atomic.Int64
 	saveFailures atomic.Int64
+	// deltaChainLen counts completed delta checkpoints since the last
+	// completed full one; the coordinator forces a full snapshot once the
+	// chain reaches FullSnapshotEvery-1. Only the coordinator goroutine
+	// touches it.
+	deltaChainLen int
 }
 
 type ackMsg struct {
@@ -66,6 +72,9 @@ type ackMsg struct {
 	// failed marks a snapshot that could not be taken or persisted; the
 	// coordinator aborts the whole checkpoint on the first failed ack.
 	failed bool
+	// files lists backend files the instance linked into the checkpoint
+	// (SSTable reuse); they become part of the checkpoint metadata.
+	files []string
 }
 
 type checkpointInflight struct {
@@ -75,6 +84,10 @@ type checkpointInflight struct {
 	pending map[string]bool
 	bytes   int64
 	save    bool
+	// deltaBase is the completed checkpoint this one is a delta of (0 =
+	// full); files accumulates linked backend files from instance acks.
+	deltaBase int64
+	files     []string
 	// started and span time/trace the in-flight checkpoint (observability).
 	// started is a nanotime() stamp.
 	started int64
@@ -451,6 +464,11 @@ func (j *Job) buildPhysical() error {
 				return fmt.Errorf("core: backend for %s: %w", inst.id, err)
 			}
 			inst.backend = backend
+			if j.cfg.DeltaCheckpoints {
+				if db, ok := backend.(state.DeltaBackend); ok {
+					db.SetDeltaTracking(true)
+				}
+			}
 			opInst[n.id] = append(opInst[n.id], inst)
 			j.instances = append(j.instances, inst)
 		}
@@ -529,7 +547,9 @@ func (j *Job) buildPhysical() error {
 }
 
 // loadRestoreSnapshots assigns restore payloads from the configured
-// checkpoint.
+// checkpoint. An instance whose newest payload is a delta gets its whole
+// chain, full image first; sources always save full offsets, so they load a
+// single payload.
 func (j *Job) loadRestoreSnapshots() error {
 	if j.restoreCP < 0 {
 		return nil
@@ -538,11 +558,11 @@ func (j *Job) loadRestoreSnapshots() error {
 		return fmt.Errorf("core: RestoreFrom set but no SnapshotStore configured")
 	}
 	for _, in := range j.instances {
-		data, err := j.cfg.SnapshotStore.Load(j.restoreCP, in.id)
+		chain, err := loadSnapshotChain(j.cfg.SnapshotStore, j.restoreCP, in.id)
 		if err != nil {
 			return fmt.Errorf("core: restore %s: %w", in.id, err)
 		}
-		in.restore = data
+		in.restore = chain
 	}
 	for _, s := range j.sources {
 		data, err := j.cfg.SnapshotStore.Load(j.restoreCP, s.id)
@@ -553,6 +573,54 @@ func (j *Job) loadRestoreSnapshots() error {
 	}
 	j.cpSeq.Store(j.restoreCP + 1)
 	return nil
+}
+
+// restorePayload is one link of an instance's restore chain: the payload and
+// the checkpoint it was saved under (needed to resolve store-linked files).
+type restorePayload struct {
+	cp   int64
+	data []byte
+}
+
+// loadSnapshotChain loads one instance's payload chain from the store:
+// result[0] is the oldest (full) payload, result[len-1] the checkpoint being
+// restored. Chain links must be strictly decreasing — anything else marks
+// corrupt lineage.
+func loadSnapshotChain(store SnapshotStore, cp int64, instanceID string) ([]restorePayload, error) {
+	var chain []restorePayload
+	for {
+		data, err := store.Load(cp, instanceID)
+		if err != nil {
+			return nil, err
+		}
+		chain = append([]restorePayload{{cp: cp, data: data}}, chain...)
+		snap, err := decodeInstanceSnapshot(data)
+		if err != nil {
+			return nil, err
+		}
+		if snap.DeltaBase == 0 {
+			return chain, nil
+		}
+		if snap.DeltaBase >= cp {
+			return nil, fmt.Errorf("core: checkpoint %d: delta base %d is not older than its child", cp, snap.DeltaBase)
+		}
+		cp = snap.DeltaBase
+	}
+}
+
+// sortedUnique sorts and deduplicates a string slice (nil stays nil).
+func sortedUnique(in []string) []string {
+	if len(in) == 0 {
+		return nil
+	}
+	sort.Strings(in)
+	out := in[:1]
+	for _, s := range in[1:] {
+		if s != out[len(out)-1] {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // Run executes the job until all sources finish and the pipeline drains, the
@@ -728,6 +796,18 @@ func (j *Job) initiateCheckpoint(ctx context.Context, req barrierMark) {
 	j.inflight.id = id
 	j.inflight.save = req.Savepoint
 	j.inflight.bytes = 0
+	j.inflight.files = nil
+	j.inflight.deltaBase = 0
+	// Delta selection: base on the last *completed* checkpoint (guaranteed
+	// restorable; also naturally forces the first post-restore checkpoint
+	// full, since lastCheckpoint starts at -1 in a new incarnation), unless
+	// the chain has reached its bound. Savepoints are always full — they are
+	// the rescale/portability format.
+	if j.cfg.DeltaCheckpoints && !req.Savepoint {
+		if base := j.lastCheckpoint.Load(); base > 0 && j.deltaChainLen+1 < j.cfg.FullSnapshotEvery {
+			j.inflight.deltaBase = base
+		}
+	}
 	if j.cfg.Instrument {
 		j.inflight.started = nanotime()
 	}
@@ -744,8 +824,9 @@ func (j *Job) initiateCheckpoint(ctx context.Context, req barrierMark) {
 	for _, s := range j.sources {
 		j.inflight.pending[s.id] = true
 	}
+	deltaBase := j.inflight.deltaBase
 	j.inflight.mu.Unlock()
-	b := barrierMark{ID: id, Savepoint: req.Savepoint}
+	b := barrierMark{ID: id, Savepoint: req.Savepoint, DeltaBase: deltaBase}
 	for _, s := range j.sources {
 		select {
 		case s.barrierReq <- b:
@@ -793,6 +874,7 @@ func (j *Job) processAck(a ackMsg) bool {
 	}
 	delete(j.inflight.pending, a.instanceID)
 	j.inflight.bytes += a.bytes
+	j.inflight.files = append(j.inflight.files, a.files...)
 	if len(j.inflight.pending) > 0 {
 		j.inflight.mu.Unlock()
 		return false
@@ -802,6 +884,8 @@ func (j *Job) processAck(a ackMsg) bool {
 		JobName:   j.cfg.Name,
 		Savepoint: j.inflight.save,
 		Bytes:     j.inflight.bytes,
+		Parent:    j.inflight.deltaBase,
+		Files:     sortedUnique(j.inflight.files),
 	}
 	for _, in := range j.instances {
 		meta.InstanceIDs = append(meta.InstanceIDs, in.id)
@@ -820,13 +904,24 @@ func (j *Job) processAck(a ackMsg) bool {
 		j.metrics.Histogram("checkpoint.duration_ns").Observe(nanotime() - started)
 		j.metrics.Gauge("checkpoint.last_id").Set(meta.ID)
 		j.metrics.Gauge("checkpoint.last_bytes").Set(meta.Bytes)
+		j.metrics.Histogram("checkpoint.bytes").Observe(meta.Bytes)
 		j.metrics.Counter("checkpoint.completed").Inc()
+		if meta.Parent != 0 {
+			j.metrics.Counter("checkpoint.deltas").Inc()
+		}
 	}
 	span.SetInt("bytes", meta.Bytes)
 	span.End()
 	if err := j.cfg.SnapshotStore.Complete(meta); err != nil {
 		j.logger.Printf("checkpoint %d: complete: %v", meta.ID, err)
 		return resume
+	}
+	if meta.Parent != 0 {
+		j.deltaChainLen++
+	} else {
+		// Any completed full snapshot (savepoints included) restarts the
+		// chain: later deltas may base on it directly.
+		j.deltaChainLen = 0
 	}
 	j.lastCheckpoint.Store(meta.ID)
 	j.logger.Printf("checkpoint %d complete (%d bytes)", meta.ID, meta.Bytes)
@@ -839,6 +934,15 @@ func (j *Job) processAck(a ackMsg) bool {
 // that still fails after the retry budget does not fail the instance: the
 // checkpoint is aborted via a failed ack and the job keeps running.
 func (j *Job) saveAndAck(ctx context.Context, b barrierMark, instanceID string, data []byte) {
+	j.saveAndAckFiles(ctx, b, instanceID, data, nil)
+}
+
+// saveAndAckFiles is saveAndAck for instances that also linked backend files
+// into the checkpoint: the names ride along in the ack so the coordinator can
+// record them in the checkpoint metadata. Linked files contribute no payload
+// bytes — a hard link writes no data, which is exactly the reuse the
+// checkpoint-bytes metric measures.
+func (j *Job) saveAndAckFiles(ctx context.Context, b barrierMark, instanceID string, data []byte, files []string) {
 	if j.cfg.SnapshotStore == nil {
 		return
 	}
@@ -862,7 +966,10 @@ func (j *Job) saveAndAck(ctx context.Context, b barrierMark, instanceID string, 
 		j.failCheckpoint(b, instanceID, err)
 		return
 	}
-	j.sendAck(ackMsg{cp: b.ID, instanceID: instanceID, bytes: int64(len(data)), savepoint: b.Savepoint})
+	j.sendAck(ackMsg{
+		cp: b.ID, instanceID: instanceID, bytes: int64(len(data)),
+		savepoint: b.Savepoint, files: files,
+	})
 }
 
 // failCheckpoint reports that an instance could not contribute its snapshot

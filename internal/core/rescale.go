@@ -71,6 +71,14 @@ func RescaleCheckpoint(store SnapshotStore, fromCP, toCP int64, nodeName string,
 		if len(snap.Custom) > 0 {
 			return stats, fmt.Errorf("core: node %q instance %s has custom snapshot state; cannot rescale", nodeName, id)
 		}
+		// Rescaling redistributes a decoded state image across a new key-group
+		// assignment; a delta payload (no image, only changed slots) or a
+		// file-native payload (state lives in linked SSTables) cannot be split
+		// that way. Savepoints are always full serialized images, so requiring
+		// one here is the documented contract, not a new restriction.
+		if snap.DeltaBase > 0 || len(snap.Files) > 0 || len(snap.FileData) > 0 {
+			return stats, fmt.Errorf("core: node %q instance %s: checkpoint %d is not a full serialized snapshot; rescale from a savepoint", nodeName, id, fromCP)
+		}
 		img, err := state.DecodeImage(snap.State)
 		if err != nil {
 			return stats, fmt.Errorf("core: rescale %s: %w", id, err)

@@ -2,8 +2,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/eventtime"
@@ -226,7 +229,7 @@ type instance struct {
 	backend    state.Backend
 	timers     *timerService
 	tracker    *eventtime.WatermarkTracker
-	restore    []byte // instance snapshot to restore, nil if fresh start
+	restore    []restorePayload // snapshot chain to restore (full first), nil if fresh start
 	inCounter  *metrics.Counter
 	outCounter *metrics.Counter
 
@@ -293,24 +296,11 @@ func (c *opContext) Logger() *log.Logger             { return c.inst.job.logger 
 func (in *instance) run(ctx context.Context) error {
 	octx := &opContext{inst: in, runCtx: ctx}
 
-	if in.restore != nil {
-		snap, err := decodeInstanceSnapshot(in.restore)
-		if err != nil {
+	if len(in.restore) > 0 {
+		if err := in.restoreChain(); err != nil {
 			return fmt.Errorf("%s: %w", in.id, err)
 		}
-		if len(snap.State) > 0 {
-			if err := in.backend.Restore(snap.State); err != nil {
-				return fmt.Errorf("%s: restore state: %w", in.id, err)
-			}
-		}
-		if err := in.timers.restore(snap.Timers); err != nil {
-			return fmt.Errorf("%s: %w", in.id, err)
-		}
-		if s, ok := in.op.(Snapshotter); ok && len(snap.Custom) > 0 {
-			if err := s.RestoreCustom(snap.Custom); err != nil {
-				return fmt.Errorf("%s: restore custom: %w", in.id, err)
-			}
-		}
+		in.restore = nil
 	}
 	if err := in.op.Open(octx); err != nil {
 		return fmt.Errorf("%s: open: %w", in.id, err)
@@ -609,7 +599,7 @@ func (in *instance) snapshotAndAck(ctx context.Context, b barrierMark) {
 		start = nanotime()
 	}
 	span := in.tracer.Begin("snapshot", in.node.name, in.id).SetInt("checkpoint", b.ID)
-	data, err := in.captureSnapshot()
+	data, files, err := in.captureSnapshot(b)
 	if err != nil {
 		span.SetAttr("error", err.Error()).End()
 		in.job.failCheckpoint(b, in.id, err)
@@ -622,28 +612,202 @@ func (in *instance) snapshotAndAck(ctx context.Context, b barrierMark) {
 	}
 	span.SetInt("bytes", int64(len(data)))
 	span.End()
-	in.job.saveAndAck(ctx, b, in.id, data)
+	in.job.saveAndAckFiles(ctx, b, in.id, data, files)
 }
 
-// captureSnapshot serialises the instance's full state image.
-func (in *instance) captureSnapshot() ([]byte, error) {
-	stateImg, err := in.backend.Snapshot()
-	if err != nil {
-		return nil, fmt.Errorf("snapshot state: %w", err)
+// captureSnapshot serialises the instance's contribution to checkpoint b:
+// a delta against b.DeltaBase when the coordinator asked for one and the
+// backend can deliver it, the backend's immutable files for file-native
+// checkpoints, or the full serialised image otherwise. The returned names
+// are files linked into the store; they ride the ack into the checkpoint
+// metadata so GC and chain verification can account for them.
+func (in *instance) captureSnapshot(b barrierMark) ([]byte, []string, error) {
+	var snap instanceSnapshot
+	var files []string
+	captured := false
+	if b.DeltaBase > 0 {
+		if db, ok := in.backend.(state.DeltaBackend); ok {
+			delta, dok, err := db.SnapshotDelta(b.DeltaBase, b.ID)
+			if err != nil {
+				return nil, nil, fmt.Errorf("snapshot delta: %w", err)
+			}
+			if dok {
+				snap.State = delta
+				snap.DeltaBase = b.DeltaBase
+				captured = true
+			}
+		}
+	}
+	if !captured && in.job.cfg.LSMNativeSnapshots && !b.Savepoint {
+		if fb, ok := in.backend.(state.FileBackend); ok {
+			var err error
+			files, err = in.captureFiles(fb, b, &snap)
+			if err != nil {
+				return nil, nil, err
+			}
+			captured = true
+		}
+	}
+	if !captured {
+		img, err := in.backend.Snapshot()
+		if err != nil {
+			return nil, nil, fmt.Errorf("snapshot state: %w", err)
+		}
+		snap.State = img
+	}
+	if snap.DeltaBase == 0 {
+		// Any full capture — image or file set — is a valid base for later
+		// deltas (savepoints included: they are full payloads by construction).
+		if db, ok := in.backend.(state.DeltaBackend); ok {
+			db.MarkFull(b.ID)
+		}
 	}
 	timerImg, err := in.timers.snapshot()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	snap := instanceSnapshot{State: stateImg, Timers: timerImg}
+	snap.Timers = timerImg
 	if s, ok := in.op.(Snapshotter); ok {
 		custom, err := s.SnapshotCustom()
 		if err != nil {
-			return nil, fmt.Errorf("snapshot custom: %w", err)
+			return nil, nil, fmt.Errorf("snapshot custom: %w", err)
 		}
 		snap.Custom = custom
 	}
-	return encodeInstanceSnapshot(snap)
+	data, err := encodeInstanceSnapshot(snap)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, files, nil
+}
+
+// captureFiles checkpoints a file-native backend by reference: the backend's
+// immutable files are published into a linking store — hard links when local,
+// so files shared with earlier checkpoints cost zero bytes — or embedded in
+// the payload when the store cannot link local files.
+func (in *instance) captureFiles(fb state.FileBackend, b barrierMark, snap *instanceSnapshot) ([]string, error) {
+	paths, err := fb.SnapshotFiles()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot files: %w", err)
+	}
+	names := make([]string, len(paths))
+	for i, p := range paths {
+		names[i] = in.id + "/" + filepath.Base(p)
+	}
+	snap.Files = names
+	if ls, ok := in.job.cfg.SnapshotStore.(FileLinkingStore); ok {
+		linked := true
+		for i, p := range paths {
+			if err := ls.LinkFile(b.ID, names[i], p); err != nil {
+				if errors.Is(err, ErrFileLinkUnsupported) {
+					linked = false
+					break
+				}
+				return nil, fmt.Errorf("link %s: %w", names[i], err)
+			}
+		}
+		if linked {
+			return names, nil
+		}
+	}
+	// The store cannot link local files: carry the bytes in the payload.
+	snap.FileData = make(map[string][]byte, len(paths))
+	for i, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("embed %s: %w", names[i], err)
+		}
+		snap.FileData[names[i]] = data
+	}
+	return nil, nil
+}
+
+// restoreChain rebuilds instance state from a restore chain: the oldest
+// payload is a full capture (serialised image or file-native), every later
+// payload a delta replayed on top. Timers and custom operator state are
+// always stored full, so they come from the newest payload only.
+func (in *instance) restoreChain() error {
+	last := len(in.restore) - 1
+	for i, p := range in.restore {
+		snap, err := decodeInstanceSnapshot(p.data)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			if len(snap.Files) > 0 {
+				if err := in.restoreFiles(p.cp, snap); err != nil {
+					return fmt.Errorf("checkpoint %d: restore files: %w", p.cp, err)
+				}
+			} else if len(snap.State) > 0 {
+				if err := in.backend.Restore(snap.State); err != nil {
+					return fmt.Errorf("restore state: %w", err)
+				}
+			}
+		} else {
+			db, ok := in.backend.(state.DeltaBackend)
+			if !ok {
+				return fmt.Errorf("checkpoint %d is a delta but backend %T cannot replay deltas", p.cp, in.backend)
+			}
+			if err := db.ApplyDelta(snap.State); err != nil {
+				return fmt.Errorf("replay delta %d: %w", p.cp, err)
+			}
+		}
+		if i != last {
+			continue
+		}
+		if err := in.timers.restore(snap.Timers); err != nil {
+			return err
+		}
+		if s, ok := in.op.(Snapshotter); ok && len(snap.Custom) > 0 {
+			if err := s.RestoreCustom(snap.Custom); err != nil {
+				return fmt.Errorf("restore custom: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// restoreFiles rebuilds a file-native full snapshot: store-linked files
+// resolve to local paths the backend adopts directly; embedded file bytes
+// (stores that cannot link) materialise in a scratch dir first.
+func (in *instance) restoreFiles(cp int64, snap instanceSnapshot) error {
+	fb, ok := in.backend.(state.FileBackend)
+	if !ok {
+		return fmt.Errorf("snapshot references backend files but backend %T cannot adopt them", in.backend)
+	}
+	if len(snap.FileData) > 0 {
+		tmp, err := os.MkdirTemp("", "restore-files-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		paths := make([]string, 0, len(snap.Files))
+		for _, name := range snap.Files {
+			data, ok := snap.FileData[name]
+			if !ok {
+				return fmt.Errorf("embedded file %q missing from payload", name)
+			}
+			p := filepath.Join(tmp, filepath.Base(name))
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				return err
+			}
+			paths = append(paths, p)
+		}
+		return fb.RestoreFromFiles(paths)
+	}
+	ls, ok := in.job.cfg.SnapshotStore.(FileLinkingStore)
+	if !ok {
+		return fmt.Errorf("snapshot references linked files but store %T cannot resolve them", in.job.cfg.SnapshotStore)
+	}
+	paths := make([]string, 0, len(snap.Files))
+	for _, name := range snap.Files {
+		p, err := ls.LinkedPath(cp, name)
+		if err != nil {
+			return err
+		}
+		paths = append(paths, p)
+	}
+	return fb.RestoreFromFiles(paths)
 }
 
 func (in *instance) handleEOS(ctx context.Context, octx *opContext, channel int, drain bool) (bool, error) {

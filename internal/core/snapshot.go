@@ -53,11 +53,20 @@ type CheckpointMeta struct {
 	InstanceIDs []string
 	// Bytes is the total snapshot volume, for experiment accounting.
 	Bytes int64
+	// Parent is the checkpoint this one is a delta of (0 = self-contained
+	// full checkpoint). Restoring a delta requires the whole parent chain, so
+	// GC must never collect a parent a retained delta depends on, and Latest
+	// must verify the chain end to end.
+	Parent int64
+	// Files lists auxiliary files (linked SSTables) referenced by instance
+	// snapshots, relative names as passed to FileLinkingStore.LinkFile.
+	Files []string
 }
 
 // instanceSnapshot is the serialised unit each instance contributes.
 type instanceSnapshot struct {
-	// State is the keyed state backend image.
+	// State is the keyed state backend image — or, when DeltaBase > 0, a
+	// delta payload (state.EncodeDeltaOps) on top of checkpoint DeltaBase.
 	State []byte
 	// Timers is the timer service image.
 	Timers []byte
@@ -66,7 +75,41 @@ type instanceSnapshot struct {
 	// SourceOffset is the replayable source position, if the instance is a
 	// source.
 	SourceOffset []byte
+	// DeltaBase is the checkpoint ID State is a delta of; 0 means State is a
+	// full image. Timers/Custom/SourceOffset are always full.
+	DeltaBase int64
+	// Files names backend files (linked into the store via LinkFile) that
+	// replace State for file-native backends.
+	Files []string
+	// FileData embeds the file contents when the store cannot link files
+	// (FileData[name] holds the bytes of Files entries).
+	FileData map[string][]byte
 }
+
+// SnapshotIsDelta reports whether a saved instance payload is a delta (its
+// State depends on a parent checkpoint). Fault injectors use it to aim crash
+// points at delta saves specifically. Undecodable payloads report false.
+func SnapshotIsDelta(data []byte) bool {
+	s, err := decodeInstanceSnapshot(data)
+	return err == nil && s.DeltaBase > 0
+}
+
+// FileLinkingStore is an optional SnapshotStore extension for checkpoints
+// that reference immutable backend files (SSTable reuse): LinkFile publishes
+// an existing file into the checkpoint — by hard link when possible, so
+// unchanged files cost zero bytes — and LinkedPath resolves it at restore.
+type FileLinkingStore interface {
+	// LinkFile publishes src under (checkpointID, name). name is
+	// store-relative ("<instanceID>/<basename>").
+	LinkFile(checkpointID int64, name, src string) error
+	// LinkedPath returns a local path for a previously linked file.
+	LinkedPath(checkpointID int64, name string) (string, error)
+}
+
+// ErrFileLinkUnsupported is returned by stores (or store wrappers) that
+// cannot link local files; callers fall back to embedding file bytes in the
+// instance snapshot.
+var ErrFileLinkUnsupported = fmt.Errorf("core: snapshot store does not support file links")
 
 func encodeInstanceSnapshot(s instanceSnapshot) ([]byte, error) {
 	var buf bytes.Buffer
@@ -133,10 +176,18 @@ func (s *MemorySnapshotStore) Load(cp int64, instanceID string) ([]byte, error) 
 	return d, nil
 }
 
-// Complete implements SnapshotStore.
+// Complete implements SnapshotStore. A delta checkpoint (Parent != 0) is
+// rejected unless its parent is itself completed: a delta whose base can
+// never be resolved is unrestorable by construction.
 func (s *MemorySnapshotStore) Complete(meta CheckpointMeta) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if meta.Parent != 0 {
+		if _, ok := s.metaLocked(meta.Parent); !ok {
+			return fmt.Errorf("core: complete checkpoint %d: parent %d is not a completed checkpoint",
+				meta.ID, meta.Parent)
+		}
+	}
 	s.completed = append(s.completed, meta)
 	// Keep completions ordered by checkpoint ID so Latest and the GC floor
 	// stay correct even when Complete calls arrive out of order.
@@ -145,15 +196,41 @@ func (s *MemorySnapshotStore) Complete(meta CheckpointMeta) error {
 	}
 	if s.retain > 0 && len(s.completed) > s.retain {
 		// GC subsumed checkpoints: everything older than the newest retain
-		// completed ones, including never-completed (aborted) leftovers.
+		// completed ones, including never-completed (aborted) leftovers —
+		// except full images a retained delta still depends on (the
+		// transitive parent closure of the kept checkpoints).
 		floor := s.completed[len(s.completed)-s.retain].ID
+		keep := make(map[int64]bool)
+		for _, m := range s.completed[len(s.completed)-s.retain:] {
+			for cp := m.ID; cp != 0; {
+				if keep[cp] {
+					break
+				}
+				keep[cp] = true
+				parent, ok := s.metaLocked(cp)
+				if !ok {
+					break
+				}
+				cp = parent.Parent
+			}
+		}
 		for cp := range s.data {
-			if cp < floor {
+			if cp < floor && !keep[cp] {
 				delete(s.data, cp)
 			}
 		}
 	}
 	return nil
+}
+
+// metaLocked finds a completed checkpoint's metadata. Requires s.mu.
+func (s *MemorySnapshotStore) metaLocked(cp int64) (CheckpointMeta, bool) {
+	for i := len(s.completed) - 1; i >= 0; i-- {
+		if s.completed[i].ID == cp {
+			return s.completed[i], true
+		}
+	}
+	return CheckpointMeta{}, false
 }
 
 // Discard implements DiscardableStore.
@@ -164,14 +241,44 @@ func (s *MemorySnapshotStore) Discard(cp int64) error {
 	return nil
 }
 
-// Latest implements SnapshotStore.
+// Latest implements SnapshotStore. A delta checkpoint is only returned when
+// its whole parent chain is still restorable (every ancestor completed with
+// its instance data present); an unrestorable chain head is skipped in favor
+// of the newest older checkpoint that is.
 func (s *MemorySnapshotStore) Latest() (CheckpointMeta, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.completed) == 0 {
-		return CheckpointMeta{}, false
+	for i := len(s.completed) - 1; i >= 0; i-- {
+		meta := s.completed[i]
+		if meta.Parent == 0 || s.chainRestorableLocked(meta) {
+			return meta, true
+		}
 	}
-	return s.completed[len(s.completed)-1], true
+	return CheckpointMeta{}, false
+}
+
+// chainRestorableLocked walks meta's parent chain verifying each link is a
+// completed checkpoint whose instance data is still present. Requires s.mu.
+func (s *MemorySnapshotStore) chainRestorableLocked(meta CheckpointMeta) bool {
+	for {
+		m := s.data[meta.ID]
+		if m == nil {
+			return false
+		}
+		for _, id := range meta.InstanceIDs {
+			if _, ok := m[id]; !ok {
+				return false
+			}
+		}
+		if meta.Parent == 0 {
+			return true
+		}
+		parent, ok := s.metaLocked(meta.Parent)
+		if !ok || parent.ID >= meta.ID {
+			return false // broken or non-decreasing lineage
+		}
+		meta = parent
+	}
 }
 
 // Completed returns all completed checkpoint metadata in order.
@@ -352,6 +459,93 @@ func (s *FileSnapshotStore) cpDir(cp int64) string {
 	return filepath.Join(s.dir, fmt.Sprintf("chk-%d", cp))
 }
 
+// filesDir is the subdirectory of a checkpoint holding linked backend files
+// (SSTable reuse). Instances skips it: it is store bookkeeping, not an
+// instance snapshot.
+func (s *FileSnapshotStore) filesDir(cp int64) string {
+	return filepath.Join(s.cpDir(cp), "files")
+}
+
+// linkedFilePath resolves a Files entry ("<instanceID>/<basename>") inside a
+// checkpoint's files dir. The instance prefix is percent-encoded into one
+// directory segment (instance IDs may contain anything); the basename is kept
+// verbatim, because a backend adopting the file at restore identifies it by
+// its original name.
+func (s *FileSnapshotStore) linkedFilePath(cp int64, name string) (string, error) {
+	i := strings.LastIndexByte(name, '/')
+	if i < 0 {
+		return "", fmt.Errorf("core: linked file name %q has no instance prefix", name)
+	}
+	prefix, base := name[:i], name[i+1:]
+	if base == "" || base == "." || base == ".." ||
+		strings.ContainsAny(base, `/\`) || strings.HasPrefix(base, tmpPrefix) {
+		return "", fmt.Errorf("core: unsafe linked file name %q", name)
+	}
+	return filepath.Join(s.filesDir(cp), encodeInstanceFile(prefix), base), nil
+}
+
+// LinkFile implements FileLinkingStore: src is published into the checkpoint
+// by hard link when possible (zero bytes for unchanged SSTables shared with
+// earlier checkpoints), fsynced copy otherwise.
+func (s *FileSnapshotStore) LinkFile(cp int64, name, src string) error {
+	dst, err := s.linkedFilePath(cp, name)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(dst)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: snapshot files dir: %w", err)
+	}
+	if err := os.Link(src, dst); err != nil {
+		// Cross-device or an existing stale link from a retried save: copy
+		// through the atomic commit path instead.
+		os.Remove(dst)
+		if err := os.Link(src, dst); err != nil {
+			data, rerr := os.ReadFile(src)
+			if rerr != nil {
+				return fmt.Errorf("core: link snapshot file: %w", rerr)
+			}
+			if err := commitFile(dir, filepath.Base(dst), data); err != nil {
+				return err
+			}
+			return nil
+		}
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// LinkedPath implements FileLinkingStore.
+func (s *FileSnapshotStore) LinkedPath(cp int64, name string) (string, error) {
+	path, err := s.linkedFilePath(cp, name)
+	if err != nil {
+		return "", err
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+		return "", fmt.Errorf("core: checkpoint %d has no linked file %q", cp, name)
+	}
+	return path, nil
+}
+
+// verifyLinkedFile checks a Files entry exists with content.
+func (s *FileSnapshotStore) verifyLinkedFile(cp int64, name string) error {
+	path, err := s.linkedFilePath(cp, name)
+	if err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if st.Size() == 0 {
+		return errTornSnapshot
+	}
+	return nil
+}
+
 // commitFile atomically publishes data under dir/name: write to a reserved
 // temp name, fsync, rename, fsync the directory. A crash at any point leaves
 // either the old content (or nothing) or the complete new content — never a
@@ -443,9 +637,20 @@ func (s *FileSnapshotStore) verifyInstanceFile(cp int64, instanceID string) erro
 func (s *FileSnapshotStore) Complete(meta CheckpointMeta) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if meta.Parent != 0 {
+		if _, err := s.readMeta(fmt.Sprintf("chk-%d", meta.Parent)); err != nil {
+			return fmt.Errorf("core: complete checkpoint %d: parent %d is not a completed checkpoint: %w",
+				meta.ID, meta.Parent, err)
+		}
+	}
 	for _, id := range meta.InstanceIDs {
 		if err := s.verifyInstanceFile(meta.ID, id); err != nil {
 			return fmt.Errorf("core: complete checkpoint %d: instance %q: %w", meta.ID, id, err)
+		}
+	}
+	for _, name := range meta.Files {
+		if err := s.verifyLinkedFile(meta.ID, name); err != nil {
+			return fmt.Errorf("core: complete checkpoint %d: linked file %q: %w", meta.ID, name, err)
 		}
 	}
 	var buf bytes.Buffer
@@ -476,20 +681,34 @@ func (s *FileSnapshotStore) gcLocked(newest int64) {
 	}
 	var completed []int64
 	incomplete := make(map[int64]bool)
+	parents := make(map[int64]int64)
 	for _, e := range entries {
 		var id int64
 		if _, err := fmt.Sscanf(e.Name(), "chk-%d", &id); err != nil {
 			continue
 		}
-		if _, err := os.Stat(filepath.Join(s.dir, e.Name(), metaFile)); err == nil {
+		if meta, err := s.readMeta(e.Name()); err == nil {
 			completed = append(completed, id)
+			parents[id] = meta.Parent
 		} else {
 			incomplete[id] = true
 		}
 	}
 	sort.Slice(completed, func(i, j int) bool { return completed[i] > completed[j] })
+	// Keep the newest retain completed checkpoints plus the transitive parent
+	// closure of every kept delta: collecting a full image a retained delta
+	// depends on would make that delta unrestorable.
+	keep := make(map[int64]bool)
 	for i, id := range completed {
 		if i >= s.retain {
+			break
+		}
+		for cp := id; cp != 0 && !keep[cp]; cp = parents[cp] {
+			keep[cp] = true
+		}
+	}
+	for i, id := range completed {
+		if i >= s.retain && !keep[id] {
 			os.RemoveAll(s.cpDir(id))
 		}
 	}
@@ -547,19 +766,49 @@ func (s *FileSnapshotStore) Latest() (CheckpointMeta, bool) {
 		metas = append(metas, meta)
 	}
 	sort.Slice(metas, func(i, j int) bool { return metas[i].ID > metas[j].ID })
+	byID := make(map[int64]CheckpointMeta, len(metas))
 	for _, meta := range metas {
-		ok := true
-		for _, id := range meta.InstanceIDs {
-			if err := s.verifyInstanceFile(meta.ID, id); err != nil {
-				ok = false
-				break
-			}
-		}
-		if ok {
+		byID[meta.ID] = meta
+	}
+	for _, meta := range metas {
+		if s.verifyCheckpointLocked(meta) && s.chainRestorableLocked(meta, byID) {
 			return meta, true
 		}
 	}
 	return CheckpointMeta{}, false
+}
+
+// verifyCheckpointLocked checks one checkpoint's own files (instances plus
+// linked backend files). Requires s.mu.
+func (s *FileSnapshotStore) verifyCheckpointLocked(meta CheckpointMeta) bool {
+	for _, id := range meta.InstanceIDs {
+		if err := s.verifyInstanceFile(meta.ID, id); err != nil {
+			return false
+		}
+	}
+	for _, name := range meta.Files {
+		if err := s.verifyLinkedFile(meta.ID, name); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// chainRestorableLocked verifies meta's ancestors: every parent must itself
+// be completed, verifiable, and strictly older (the ordering guard also
+// bounds the walk against corrupt lineage cycles). Requires s.mu.
+func (s *FileSnapshotStore) chainRestorableLocked(meta CheckpointMeta, byID map[int64]CheckpointMeta) bool {
+	for meta.Parent != 0 {
+		parent, ok := byID[meta.Parent]
+		if !ok || parent.ID >= meta.ID {
+			return false
+		}
+		if !s.verifyCheckpointLocked(parent) {
+			return false
+		}
+		meta = parent
+	}
+	return true
 }
 
 // Instances implements SnapshotStore. Store bookkeeping files (_meta,
@@ -571,7 +820,7 @@ func (s *FileSnapshotStore) Instances(cp int64) ([]string, error) {
 	}
 	var ids []string
 	for _, e := range entries {
-		if strings.HasPrefix(e.Name(), "_") {
+		if strings.HasPrefix(e.Name(), "_") || e.IsDir() {
 			continue
 		}
 		ids = append(ids, decodeInstanceFile(e.Name()))
@@ -582,3 +831,4 @@ func (s *FileSnapshotStore) Instances(cp int64) ([]string, error) {
 
 var _ SnapshotStore = (*FileSnapshotStore)(nil)
 var _ DiscardableStore = (*FileSnapshotStore)(nil)
+var _ FileLinkingStore = (*FileSnapshotStore)(nil)

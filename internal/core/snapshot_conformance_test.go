@@ -192,6 +192,91 @@ func snapshotStoreConformance(t *testing.T, newStore func(t *testing.T) Snapshot
 		}
 	})
 
+	// save+complete is the common fixture for the delta-chain subtests: one
+	// instance payload plus completed metadata with an optional parent link.
+	saveCompleted := func(t *testing.T, s SnapshotStore, cp, parent int64) {
+		t.Helper()
+		if err := s.Save(cp, "op-0", []byte(fmt.Sprintf("payload-%d", cp))); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Complete(CheckpointMeta{ID: cp, Parent: parent, InstanceIDs: []string{"op-0"}}); err != nil {
+			t.Fatalf("Complete(%d, parent %d): %v", cp, parent, err)
+		}
+	}
+
+	t.Run("DeltaWithoutParentRejected", func(t *testing.T) {
+		s := newStore(t)
+		if err := s.Save(2, "op-0", []byte("delta")); err != nil {
+			t.Fatal(err)
+		}
+		// Parent 1 was never completed: the delta is unrestorable by
+		// construction and must not commit.
+		if err := s.Complete(CheckpointMeta{ID: 2, Parent: 1, InstanceIDs: []string{"op-0"}}); err == nil {
+			t.Fatal("completing a delta whose parent was never completed must fail")
+		}
+		// With the parent completed first, the same delta commits.
+		saveCompleted(t, s, 1, 0)
+		if err := s.Complete(CheckpointMeta{ID: 2, Parent: 1, InstanceIDs: []string{"op-0"}}); err != nil {
+			t.Fatalf("delta with completed parent: %v", err)
+		}
+		if meta, ok := s.Latest(); !ok || meta.ID != 2 || meta.Parent != 1 {
+			t.Fatalf("Latest = %+v ok=%v, want ID=2 Parent=1", meta, ok)
+		}
+	})
+
+	t.Run("GCKeepsParentsOfRetainedDeltas", func(t *testing.T) {
+		s := newStore(t)
+		r, ok := s.(interface{ SetRetain(int) })
+		if !ok {
+			t.Skip("store does not support retention")
+		}
+		r.SetRetain(1)
+		saveCompleted(t, s, 1, 0) // full
+		saveCompleted(t, s, 2, 1) // delta on 1
+		// Retention says keep 1 checkpoint, but the retained delta cannot be
+		// restored without its full parent: both must survive GC.
+		for _, cp := range []int64{1, 2} {
+			if _, err := s.Load(cp, "op-0"); err != nil {
+				t.Fatalf("GC collected chain member %d still needed by the retained delta: %v", cp, err)
+			}
+		}
+		meta, ok2 := s.Latest()
+		if !ok2 || meta.ID != 2 {
+			t.Fatalf("Latest = %+v ok=%v", meta, ok2)
+		}
+		// A new self-contained full releases the old chain.
+		saveCompleted(t, s, 3, 0)
+		if _, err := s.Load(1, "op-0"); err == nil {
+			t.Fatal("checkpoint 1 must be collectable once no retained checkpoint depends on it")
+		}
+	})
+
+	t.Run("LatestSkipsBrokenChainHead", func(t *testing.T) {
+		s := newStore(t)
+		d, ok := s.(DiscardableStore)
+		if !ok {
+			t.Skip("store does not support Discard")
+		}
+		saveCompleted(t, s, 1, 0) // full
+		saveCompleted(t, s, 2, 1) // delta on 1
+		saveCompleted(t, s, 3, 2) // delta on 2
+		// Knock out the middle link: 3's chain is no longer restorable, so
+		// Latest must fall back to the newest checkpoint that is.
+		if err := d.Discard(2); err != nil {
+			t.Fatal(err)
+		}
+		meta, ok2 := s.Latest()
+		if !ok2 {
+			t.Fatal("checkpoint 1 is still restorable; Latest must find it")
+		}
+		if meta.ID == 3 || meta.ID == 2 {
+			t.Fatalf("Latest returned checkpoint %d from a broken chain", meta.ID)
+		}
+		if meta.ID != 1 {
+			t.Fatalf("Latest = %d, want the intact full checkpoint 1", meta.ID)
+		}
+	})
+
 	t.Run("DiscardDropsData", func(t *testing.T) {
 		s := newStore(t)
 		d, ok := s.(DiscardableStore)

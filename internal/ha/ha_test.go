@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/window"
 )
 
 // factory builds identical pass-through jobs over n unique events.
@@ -297,6 +298,81 @@ func TestRunSupervisedRecoversFromPanic(t *testing.T) {
 	}
 	if rep.Restarts != 1 {
 		t.Fatalf("want one restart after the panic, got %+v", rep)
+	}
+}
+
+// TestRunSupervisedRecoversAcrossDeltaChain pins supervised recovery when the
+// latest completed checkpoint is an incremental (delta) checkpoint: the
+// restarted incarnation must resolve the chain back to its full parent and
+// resume exactly-once. The failure is triggered *by* chain shape — the job
+// dies only once the store's Latest is a delta — so the test cannot silently
+// degrade into restoring a self-contained snapshot.
+func TestRunSupervisedRecoversAcrossDeltaChain(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	const n = 600
+	events := make([]core.Event, n)
+	for i := range events {
+		events[i] = core.Event{Key: fmt.Sprintf("k%d", i%5), Timestamp: int64(i * 10), Value: int64(i)}
+	}
+	store := core.NewMemorySnapshotStore()
+	var fired int32
+	var tripMeta core.CheckpointMeta
+	fac := func(sink *core.CollectSink, st core.SnapshotStore) (*core.Job, error) {
+		b := core.NewBuilder(core.Config{
+			Name:              "ha-delta",
+			SnapshotStore:     st,
+			CheckpointEvery:   30,
+			ChannelCapacity:   4,
+			WatermarkInterval: 1,
+			DeltaCheckpoints:  true,
+			// Keep every checkpoint after the first a delta, so the trip
+			// condition below implies the recovery point is a chain head.
+			FullSnapshotEvery: 100,
+		})
+		keyed := b.Source("src", core.NewSliceSourceFactory(events), core.WithBoundedDisorder(0)).
+			Process("trip", core.MapFunc(func(e core.Event, ctx core.Context) error {
+				time.Sleep(120 * time.Microsecond) // pace so checkpoints land mid-stream
+				if atomic.LoadInt32(&fired) == 0 {
+					if meta, ok := store.Latest(); ok && meta.Parent != 0 &&
+						atomic.CompareAndSwapInt32(&fired, 0, 1) {
+						tripMeta = meta
+						return fmt.Errorf("injected failure on delta checkpoint %d (parent %d)", meta.ID, meta.Parent)
+					}
+				}
+				ctx.Emit(e)
+				return nil
+			})).
+			KeyBy(func(e core.Event) string { return e.Key })
+		window.Apply(keyed, "win", window.NewTumbling(1_000), window.CountAggregate()).
+			Sink("out", sink.Factory())
+		return b.Build()
+	}
+	out, rep, err := RunSupervised(ctx, fac, store, RestartStrategy{MaxRestarts: 3, Delay: time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(&fired) == 0 {
+		t.Fatal("no delta checkpoint completed before the stream drained; the scenario never ran")
+	}
+	if tripMeta.Parent == 0 {
+		t.Fatalf("trip recorded a non-delta checkpoint: %+v", tripMeta)
+	}
+	if rep.Restarts != 1 {
+		t.Fatalf("want exactly one restart, got %+v", rep)
+	}
+	if len(rep.RecoveredFrom) != 2 || rep.RecoveredFrom[1] < tripMeta.ID {
+		t.Fatalf("restart should resume from the delta chain head %d or later: %v", tripMeta.ID, rep.RecoveredFrom)
+	}
+	// 6 tumbling 1s windows x 5 keys, 20 events each: a replay that dropped
+	// or double-counted any event would surface as a distinct extra result.
+	if len(out) != 30 {
+		t.Fatalf("want 30 distinct window results, got %d", len(out))
+	}
+	for _, e := range out {
+		if v, ok := e.Value.(int64); !ok || v != 20 {
+			t.Fatalf("window %s@%d counted %v, want 20", e.Key, e.Timestamp, e.Value)
+		}
 	}
 }
 

@@ -57,33 +57,8 @@ func Open(opts Options) (*Tree, error) {
 	}
 	t := &Tree{opts: opts, mem: newSkiplist(opts.Seed)}
 
-	// Load existing SSTables (named tbl-<level>-<id>.sst).
-	names, err := filepath.Glob(filepath.Join(opts.Dir, "tbl-*.sst"))
-	if err != nil {
-		return nil, fmt.Errorf("lsm: glob tables: %w", err)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		var level, id int
-		base := filepath.Base(name)
-		if _, err := fmt.Sscanf(base, "tbl-%d-%d.sst", &level, &id); err != nil {
-			continue
-		}
-		tbl, err := openSSTable(name)
-		if err != nil {
-			return nil, err
-		}
-		for len(t.levels) <= level {
-			t.levels = append(t.levels, nil)
-		}
-		t.levels[level] = append(t.levels[level], tbl)
-		if id >= t.nextID {
-			t.nextID = id + 1
-		}
-	}
-	// Within each level, newest (highest id) first.
-	for _, lvl := range t.levels {
-		sort.Slice(lvl, func(i, j int) bool { return lvl[i].path > lvl[j].path })
+	if err := t.loadTablesLocked(); err != nil {
+		return nil, err
 	}
 
 	if !opts.DisableWAL {
@@ -97,6 +72,55 @@ func Open(opts Options) (*Tree, error) {
 		}
 	}
 	return t, nil
+}
+
+// loadTablesLocked scans opts.Dir for SSTables (named tbl-<level>-<id>.sst)
+// and rebuilds the level structure from scratch.
+func (t *Tree) loadTablesLocked() error {
+	t.levels = nil
+	names, err := filepath.Glob(filepath.Join(t.opts.Dir, "tbl-*.sst"))
+	if err != nil {
+		return fmt.Errorf("lsm: glob tables: %w", err)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var level, id int
+		base := filepath.Base(name)
+		if _, err := fmt.Sscanf(base, "tbl-%d-%d.sst", &level, &id); err != nil {
+			continue
+		}
+		tbl, err := openSSTable(name)
+		if err != nil {
+			return err
+		}
+		for len(t.levels) <= level {
+			t.levels = append(t.levels, nil)
+		}
+		t.levels[level] = append(t.levels[level], tbl)
+		if id >= t.nextID {
+			t.nextID = id + 1
+		}
+	}
+	// Within each level, newest (highest id) first.
+	for _, lvl := range t.levels {
+		sort.Slice(lvl, func(i, j int) bool { return lvl[i].path > lvl[j].path })
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so file creations/removals inside it survive a
+// power failure. Checkpoint manifests reference tables by name; a table that
+// exists only in the directory's in-memory dentry cache is not durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("lsm: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("lsm: sync dir: %w", err)
+	}
+	return nil
 }
 
 // Put stores key -> value.
@@ -237,6 +261,9 @@ func (t *Tree) flushLocked() error {
 	if err != nil {
 		return err
 	}
+	if err := syncDir(t.opts.Dir); err != nil {
+		return err
+	}
 	t.FlushCount++
 	if len(t.levels) == 0 {
 		t.levels = append(t.levels, nil)
@@ -299,6 +326,80 @@ func (t *Tree) maybeCompactLocked() error {
 		t.CompactCount++
 	}
 	return nil
+}
+
+// SyncWAL forces any WAL records buffered in the OS down to the medium. The
+// engine calls this at the checkpoint barrier so a completed checkpoint never
+// references writes the OS hasn't persisted. No-op when the WAL is disabled.
+func (t *Tree) SyncWAL() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wal == nil {
+		return nil
+	}
+	return t.wal.sync()
+}
+
+// ReplaceWithFiles discards the tree's current contents and adopts the given
+// SSTable files (checkpoint restore). Files are hard-linked into the tree
+// directory when possible, copied otherwise, preserving basenames so level
+// and id survive. The WAL is reset: the adopted tables are the complete
+// state.
+func (t *Tree) ReplaceWithFiles(paths []string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, err := filepath.Glob(filepath.Join(t.opts.Dir, "tbl-*.sst"))
+	if err != nil {
+		return fmt.Errorf("lsm: glob tables: %w", err)
+	}
+	for _, name := range old {
+		if err := os.Remove(name); err != nil {
+			return fmt.Errorf("lsm: remove stale table: %w", err)
+		}
+	}
+	for _, src := range paths {
+		dst := filepath.Join(t.opts.Dir, filepath.Base(src))
+		if err := linkOrCopy(src, dst); err != nil {
+			return err
+		}
+	}
+	if err := syncDir(t.opts.Dir); err != nil {
+		return err
+	}
+	t.mem = newSkiplist(t.opts.Seed)
+	t.nextID = 0
+	if err := t.loadTablesLocked(); err != nil {
+		return err
+	}
+	if t.wal != nil {
+		return t.wal.reset()
+	}
+	return nil
+}
+
+// linkOrCopy hard-links src to dst, falling back to a fsynced copy when the
+// link fails (cross-device, or a filesystem without hard links).
+func linkOrCopy(src, dst string) error {
+	if err := os.Link(src, dst); err == nil {
+		return nil
+	}
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return fmt.Errorf("lsm: copy table: %w", err)
+	}
+	f, err := os.OpenFile(dst, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("lsm: copy table: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("lsm: copy table: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("lsm: copy table: %w", err)
+	}
+	return f.Close()
 }
 
 // Manifest lists the immutable table files currently composing the tree.

@@ -14,8 +14,11 @@ import (
 //
 //	crc u32 | keyLen u32 | valLen u32 | tombstone u8 | key | val
 //
-// The crc covers everything after itself. Replay stops at the first corrupt
-// or truncated record (standard torn-write handling).
+// The crc covers everything after itself, so a torn frame (crash mid-append)
+// is detected rather than silently accepted. Replay stops at the first
+// corrupt or truncated record, and the file is truncated back to the last
+// complete frame before appends resume — otherwise new records would land
+// after the garbage and be unreachable on the next replay.
 type wal struct {
 	f    *os.File
 	w    *bufio.Writer
@@ -30,8 +33,19 @@ type walRecord struct {
 
 func openWAL(path string) (*wal, []walRecord, error) {
 	var records []walRecord
+	valid := int64(0)
 	if data, err := os.ReadFile(path); err == nil {
-		records = decodeWAL(data)
+		var n int
+		records, n = decodeWAL(data)
+		valid = int64(n)
+		if n < len(data) {
+			// Torn tail: cut the log back to the last complete frame so the
+			// next append continues a decodable log instead of writing past
+			// garbage that replay will never cross.
+			if err := os.Truncate(path, valid); err != nil {
+				return nil, nil, fmt.Errorf("lsm: truncate torn wal tail: %w", err)
+			}
+		}
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, nil, fmt.Errorf("lsm: read wal: %w", err)
 	}
@@ -42,7 +56,9 @@ func openWAL(path string) (*wal, []walRecord, error) {
 	return &wal{f: f, w: bufio.NewWriter(f), path: path}, records, nil
 }
 
-func decodeWAL(data []byte) []walRecord {
+// decodeWAL parses records until the first torn or corrupt frame, returning
+// the decoded records and the byte length of the valid prefix.
+func decodeWAL(data []byte) ([]walRecord, int) {
 	var records []walRecord
 	pos := 0
 	for pos+13 <= len(data) {
@@ -51,8 +67,8 @@ func decodeWAL(data []byte) []walRecord {
 		vl := int(binary.LittleEndian.Uint32(data[pos+8:]))
 		tomb := data[pos+12] == 1
 		end := pos + 13 + kl + vl
-		if end > len(data) {
-			break // truncated tail
+		if kl < 0 || vl < 0 || end < pos || end > len(data) {
+			break // truncated tail (or corrupt lengths overflowing int)
 		}
 		body := data[pos+4 : end]
 		if crc32.ChecksumIEEE(body) != crc {
@@ -63,7 +79,7 @@ func decodeWAL(data []byte) []walRecord {
 		records = append(records, walRecord{key: key, value: val, tombstone: tomb})
 		pos = end
 	}
-	return records
+	return records, pos
 }
 
 func (w *wal) append(key, value []byte, tombstone bool) error {
@@ -85,6 +101,19 @@ func (w *wal) append(key, value []byte, tombstone bool) error {
 		return fmt.Errorf("lsm: wal write: %w", err)
 	}
 	return w.w.Flush()
+}
+
+// sync forces buffered records to the medium. Appends only flush to the OS;
+// a checkpoint must not complete while the log it depends on can still be
+// lost to a power failure, so the engine syncs at the barrier boundary.
+func (w *wal) sync() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("lsm: wal sync: %w", err)
+	}
+	return nil
 }
 
 // reset truncates the log (called after a successful memtable flush).

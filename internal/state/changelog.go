@@ -24,6 +24,10 @@ type ChangelogOp struct {
 type Changelog struct {
 	mu  sync.Mutex
 	ops []ChangelogOp
+	// start is the absolute offset of ops[0]: truncation drops prefix records
+	// subsumed by a completed checkpoint without disturbing absolute
+	// positions handed out by AbsLen.
+	start int64
 }
 
 // NewChangelog returns an empty log.
@@ -36,11 +40,37 @@ func (c *Changelog) Append(op ChangelogOp) {
 	c.mu.Unlock()
 }
 
-// Len returns the number of log records.
+// Len returns the number of retained log records.
 func (c *Changelog) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.ops)
+}
+
+// AbsLen returns the absolute count of records ever appended, including
+// truncated ones. Checkpoints record this position; a completed checkpoint
+// subsumes every record before the position it captured.
+func (c *Changelog) AbsLen() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.start + int64(len(c.ops))
+}
+
+// TruncateTo drops records below absolute position abs — those whose effects
+// are already captured by a completed checkpoint. Without truncation the log
+// grows without bound between explicit folds.
+func (c *Changelog) TruncateTo(abs int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	drop := abs - c.start
+	if drop <= 0 {
+		return
+	}
+	if drop > int64(len(c.ops)) {
+		drop = int64(len(c.ops))
+	}
+	c.ops = append([]ChangelogOp(nil), c.ops[drop:]...)
+	c.start += drop
 }
 
 // ReplayInto applies every record to the given backend.
@@ -109,11 +139,20 @@ func DecodeChangelog(data []byte) (*Changelog, error) {
 type ChangelogBackend struct {
 	*MemoryBackend
 	log *Changelog
+	// logMarks maps checkpoint id -> the log's absolute length when that
+	// checkpoint was captured. When a later delta confirms a checkpoint
+	// completed (the coordinator only bases deltas on completed checkpoints),
+	// records below its mark are truncated — they are subsumed.
+	logMarks map[int64]int64
 }
 
 // NewChangelogBackend returns a backend writing through to log.
 func NewChangelogBackend(numGroups int, log *Changelog) *ChangelogBackend {
-	return &ChangelogBackend{MemoryBackend: NewMemoryBackend(numGroups), log: log}
+	return &ChangelogBackend{
+		MemoryBackend: NewMemoryBackend(numGroups),
+		log:           log,
+		logMarks:      make(map[int64]int64),
+	}
 }
 
 // Log returns the underlying changelog.
@@ -140,6 +179,35 @@ func (s *clValue) Set(v any) {
 func (s *clValue) Clear() {
 	s.inner.Clear()
 	s.b.log.Append(ChangelogOp{Name: s.name, Key: s.b.CurrentKey(), Delete: true})
+}
+
+// SnapshotDelta captures a delta via the embedded memory backend and, since
+// base is known completed, truncates changelog records subsumed by it.
+func (b *ChangelogBackend) SnapshotDelta(base, id int64) ([]byte, bool, error) {
+	pos := b.log.AbsLen()
+	data, ok, err := b.MemoryBackend.SnapshotDelta(base, id)
+	if !ok || err != nil {
+		return data, ok, err
+	}
+	b.logMarks[id] = pos
+	if mark, recorded := b.logMarks[base]; recorded {
+		b.log.TruncateTo(mark)
+		for cp := range b.logMarks {
+			if cp < base {
+				delete(b.logMarks, cp)
+			}
+		}
+	}
+	return data, true, nil
+}
+
+// MarkFull records the full-snapshot boundary and the log position captured
+// with it.
+func (b *ChangelogBackend) MarkFull(id int64) {
+	b.MemoryBackend.MarkFull(id)
+	if b.MemoryBackend.delta != nil {
+		b.logMarks[id] = b.log.AbsLen()
+	}
 }
 
 // RecoverFromLog rebuilds a fresh backend from the changelog alone.

@@ -20,6 +20,10 @@ type LSMBackend struct {
 	numGroups  int
 	currentKey string
 	tree       *lsm.Tree
+
+	// delta, when non-nil, records every mutated (name, key) slot so
+	// SnapshotDelta can serialize only what changed since a checkpoint.
+	delta *deltaTracker
 }
 
 // NewLSMBackend opens (or creates) an LSM-backed state store in dir.
@@ -71,6 +75,9 @@ func (b *LSMBackend) get(name, key string) (any, bool) {
 }
 
 func (b *LSMBackend) put(name, key string, v any) {
+	if b.delta != nil {
+		b.delta.touch(name, key)
+	}
 	raw, err := encodeAny(v)
 	if err != nil {
 		panic(fmt.Sprintf("state: unencodable value in LSM backend: %v", err))
@@ -81,6 +88,9 @@ func (b *LSMBackend) put(name, key string, v any) {
 }
 
 func (b *LSMBackend) del(name, key string) {
+	if b.delta != nil {
+		b.delta.touch(name, key)
+	}
 	if err := b.tree.Delete(b.storageKey(name, key)); err != nil {
 		panic(fmt.Sprintf("state: lsm delete: %v", err))
 	}
@@ -204,8 +214,12 @@ func parseStorageKey(k []byte) (group int, name, key string, ok bool) {
 }
 
 // Snapshot serialises all records into the canonical Image format, so LSM
-// snapshots are portable to other backends.
+// snapshots are portable to other backends. The WAL is synced first so a
+// completed checkpoint never references writes the OS hasn't persisted.
 func (b *LSMBackend) Snapshot() ([]byte, error) {
+	if err := b.tree.SyncWAL(); err != nil {
+		return nil, err
+	}
 	all := make([]int, b.numGroups)
 	for i := range all {
 		all[i] = i

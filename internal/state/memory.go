@@ -20,6 +20,10 @@ type MemoryBackend struct {
 	// on every record, and a fresh handle per call is a hot-path allocation.
 	mapHandles map[string]*memMap
 	valHandles map[string]*memValue
+
+	// delta, when non-nil, records every mutated (name, key) slot so
+	// SnapshotDelta can serialize only what changed since a checkpoint.
+	delta *deltaTracker
 }
 
 // NewMemoryBackend returns an empty backend with the given key-group count
@@ -89,11 +93,17 @@ func (b *MemoryBackend) get(name, key string) (any, bool) {
 }
 
 func (b *MemoryBackend) put(name, key string, v any) {
+	if b.delta != nil {
+		b.delta.touch(name, key)
+	}
 	m, k := b.slot(name, key)
 	m[k] = v
 }
 
 func (b *MemoryBackend) del(name, key string) {
+	if b.delta != nil {
+		b.delta.touch(name, key)
+	}
 	g := b.groupOf(key)
 	if b.groups[g] == nil {
 		return
@@ -217,7 +227,14 @@ func (s *memMap) inner(create bool) map[string]any {
 	return m
 }
 
-func (s *memMap) Put(mapKey string, v any) { s.inner(true)[mapKey] = v }
+// Put writes directly into the cached inner map, bypassing MemoryBackend.put
+// — so delta tracking is hooked here explicitly.
+func (s *memMap) Put(mapKey string, v any) {
+	if s.b.delta != nil {
+		s.b.delta.touch(s.name, s.b.currentKey)
+	}
+	s.inner(true)[mapKey] = v
+}
 
 func (s *memMap) Get(mapKey string) (any, bool) {
 	m := s.inner(false)
@@ -230,6 +247,9 @@ func (s *memMap) Get(mapKey string) (any, bool) {
 
 func (s *memMap) Remove(mapKey string) {
 	if m := s.inner(false); m != nil {
+		if s.b.delta != nil {
+			s.b.delta.touch(s.name, s.b.currentKey)
+		}
 		delete(m, mapKey)
 	}
 }
