@@ -1,10 +1,12 @@
 package repro
 
-// Output-equality matrix for the batched record exchange: batched vs
-// unbatched × exactly-once vs at-least-once × parallelism 1/4, over the
+// Output-equality matrix for the batched record exchange and the columnar
+// whole-batch execution path: batched vs unbatched, and ColumnarExec on vs
+// off, × exactly-once vs at-least-once × parallelism 1/4, over the
 // windowed-count and CEP pipelines, with checkpoint barriers flowing
-// mid-stream so aligned-mode stashes carry batches. Batching is a transport
-// optimisation; any observable difference in results is a bug.
+// mid-stream so aligned-mode stashes carry batches. Batching and columnar
+// execution are transport/dispatch optimisations; any observable difference
+// in results is a bug.
 
 import (
 	"fmt"
@@ -39,13 +41,14 @@ func requireEqualOutput(t *testing.T, label string, want, got map[string]int) {
 
 // runWindowedCount runs a keyed tumbling count with checkpoints every 500
 // source records and a small channel capacity, so barriers align mid-stream.
-func runWindowedCount(t *testing.T, batch, par int, atLeastOnce bool) map[string]int {
+func runWindowedCount(t *testing.T, batch, par int, atLeastOnce, columnar bool) map[string]int {
 	t.Helper()
 	spec := gen.Spec{N: 4_000, Keys: 16, IntervalMs: 10, Seed: 11}
 	sink := core.NewCollectSink()
 	b := core.NewBuilder(core.Config{
 		Name:              "eq-window",
 		MaxBatchSize:      batch,
+		ColumnarExec:      columnar,
 		SnapshotStore:     core.NewMemorySnapshotStore(),
 		CheckpointEvery:   500,
 		ChannelCapacity:   8,
@@ -70,13 +73,14 @@ func runWindowedCount(t *testing.T, batch, par int, atLeastOnce bool) map[string
 // channels in nondeterministic relative order and the order-sensitive NFA
 // would differ run to run even unbatched. The pattern operator itself runs
 // at the matrix parallelism, exercising batched hash fan-out.
-func runCEP(t *testing.T, batch, par int, atLeastOnce bool) map[string]int {
+func runCEP(t *testing.T, batch, par int, atLeastOnce, columnar bool) map[string]int {
 	t.Helper()
 	spec := gen.FraudSpec(3_000, 20, 0.05, 3)
 	alerts := core.NewCollectSink()
 	b := core.NewBuilder(core.Config{
 		Name:               "eq-cep",
 		MaxBatchSize:       batch,
+		ColumnarExec:       columnar,
 		SnapshotStore:      core.NewMemorySnapshotStore(),
 		CheckpointEvery:    500,
 		ChannelCapacity:    8,
@@ -101,7 +105,7 @@ func runCEP(t *testing.T, batch, par int, atLeastOnce bool) map[string]int {
 }
 
 func TestBatchedOutputEqualityMatrix(t *testing.T) {
-	pipelines := map[string]func(t *testing.T, batch, par int, alo bool) map[string]int{
+	pipelines := map[string]func(t *testing.T, batch, par int, alo, columnar bool) map[string]int{
 		"window": runWindowedCount,
 		"cep":    runCEP,
 	}
@@ -114,8 +118,41 @@ func TestBatchedOutputEqualityMatrix(t *testing.T) {
 				}
 				label := fmt.Sprintf("%s/par-%d/%s", name, par, mode)
 				t.Run(label, func(t *testing.T) {
-					want := run(t, 0, par, alo)
-					got := run(t, 64, par, alo)
+					want := run(t, 0, par, alo, false)
+					got := run(t, 64, par, alo, false)
+					if len(want) == 0 {
+						t.Fatalf("%s: reference run produced no output", label)
+					}
+					requireEqualOutput(t, label, want, got)
+				})
+			}
+		}
+	}
+}
+
+// TestColumnarOutputEqualityMatrix pins the columnar whole-batch path:
+// ColumnarExec on vs off at batch 64 across guarantee modes and parallelism,
+// over the windowed-count pipeline (the BatchOperator fast path, including
+// count kernels and run segmentation) and the CEP pipeline (a per-record
+// operator running with the flag on, i.e. the fallback dispatch). Output must
+// be byte-identical — the count aggregates are integers, so even float
+// rounding cannot excuse a diff.
+func TestColumnarOutputEqualityMatrix(t *testing.T) {
+	pipelines := map[string]func(t *testing.T, batch, par int, alo, columnar bool) map[string]int{
+		"window": runWindowedCount,
+		"cep":    runCEP,
+	}
+	for name, run := range pipelines {
+		for _, par := range []int{1, 4} {
+			for _, alo := range []bool{false, true} {
+				mode := "exactly-once"
+				if alo {
+					mode = "at-least-once"
+				}
+				label := fmt.Sprintf("%s/par-%d/%s", name, par, mode)
+				t.Run(label, func(t *testing.T) {
+					want := run(t, 64, par, alo, false)
+					got := run(t, 64, par, alo, true)
 					if len(want) == 0 {
 						t.Fatalf("%s: reference run produced no output", label)
 					}
@@ -134,10 +171,11 @@ func TestBatchedCheckpointRestoreEquality(t *testing.T) {
 	spec := gen.Spec{N: 3_000, Keys: 8, IntervalMs: 10, Seed: 21}
 	store := core.NewMemorySnapshotStore()
 
-	build := func(batch, stopAt int, jobRef **core.Job, st *core.MemorySnapshotStore, sink *core.CollectSink) *core.Job {
+	build := func(batch, stopAt int, columnar bool, jobRef **core.Job, st *core.MemorySnapshotStore, sink *core.CollectSink) *core.Job {
 		b := core.NewBuilder(core.Config{
 			Name:              "batch-restore",
 			MaxBatchSize:      batch,
+			ColumnarExec:      columnar,
 			SnapshotStore:     st,
 			ChannelCapacity:   4,
 			WatermarkInterval: 8,
@@ -160,27 +198,52 @@ func TestBatchedCheckpointRestoreEquality(t *testing.T) {
 
 	// Unbatched clean reference.
 	ref := core.NewCollectSink()
-	runWithTimeout(t, build(0, 0, nil, nil, ref))
+	runWithTimeout(t, build(0, 0, false, nil, nil, ref))
 
 	// Batched clean run must match it.
 	clean := core.NewCollectSink()
-	runWithTimeout(t, build(64, 0, nil, nil, clean))
+	runWithTimeout(t, build(64, 0, false, nil, nil, clean))
 	requireEqualOutput(t, "clean", multiset(ref.Events()), multiset(clean.Events()))
+
+	// Columnar clean run must match it too.
+	columnar := core.NewCollectSink()
+	runWithTimeout(t, build(64, 0, true, nil, nil, columnar))
+	requireEqualOutput(t, "columnar-clean", multiset(ref.Events()), multiset(columnar.Events()))
 
 	// Batched interrupted run + restore must match too.
 	var j1 *core.Job
 	part1 := core.NewCollectSink()
-	j1 = build(64, 1_000, &j1, store, part1)
+	j1 = build(64, 1_000, false, &j1, store, part1)
 	runWithTimeout(t, j1)
 	cp := j1.LastCheckpoint()
 	if cp < 0 {
 		t.Fatal("no savepoint completed")
 	}
 	part2 := core.NewCollectSink()
-	j2 := build(64, 0, nil, store, part2)
+	j2 := build(64, 0, false, nil, store, part2)
 	j2.RestoreFrom(cp)
 	runWithTimeout(t, j2)
 	requireEqualOutput(t, "restored",
 		multiset(ref.Events()),
 		multiset(append(part1.Events(), part2.Events()...)))
+
+	// Columnar interrupted run + restore: the savepoint cuts batches stashed
+	// during alignment and window state written by the whole-batch path; the
+	// combined output must still match the per-record reference.
+	cstore := core.NewMemorySnapshotStore()
+	var cj1 *core.Job
+	cpart1 := core.NewCollectSink()
+	cj1 = build(64, 1_000, true, &cj1, cstore, cpart1)
+	runWithTimeout(t, cj1)
+	ccp := cj1.LastCheckpoint()
+	if ccp < 0 {
+		t.Fatal("no columnar savepoint completed")
+	}
+	cpart2 := core.NewCollectSink()
+	cj2 := build(64, 0, true, nil, cstore, cpart2)
+	cj2.RestoreFrom(ccp)
+	runWithTimeout(t, cj2)
+	requireEqualOutput(t, "columnar-restored",
+		multiset(ref.Events()),
+		multiset(append(cpart1.Events(), cpart2.Events()...)))
 }

@@ -18,7 +18,7 @@ func TestSeededViolations(t *testing.T) {
 	}{
 		{
 			dir:      "poolretain",
-			analyzer: NewPoolRetain("seedpoolretain.Event"),
+			analyzer: NewPoolRetain([]string{"seedpoolretain.Event"}),
 			contains: "stored in struct field",
 		},
 		{

@@ -10,7 +10,12 @@ import (
 // retained: any value of type *[]E for a configured E is treated as a pooled
 // batch (that is exactly the type the exchange pool traffics in), as is the
 // result of a (*sync.Pool).Get type-asserted to a pointer-to-slice or slice
-// type.
+// type. structTypes additionally name pooled columnar-buffer structs: any
+// value of type *S for a configured struct S is treated as pooled, and
+// selecting a field from it (cols.Vals, cols.Events) yields an alias of its
+// pooled buffers. Stores into such a struct's own fields are the intended
+// build/reset path and stay silent, exactly like stores into the batch
+// itself.
 //
 // A pooled batch — or any alias that shares its backing array: the
 // dereferenced slice, a sub-slice, an element pointer, or an append to the
@@ -20,17 +25,21 @@ import (
 // on a channel; returning it; or capturing it in a goroutine or an escaping
 // closure. Passing the batch to an ordinary call is permitted: that is the
 // ownership handoff the exchange itself performs.
-func NewPoolRetain(elemTypes ...string) *Analyzer {
+func NewPoolRetain(elemTypes []string, structTypes ...string) *Analyzer {
 	elems := make(map[string]bool, len(elemTypes))
 	for _, t := range elemTypes {
 		elems[t] = true
+	}
+	structs := make(map[string]bool, len(structTypes))
+	for _, t := range structTypes {
+		structs[t] = true
 	}
 	a := &Analyzer{
 		Name: "poolretain",
 		Doc:  "reports pooled exchange batches (or aliases of them) retained past the receiving call",
 	}
 	a.Run = func(pass *Pass) error {
-		pr := &poolRetain{pass: pass, elems: elems}
+		pr := &poolRetain{pass: pass, elems: elems, structs: structs}
 		for _, file := range pass.Files {
 			ast.Inspect(file, func(n ast.Node) bool {
 				switch fn := n.(type) {
@@ -49,25 +58,27 @@ func NewPoolRetain(elemTypes ...string) *Analyzer {
 }
 
 type poolRetain struct {
-	pass  *Pass
-	elems map[string]bool
+	pass    *Pass
+	elems   map[string]bool
+	structs map[string]bool
 	// tainted holds local variables bound to a pooled batch or an alias of
 	// one, per analyzed function.
 	tainted map[types.Object]bool
 }
 
 // isPooledPtrType reports whether t is *[]E for a configured element type E —
-// the shape of a pooled batch handle.
+// the shape of a pooled batch handle — or *S for a configured pooled
+// columnar-buffer struct S.
 func (pr *poolRetain) isPooledPtrType(t types.Type) bool {
 	ptr, ok := types.Unalias(t).(*types.Pointer)
 	if !ok {
 		return false
 	}
-	slice, ok := types.Unalias(ptr.Elem()).(*types.Slice)
-	if !ok {
-		return false
+	elem := types.Unalias(ptr.Elem())
+	if slice, ok := elem.(*types.Slice); ok {
+		return pr.elems[qualifiedTypeName(types.Unalias(slice.Elem()))]
 	}
-	return pr.elems[qualifiedTypeName(types.Unalias(slice.Elem()))]
+	return pr.structs[qualifiedTypeName(elem)]
 }
 
 // isPoolGetAssert reports whether e is `pool.Get().(*[]T)` or
@@ -128,6 +139,11 @@ func (pr *poolRetain) taintedExpr(e ast.Expr) bool {
 	case *ast.StarExpr:
 		// Dereferencing a pooled pointer yields the pooled slice itself.
 		return pr.taintedExpr(x.X)
+	case *ast.SelectorExpr:
+		// A field of a pooled columnar struct (cols.Vals, cols.Events) shares
+		// its pooled buffers; selecting through a tainted base carries the
+		// taint.
+		return pr.taintedExpr(x.X)
 	case *ast.SliceExpr:
 		// A sub-slice shares the batch's backing array.
 		return pr.taintedExpr(x.X)
@@ -170,6 +186,12 @@ func (pr *poolRetain) taintedExpr(e ast.Expr) bool {
 			if id, ok := n.(*ast.Ident); ok {
 				obj := pr.pass.TypesInfo.Uses[id]
 				if obj == nil {
+					return true
+				}
+				// Only captures alias the enclosing call's batch; the
+				// closure's own parameters and locals are handed fresh values
+				// by its future callers.
+				if obj.Pos() >= x.Pos() && obj.Pos() <= x.End() {
 					return true
 				}
 				// Tainted local, or any variable of the pooled handle type
@@ -291,6 +313,12 @@ func (pr *poolRetain) checkStore(lhs, rhs ast.Expr) {
 			pr.pass.Reportf(rhs.Pos(), "pooled batch (or an alias of its backing array) stored in package-level variable %s; pooled exchange batches must not outlive the call that received them", l.Name)
 		}
 	case *ast.SelectorExpr:
+		if pr.taintedExpr(l.X) {
+			// Store into a field of the pooled struct itself (the columnar
+			// build path: cols.Keys = append(cols.Keys[:0], ...)) — intended
+			// use, like *b = (*b)[:0] on a batch.
+			return
+		}
 		pr.pass.Reportf(rhs.Pos(), "pooled batch (or an alias of its backing array) stored in struct field or package variable %s; pooled exchange batches must not outlive the call that received them", l.Sel.Name)
 	case *ast.IndexExpr:
 		if !pr.taintedExpr(l.X) {

@@ -185,7 +185,7 @@ func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) 
 // types and packages.
 func Suite() []*Analyzer {
 	return []*Analyzer{
-		NewPoolRetain("repro/internal/core.Event"),
+		NewPoolRetain([]string{"repro/internal/core.Event"}, "repro/internal/core.Columns"),
 		NewMsgExhaustive(
 			"repro/internal/core.msgKind",
 			"repro/internal/core.PartitionKind",

@@ -24,7 +24,7 @@ func golden(t *testing.T, dir string, a *Analyzer) {
 }
 
 func TestPoolRetainGolden(t *testing.T) {
-	golden(t, "poolretain", NewPoolRetain("poolretain.Event"))
+	golden(t, "poolretain", NewPoolRetain([]string{"poolretain.Event"}, "poolretain.Columns"))
 }
 
 func TestMsgExhaustiveGolden(t *testing.T) {

@@ -104,3 +104,72 @@ func genericPool(h *intHolder) {
 var intPool = sync.Pool{New: func() any { b := make([]int, 0, 8); return &b }}
 
 type intHolder struct{ ints *[]int }
+
+// --- Pooled columnar buffers (configured struct type "poolretain.Columns") ---
+
+// Columns stands in for the engine's pooled columnar batch view.
+type Columns struct {
+	Events []Event
+	Keys   []string
+	Vals   []float64
+}
+
+var colsPool = sync.Pool{New: func() any { return new(Columns) }}
+
+type colHolder struct {
+	cols *Columns
+	vals []float64
+	evs  []Event
+	keys []string
+	fold func(*Columns) int
+}
+
+// closureOwnParam: a closure whose OWN parameter is a pooled handle captures
+// nothing — its future callers hand it fresh values — so storing the closure
+// is safe.
+func closureOwnParam(h *colHolder) {
+	h.fold = func(c *Columns) int { return len(c.Vals) }
+}
+
+// retainColumns covers escapes of the pooled struct and of its field slices,
+// which alias the pooled buffers.
+func retainColumns(h *colHolder, c *Columns) *Columns {
+	h.cols = c         // want `stored in struct field or package variable cols`
+	h.vals = c.Vals    // want `stored in struct field or package variable vals`
+	h.evs = c.Events   // want `stored in struct field or package variable evs`
+	h.keys = c.Keys[1:] // want `stored in struct field or package variable keys`
+	go func() { // want `captured by a goroutine`
+		_ = c.Vals
+	}()
+	return c // want `returned from the function`
+}
+
+// retainColumnsFlow: taint flows through locals bound to a field alias.
+func retainColumnsFlow(h *colHolder) {
+	c := colsPool.Get().(*Columns)
+	vals := c.Vals
+	h.vals = vals // want `stored in struct field or package variable vals`
+	colsPool.Put(c)
+}
+
+// buildColumns exercises the intended build path: stores into the pooled
+// struct's own fields are silent, as is recycling it.
+func buildColumns(c *Columns, b *[]Event) {
+	c.Events = *b
+	c.Keys = c.Keys[:0]
+	c.Vals = append(c.Vals[:0], 1.0)
+	for i := range c.Events {
+		c.Keys = append(c.Keys, c.Events[i].Key)
+	}
+	colsPool.Put(c)
+}
+
+// safeColumnUses: value reads of columns and copying appends are fine.
+func safeColumnUses(h *colHolder, c *Columns) {
+	v := c.Vals[0] // element copy
+	_ = v
+	dst := make([]float64, 0, len(c.Vals))
+	dst = append(dst, c.Vals...) // copies into dst's backing array
+	h.vals = dst
+	h.cols = nil
+}

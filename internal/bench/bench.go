@@ -77,6 +77,9 @@ type Scenario struct {
 	// records checkpoint-bytes stats and the delta count, the sublinearity
 	// metrics the perf gate tracks.
 	Delta bool `json:"delta,omitempty"`
+	// Columnar enables Config.ColumnarExec: whole-batch columnar operator
+	// execution over the batched exchange. Only meaningful with Batch > 1.
+	Columnar bool `json:"columnar,omitempty"`
 	// Events is the stream length at scale 1.0.
 	Events int `json:"events"`
 	// Description says what the scenario exercises.
@@ -105,6 +108,11 @@ func Matrix() []Scenario {
 			Name: "quickstart-b64-p4", Pipeline: PipelineQuickstart, Arrival: ArrivalSteady,
 			Batch: 64, Parallelism: 4, Events: 40_000,
 			Description: "windowed count, batched exchange at fan-out parallelism",
+		},
+		{
+			Name: "quickstart-columnar-b64-p4", Pipeline: PipelineQuickstart, Arrival: ArrivalSteady,
+			Batch: 64, Parallelism: 4, Columnar: true, Events: 40_000,
+			Description: "windowed count with whole-batch columnar operator execution",
 		},
 		{
 			Name: "quickstart-hotkey-b64-p4", Pipeline: PipelineQuickstart, Arrival: ArrivalHotKey,

@@ -122,6 +122,7 @@ func baseConfig(sc Scenario, n int, store core.SnapshotStore) core.Config {
 		Name:                  sc.Name,
 		DefaultParallelism:    par,
 		MaxBatchSize:          sc.Batch,
+		ColumnarExec:          sc.Columnar,
 		AtLeastOnce:           sc.AtLeastOnce,
 		SnapshotStore:         store,
 		CheckpointEvery:       ce,

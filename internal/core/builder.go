@@ -123,23 +123,36 @@ func (s *Stream) ProcessWith(name string, fac OperatorFactory, parallelism int) 
 }
 
 // Map transforms each event; returning the zero Event with ok=false drops it.
+// The transform is pure (it never sees the operator context), so the columnar
+// whole-batch path runs it over the batch and emits the outputs in bulk.
 func (s *Stream) Map(name string, fn func(e Event) (Event, bool)) *Stream {
-	return s.Process(name, MapFunc(func(e Event, ctx Context) error {
-		if out, ok := fn(e); ok {
-			ctx.Emit(out)
+	return s.Process(name, func() Operator {
+		return &mapOperator{
+			fn: func(e Event, ctx Context) error {
+				if out, ok := fn(e); ok {
+					ctx.Emit(out)
+				}
+				return nil
+			},
+			xform: fn,
 		}
-		return nil
-	}))
+	})
 }
 
-// Filter keeps events satisfying pred.
+// Filter keeps events satisfying pred. Like Map, the predicate is pure, so
+// the columnar whole-batch path filters the batch and emits in bulk.
 func (s *Stream) Filter(name string, pred func(e Event) bool) *Stream {
-	return s.Process(name, MapFunc(func(e Event, ctx Context) error {
-		if pred(e) {
-			ctx.Emit(e)
+	return s.Process(name, func() Operator {
+		return &mapOperator{
+			fn: func(e Event, ctx Context) error {
+				if pred(e) {
+					ctx.Emit(e)
+				}
+				return nil
+			},
+			xform: func(e Event) (Event, bool) { return e, pred(e) },
 		}
-		return nil
-	}))
+	})
 }
 
 // FlatMap expands each event into zero or more events.

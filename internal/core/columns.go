@@ -1,0 +1,108 @@
+package core
+
+import "sync"
+
+// Columns is the columnar view of one exchange batch: the row view plus
+// per-field columns (keys, timestamps, and — when every record's Value is a
+// float64 — a dense value column). Each column is materialized at most once
+// per batch, on first use, so stateless operators that only walk the row
+// view pay nothing for columns they never read.
+//
+// A Columns is pooled and owned by the runtime for the duration of a single
+// ProcessBatch call: every slice in it (including Events, which aliases the
+// pooled exchange batch, and every slice returned by Keys/Times/Vals) is
+// recycled when the call returns. Operators must not retain the struct or
+// any of those slices; copy what must outlive the call (streamvet's
+// poolretain analyzer enforces this).
+type Columns struct {
+	// Events is the row view, in arrival order. It aliases the pooled
+	// exchange batch.
+	Events []Event
+
+	keys    []string
+	times   []int64
+	vals    []float64
+	keysOK  bool
+	timesOK bool
+	valsOK  bool
+	dense   bool
+}
+
+// Len returns the number of records in the batch.
+func (c *Columns) Len() int { return len(c.Events) }
+
+// Keys returns the key column (Events[i].Key), materializing it on first
+// call. Consecutive equal keys form the key runs whole-batch operators
+// amortize state lookups over.
+func (c *Columns) Keys() []string {
+	if !c.keysOK {
+		keys := c.keys[:0]
+		for i := range c.Events {
+			keys = append(keys, c.Events[i].Key)
+		}
+		c.keys = keys
+		c.keysOK = true
+	}
+	return c.keys //streamvet:allow poolretain — call-scoped column view, recycled by releaseColumns
+}
+
+// Times returns the timestamp column (Events[i].Timestamp), materializing it
+// on first call.
+func (c *Columns) Times() []int64 {
+	if !c.timesOK {
+		times := c.times[:0]
+		for i := range c.Events {
+			times = append(times, c.Events[i].Timestamp)
+		}
+		c.times = times
+		c.timesOK = true
+	}
+	return c.times //streamvet:allow poolretain — call-scoped column view, recycled by releaseColumns
+}
+
+// Vals returns the dense float64 value column (Events[i].Value.(float64)),
+// materializing it on first call, or nil if any record's Value is not a
+// float64. A non-nil result covers the whole batch, ready for the unrolled
+// window kernels.
+func (c *Columns) Vals() []float64 {
+	if !c.valsOK {
+		vals := c.vals[:0]
+		c.dense = true
+		for i := range c.Events {
+			v, ok := c.Events[i].Value.(float64)
+			if !ok {
+				c.dense = false
+				break
+			}
+			vals = append(vals, v)
+		}
+		c.vals = vals
+		c.valsOK = true
+	}
+	if !c.dense {
+		return nil
+	}
+	return c.vals //streamvet:allow poolretain — call-scoped column view, recycled by releaseColumns
+}
+
+var colsPool = sync.Pool{New: func() any { return new(Columns) }}
+
+// buildColumns wraps a pooled exchange batch in a columnar view. The view
+// aliases b and must be released with releaseColumns before b is recycled.
+func buildColumns(b *[]Event) *Columns {
+	c := colsPool.Get().(*Columns)
+	c.Events = *b
+	return c //streamvet:allow poolretain — runtime-owned view, released before the batch is recycled
+}
+
+// releaseColumns drops the batch alias and string references (so the pool
+// doesn't pin event payloads) and recycles the view.
+func releaseColumns(c *Columns) {
+	c.Events = nil
+	clear(c.keys)
+	c.keys = c.keys[:0]
+	c.times = c.times[:0]
+	c.vals = c.vals[:0]
+	c.keysOK, c.timesOK, c.valsOK, c.dense = false, false, false, false
+	colsPool.Put(c)
+}

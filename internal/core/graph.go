@@ -188,6 +188,18 @@ type Config struct {
 	// path. 0 or 1 disables batching and keeps the existing per-record send
 	// path unchanged (zero extra allocations).
 	MaxBatchSize int
+	// ColumnarExec enables whole-batch columnar execution on top of the
+	// batched exchange: operators implementing BatchOperator receive each
+	// pooled record batch as one ProcessBatch call on its columnar view
+	// (keys, timestamps, and a dense float64 value column extracted once per
+	// batch) instead of per-record ProcessElement dispatch. Operators that
+	// don't implement BatchOperator fall back to the per-record path
+	// unchanged. Results are identical with the flag on or off (bit-for-bit
+	// for count/min/max aggregates; float sums may differ in final-bit
+	// rounding where the unrolled kernel re-associates addition over runs of
+	// same-key, same-window records). Effective only with MaxBatchSize > 1;
+	// off by default.
+	ColumnarExec bool
 	// WatermarkInterval is the default number of records between periodic
 	// watermark emissions at sources. Default 32.
 	WatermarkInterval int

@@ -51,6 +51,42 @@ type Operator interface {
 	Close(ctx Context) error
 }
 
+// BatchContext extends Context for whole-batch operators, which process many
+// keys in one callback and therefore re-scope the key themselves as they walk
+// the batch.
+type BatchContext interface {
+	Context
+	// SetKey re-scopes Key(), Emit and timer registration to key — the batch
+	// equivalent of the per-record key scoping the runtime performs before
+	// ProcessElement. The scoping is lazy: the state backend itself is
+	// re-scoped on the next State() call, so key runs that never touch state
+	// skip the key-hash entirely. Operators holding a state handle cached
+	// from an earlier State() call must call State() again after SetKey
+	// before using it.
+	SetKey(key string)
+	// EmitBatch emits events downstream in order, exactly equivalent to
+	// calling Emit on each, with the per-record routing dispatch amortized
+	// over the slice: forward edges bulk-append into the open exchange batch
+	// and hash edges reuse the previous record's route across key runs. The
+	// slice is not retained.
+	EmitBatch(events []Event)
+}
+
+// BatchOperator is an optional Operator extension: when Config.ColumnarExec
+// is on and the exchange is batched (MaxBatchSize > 1), the runtime delivers
+// each record batch as a single ProcessBatch call on its columnar view
+// instead of per-record ProcessElement dispatch.
+//
+// ProcessBatch must process every record of cols and preserve per-record
+// semantics exactly — same state contents, same timer registrations, same
+// emissions in the same order — so that results are independent of the
+// ColumnarExec setting. cols and all of its slices are pooled and only valid
+// for the duration of the call.
+type BatchOperator interface {
+	Operator
+	ProcessBatch(cols *Columns, ctx BatchContext) error
+}
+
 // Snapshotter is an optional Operator extension for operators that carry
 // instance-local state outside the managed state backend. The engine includes
 // the custom bytes in checkpoints.
@@ -85,10 +121,42 @@ type OperatorFactory func() Operator
 type mapOperator struct {
 	BaseOperator
 	fn func(Event, Context) error
+	// xform, when non-nil, is the pure per-event form of fn (Map and Filter
+	// nodes): it never touches the context, so the whole-batch path can
+	// collect outputs into a scratch batch and emit them in bulk.
+	xform func(Event) (Event, bool)
 }
 
 // ProcessElement invokes the mapped function.
 func (m *mapOperator) ProcessElement(e Event, ctx Context) error { return m.fn(e, ctx) }
+
+// ProcessBatch implements BatchOperator: one callback per batch with lazy
+// key scoping, eliding the per-record dispatch and key-hash overhead that
+// dominates stateless map/filter/flatMap nodes. Pure transforms (Map/Filter)
+// additionally batch their output, amortizing the downstream routing too.
+func (m *mapOperator) ProcessBatch(cols *Columns, ctx BatchContext) error {
+	if m.xform != nil {
+		// Transform in place: the batch is owned by this instance until the
+		// runtime recycles it after ProcessBatch returns, so compacting the
+		// outputs into its prefix avoids a scratch buffer and a second copy.
+		// EmitBatch copies the events onward before returning.
+		out := cols.Events[:0]
+		for i := range cols.Events {
+			if e, ok := m.xform(cols.Events[i]); ok {
+				out = append(out, e)
+			}
+		}
+		ctx.EmitBatch(out)
+		return nil
+	}
+	for i := range cols.Events {
+		ctx.SetKey(cols.Events[i].Key)
+		if err := m.fn(cols.Events[i], ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // MapFunc wraps a per-element function (which may emit zero or more events)
 // into an OperatorFactory. It is the building block for Map, Filter and
@@ -105,6 +173,16 @@ type sinkOperator struct {
 
 // ProcessElement invokes the sink callback.
 func (s *sinkOperator) ProcessElement(e Event, _ Context) error { return s.fn(e.Clone()) }
+
+// ProcessBatch implements BatchOperator.
+func (s *sinkOperator) ProcessBatch(cols *Columns, _ BatchContext) error {
+	for i := range cols.Events {
+		if err := s.fn(cols.Events[i].Clone()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Clone returns a copy of the event. Values are shared; callers that mutate
 // values across operator boundaries must copy them explicitly.

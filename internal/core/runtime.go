@@ -105,6 +105,93 @@ func (o *outEdge) sendRecordBatched(ctx context.Context, e Event) bool {
 	}
 }
 
+// sendRecords routes a slice of records in order, equivalent to calling
+// sendRecord on each but with the per-record dispatch amortized: on batched
+// forward edges the slice is appended into the open batch in chunks, and on
+// batched hash edges consecutive records with the same key (key runs) reuse
+// the previous record's route instead of re-hashing.
+func (o *outEdge) sendRecords(ctx context.Context, events []Event) bool {
+	if o.maxBatch > 1 {
+		switch o.edge.kind {
+		case PartitionForward:
+			for len(events) > 0 {
+				b := o.pending[0]
+				if b == nil {
+					b = batchPool.Get().(*[]Event)
+					o.pending[0] = b //streamvet:allow poolretain — sender-owned open batch, flushed before any control message
+				}
+				n := o.maxBatch - len(*b)
+				if n > len(events) {
+					n = len(events)
+				}
+				*b = append(*b, events[:n]...)
+				events = events[n:]
+				if len(*b) >= o.maxBatch {
+					if o.flushSize != nil {
+						o.flushSize.Inc()
+					}
+					if !o.flushTarget(ctx, 0) {
+						return false
+					}
+				}
+			}
+			return true
+		case PartitionHash:
+			n := len(events)
+			for i := 0; i < n; {
+				e := events[i]
+				e.Key = o.edge.keySel(e)
+				g := state.KeyGroupFor(e.Key, o.numKeyGroups)
+				t := o.groupToTarget[g]
+				// Extend the run of records selecting the same key: they all
+				// route to the same target and are appended in bulk, with the
+				// key group hashed once for the whole run.
+				j := i + 1
+				for j < n && o.edge.keySel(events[j]) == e.Key {
+					j++
+				}
+				run := events[i:j]
+				for len(run) > 0 {
+					b := o.pending[t]
+					if b == nil {
+						b = batchPool.Get().(*[]Event)
+						o.pending[t] = b //streamvet:allow poolretain — sender-owned open batch, flushed before any control message
+					}
+					c := o.maxBatch - len(*b)
+					if c > len(run) {
+						c = len(run)
+					}
+					base := len(*b)
+					*b = append(*b, run[:c]...)
+					for k := base; k < base+c; k++ {
+						(*b)[k].Key = e.Key
+					}
+					run = run[c:]
+					if len(*b) >= o.maxBatch {
+						if o.flushSize != nil {
+							o.flushSize.Inc()
+						}
+						if !o.flushTarget(ctx, t) {
+							return false
+						}
+					}
+				}
+				i = j
+			}
+			return true
+		case PartitionBroadcast, PartitionRebalance:
+			// Per-record routing below: broadcast duplicates every record and
+			// rebalance re-routes each one, so there is no run to amortize.
+		}
+	}
+	for i := range events {
+		if !o.sendRecord(ctx, events[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 func (o *outEdge) enqueue(ctx context.Context, t int, e Event) bool {
 	b := o.pending[t]
 	if b == nil {
@@ -208,6 +295,13 @@ func (o *outEdge) send(ctx context.Context, ch chan message, m message) bool {
 }
 
 func send(ctx context.Context, ch chan message, m message) bool {
+	// Non-blocking fast path: a buffered channel with room skips the full
+	// two-case select, which costs several times a bare channel op.
+	select {
+	case ch <- m:
+		return true
+	default:
+	}
 	select {
 	case ch <- m:
 		return true
@@ -226,6 +320,7 @@ type instance struct {
 	numInputs  int
 	outs       []*outEdge
 	op         Operator
+	batchOp    BatchOperator // non-nil only when ColumnarExec is on and op implements it
 	backend    state.Backend
 	timers     *timerService
 	tracker    *eventtime.WatermarkTracker
@@ -258,6 +353,10 @@ type instance struct {
 	// (stop-with-savepoint): the instance then terminates without firing
 	// open windows or emitting Close output.
 	nonDrainStop bool
+	// fired dedups re-registered timers within one watermark advance; it is
+	// allocated on first use and cleared (not freed) afterwards so steady
+	// window firing does not allocate per advance.
+	fired map[timerEntry]bool
 }
 
 // opContext implements Context for one instance; reused across callbacks.
@@ -278,7 +377,28 @@ func (c *opContext) Emit(e Event) {
 	c.inst.outCounter.Inc()
 }
 
+// EmitBatch implements BatchContext: events go downstream in order, exactly
+// as repeated Emit calls would send them, but the routing dispatch and the
+// output counter are amortized over the whole slice.
+func (c *opContext) EmitBatch(events []Event) {
+	if len(events) == 0 {
+		return
+	}
+	for _, o := range c.inst.outs {
+		if !o.sendRecords(c.runCtx, events) {
+			c.emitErr = c.runCtx.Err()
+			return
+		}
+	}
+	c.inst.outCounter.Add(int64(len(events)))
+}
+
 func (c *opContext) Key() string { return c.currentKey }
+
+// SetKey implements BatchContext. The key is scoped lazily: State()
+// synchronizes the backend's current key on every call, so a plain SetKey is
+// two word writes and stateless operators never pay the key hash.
+func (c *opContext) SetKey(key string) { c.currentKey = key }
 
 func (c *opContext) State() state.Backend {
 	c.inst.backend.SetCurrentKey(c.currentKey)
@@ -312,30 +432,44 @@ func (in *instance) run(ctx context.Context) error {
 	}()
 
 	for {
+		// Non-blocking fast path first: under sustained load the inbox is
+		// rarely empty, and a bare buffered receive is several times cheaper
+		// than the two-case select. Cancellation is still observed promptly —
+		// once the job context ends, senders stop and the inbox drains to the
+		// blocking select below.
+		var m message
+		var ok bool
 		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case m := <-in.inbox:
-			if in.queueDepth != nil {
-				in.queueDepth.Set(int64(len(in.inbox)))
+		case m = <-in.inbox:
+			ok = true
+		default:
+		}
+		if !ok {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case m = <-in.inbox:
 			}
-			// busyNs accumulates only time spent handling messages — inbox
-			// waits are excluded — giving the DS2-style "true" (useful-work)
-			// processing rate the scaling policy divides the input rate by.
-			var busyStart int64
-			if in.busyNs != nil {
-				busyStart = nanotime()
-			}
-			done, err := in.handle(ctx, octx, m)
-			if in.busyNs != nil {
-				in.busyNs.Add(nanotime() - busyStart)
-			}
-			if err != nil {
-				return fmt.Errorf("%s: %w", in.id, err)
-			}
-			if done {
-				return nil
-			}
+		}
+		if in.queueDepth != nil {
+			in.queueDepth.Set(int64(len(in.inbox)))
+		}
+		// busyNs accumulates only time spent handling messages — inbox
+		// waits are excluded — giving the DS2-style "true" (useful-work)
+		// processing rate the scaling policy divides the input rate by.
+		var busyStart int64
+		if in.busyNs != nil {
+			busyStart = nanotime()
+		}
+		done, err := in.handle(ctx, octx, m)
+		if in.busyNs != nil {
+			in.busyNs.Add(nanotime() - busyStart)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", in.id, err)
+		}
+		if done {
+			return nil
 		}
 	}
 }
@@ -384,18 +518,47 @@ func (in *instance) handle(ctx context.Context, octx *opContext, m message) (boo
 	}
 }
 
-// processBatch unpacks a batched exchange through the per-record path, then
+// processBatch unpacks a batched exchange — through the operator's
+// whole-batch columnar path when wired (Config.ColumnarExec and the operator
+// implements BatchOperator), through the per-record path otherwise — then
 // recycles the batch slice.
 func (in *instance) processBatch(octx *opContext, b *[]Event) error {
-	for _, e := range *b {
-		if err := in.processRecord(octx, e); err != nil {
+	if in.batchOp != nil {
+		if err := in.processColumnar(octx, b); err != nil {
 			return err
+		}
+	} else {
+		for _, e := range *b {
+			if err := in.processRecord(octx, e); err != nil {
+				return err
+			}
 		}
 	}
 	clear(*b)
 	*b = (*b)[:0]
 	batchPool.Put(b)
 	return nil
+}
+
+// processColumnar runs one batch through the operator's whole-batch path:
+// the columnar view is built in a single pass, counters and the tracer span
+// account for the whole batch at once, and the view is released before the
+// underlying batch slice is recycled by the caller.
+func (in *instance) processColumnar(octx *opContext, b *[]Event) error {
+	cols := buildColumns(b)
+	in.inCounter.Add(int64(len(cols.Events)))
+	if in.tracer != nil {
+		if in.batchSpan == nil {
+			in.batchSpan = in.tracer.Begin("operator.process", in.node.name, in.id)
+		}
+		in.batchSize += int64(len(cols.Events))
+	}
+	err := in.batchOp.ProcessBatch(cols, octx)
+	releaseColumns(cols)
+	if err != nil {
+		return err
+	}
+	return octx.emitErr
 }
 
 // handleMarker records the latency a marker accumulated and forwards a fresh
@@ -471,7 +634,9 @@ func (in *instance) emitWatermarkProgress(ctx context.Context, octx *opContext, 
 	// (MaxWatermark) there is no later watermark to catch them. fired guards
 	// against a callback re-registering its own identical (ts, key): the
 	// duplicate is dropped instead of looping forever.
-	var fired map[timerEntry]bool
+	// The dedup map lives on the instance and is cleared after use, so a
+	// steady stream of firing windows does not allocate one per advance.
+	fired := in.fired
 	for {
 		due := in.timers.due(wm)
 		if len(due) == 0 {
@@ -479,6 +644,7 @@ func (in *instance) emitWatermarkProgress(ctx context.Context, octx *opContext, 
 		}
 		if fired == nil {
 			fired = make(map[timerEntry]bool, len(due))
+			in.fired = fired
 		}
 		for _, t := range due {
 			if fired[t] {
@@ -494,6 +660,9 @@ func (in *instance) emitWatermarkProgress(ctx context.Context, octx *opContext, 
 				return octx.emitErr
 			}
 		}
+	}
+	if len(fired) > 0 {
+		clear(fired)
 	}
 	if err := in.op.OnWatermark(wm, octx); err != nil {
 		return err

@@ -10,6 +10,16 @@ type SourceContext interface {
 	// Collect emits an event downstream. It blocks under backpressure and
 	// returns false when the source should stop (job cancelled).
 	Collect(e Event) bool
+	// CollectBatch emits events in order, equivalent to calling Collect on
+	// each, with the stop/barrier checks and routing dispatch amortized over
+	// the slice. Watermark semantics are preserved exactly: the generator
+	// observes every record and punctuated watermarks land between the same
+	// two records as on the per-record path. Unlike Collect, a checkpoint
+	// barrier can only be injected before the first record of the slice, so
+	// replayable sources must snapshot their offset at CollectBatch
+	// granularity and size their batches accordingly (a few hundred records —
+	// one ingest poll — is the sweet spot). The slice is not retained.
+	CollectBatch(events []Event) bool
 	// EmitWatermark emits an explicit watermark (punctuated strategies).
 	// Periodic strategies are driven by the runtime instead.
 	EmitWatermark(wm int64)

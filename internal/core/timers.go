@@ -2,7 +2,6 @@ package core
 
 import (
 	"bytes"
-	"container/heap"
 	"encoding/gob"
 	"fmt"
 )
@@ -19,29 +18,75 @@ type timerEntry struct {
 type timerService struct {
 	h   timerHeap
 	set map[timerEntry]bool
+	// scratch backs the slice due returns; each due call reuses it, so the
+	// previous result must be fully consumed before the next call (the
+	// watermark-advance loop does exactly that).
+	scratch []timerEntry
 }
 
 func newTimerService() *timerService {
 	return &timerService{set: make(map[timerEntry]bool)}
 }
 
+// timerHeap is a binary min-heap of timerEntry ordered by (TS, Key). It is
+// hand-rolled rather than built on container/heap because the interface-based
+// API boxes every entry through `any` on push and pop — a per-timer
+// allocation on the hot watermark path.
 type timerHeap []timerEntry
 
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
+func (h timerHeap) less(i, j int) bool {
 	if h[i].TS != h[j].TS {
 		return h[i].TS < h[j].TS
 	}
 	return h[i].Key < h[j].Key
 }
-func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x any)   { *h = append(*h, x.(timerEntry)) }
-func (h *timerHeap) Pop() any {
+
+func (h timerHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h timerHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func (h *timerHeap) push(e timerEntry) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *timerHeap) pop() timerEntry {
 	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	e := old[n]
+	old[n] = timerEntry{} // release the key string to the GC
+	*h = old[:n]
+	if n > 0 {
+		(*h).down(0)
+	}
+	return e
 }
 
 // register adds a timer; duplicates are ignored.
@@ -51,7 +96,7 @@ func (t *timerService) register(ts int64, key string) {
 		return
 	}
 	t.set[e] = true
-	heap.Push(&t.h, e)
+	t.h.push(e)
 }
 
 // unregister marks a timer deleted (lazily skipped when popped).
@@ -61,15 +106,16 @@ func (t *timerService) unregister(ts int64, key string) {
 
 // due pops all timers with TS <= wm in order.
 func (t *timerService) due(wm int64) []timerEntry {
-	var out []timerEntry
-	for t.h.Len() > 0 && t.h[0].TS <= wm {
-		e := heap.Pop(&t.h).(timerEntry)
+	out := t.scratch[:0]
+	for len(t.h) > 0 && t.h[0].TS <= wm {
+		e := t.h.pop()
 		if !t.set[e] {
 			continue // deleted
 		}
 		delete(t.set, e)
 		out = append(out, e)
 	}
+	t.scratch = out
 	return out
 }
 
@@ -102,7 +148,7 @@ func (t *timerService) restore(data []byte) error {
 	t.set = make(map[timerEntry]bool, len(entries))
 	for _, e := range entries {
 		t.set[e] = true
-		heap.Push(&t.h, e)
+		t.h.push(e)
 	}
 	return nil
 }

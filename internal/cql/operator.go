@@ -60,6 +60,21 @@ func (o *cqlOperator) ProcessElement(e core.Event, ctx core.Context) error {
 	return nil
 }
 
+// ProcessBatch implements core.BatchOperator: rows are pushed through the
+// executor in arrival order exactly as the per-record path would, so output
+// deltas are identical; the whole-batch call elides the per-record dispatch
+// and key-scoping overhead that dominates projection-only (stateless SELECT)
+// queries.
+func (o *cqlOperator) ProcessBatch(cols *core.Columns, ctx core.BatchContext) error {
+	for i := range cols.Events {
+		ctx.SetKey(cols.Events[i].Key)
+		if err := o.ProcessElement(cols.Events[i], ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // OnWatermark advances the executor so pure expirations (DSTREAM deltas) are
 // observed even without new arrivals.
 func (o *cqlOperator) OnWatermark(wm int64, ctx core.Context) error {

@@ -71,7 +71,12 @@ type MapState interface {
 	Put(mapKey string, v any)
 	Get(mapKey string) (any, bool)
 	Remove(mapKey string)
-	// Keys returns the sub-keys in unspecified order.
+	// Keys returns the sub-keys in unspecified order. The returned slice is
+	// a point-in-time snapshot, never a live view: mutating the map (Put,
+	// Remove, Clear) while ranging over it must not change the slice, skip
+	// entries, or revive removed ones. Callers rely on this — the window
+	// operator removes fired windows and session merges remove absorbed
+	// windows while iterating Keys().
 	Keys() []string
 	Clear()
 }

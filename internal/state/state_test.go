@@ -105,6 +105,54 @@ func testBackendCRUD(t *testing.T, b Backend) {
 	if val, ok := r.Get(); !ok || val.(int64) != 7 {
 		t.Fatalf("reducing: %v %v", val, ok)
 	}
+
+	testMapKeysSnapshot(t, b)
+}
+
+// testMapKeysSnapshot pins MapState.Keys() snapshot semantics: the window
+// operator removes entries (and session merges add merged ones) while
+// ranging over Keys(), so a live view would skip or corrupt iteration.
+func testMapKeysSnapshot(t *testing.T, b Backend) {
+	t.Helper()
+	b.SetCurrentKey("snapshot-key")
+	m := b.Map("windows")
+	const n = 8
+	for i := 0; i < n; i++ {
+		m.Put(fmt.Sprintf("w%d", i), int64(i))
+	}
+	keys := m.Keys()
+	if len(keys) != n {
+		t.Fatalf("keys before mutation: want %d, got %v", n, keys)
+	}
+	visited := 0
+	for _, k := range keys {
+		// Mutate mid-iteration the way addSession/OnTimer do: remove the
+		// visited entry and insert a new one.
+		m.Remove(k)
+		m.Put("merged-"+k, int64(99))
+		visited++
+	}
+	if visited != n {
+		t.Fatalf("iteration skipped entries: visited %d of %d", visited, n)
+	}
+	if len(keys) != n {
+		t.Fatalf("snapshot mutated under iteration: %v", keys)
+	}
+	for i, k := range keys {
+		if k == "" {
+			t.Fatalf("snapshot entry %d zeroed by mutation", i)
+		}
+		if _, ok := m.Get(k); ok {
+			t.Fatalf("removed key %s still present", k)
+		}
+	}
+	after := m.Keys()
+	if len(after) != n {
+		t.Fatalf("post-mutation keys: want %d merged entries, got %v", n, after)
+	}
+	for _, k := range after {
+		m.Remove(k)
+	}
 }
 
 func TestMemoryBackendCRUD(t *testing.T) {

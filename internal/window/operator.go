@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -20,11 +21,34 @@ type Aggregate struct {
 	Merge func(a, b any) any
 	// Emit produces the result event for a closed (or late-updated) window.
 	Emit func(key string, w Window, acc any) core.Event
+	// AddBatch, when non-nil, folds a same-key, same-window segment of a
+	// columnar batch (indices [start, end) of cols) into the accumulator in
+	// one call — the whole-batch fast path used under Config.ColumnarExec.
+	// It must be equivalent to folding the segment element-by-element with
+	// Add; for float sums "equivalent" is up to the rounding re-association
+	// of the unrolled kernel (exact for counts, min and max).
+	AddBatch func(acc any, cols *core.Columns, start, end int) any
 }
 
+// segScratch pools the dense extraction buffer AddBatch feeds the unrolled
+// kernels. Aggregate closures are shared across parallel operator instances,
+// so the scratch cannot be captured per closure.
+var segScratch = sync.Pool{New: func() any { s := make([]float64, 0, 256); return &s }}
+
 // FloatAggregate builds an Aggregate over float64 values using an AggFn and
-// a value extractor.
+// a value extractor. The built-in Sum, Min and Max functions get an AddBatch
+// backed by the E10 unrolled kernels (sumKernel and friends), so the
+// columnar path folds whole same-window segments branch-free.
 func FloatAggregate(fn AggFn, get func(core.Event) float64) Aggregate {
+	var kernel func([]float64) float64
+	switch fn.Name {
+	case "sum":
+		kernel = sumKernel
+	case "min":
+		kernel = minKernel
+	case "max":
+		kernel = maxKernel
+	}
 	return Aggregate{
 		Create: func() any { return fn.Identity },
 		Add:    func(acc any, e core.Event) any { return fn.Combine(acc.(float64), get(e)) },
@@ -32,7 +56,65 @@ func FloatAggregate(fn AggFn, get func(core.Event) float64) Aggregate {
 		Emit: func(key string, w Window, acc any) core.Event {
 			return core.Event{Key: key, Timestamp: w.End - 1, Value: acc}
 		},
+		AddBatch: func(acc any, cols *core.Columns, start, end int) any {
+			a := acc.(float64)
+			// Short segments fold sequentially: below the unroll width the
+			// kernel cannot win, and the sequential fold is bit-identical to
+			// the per-record path.
+			if kernel == nil || end-start < 8 {
+				for i := start; i < end; i++ {
+					a = fn.Combine(a, get(cols.Events[i]))
+				}
+				return a
+			}
+			sp := segScratch.Get().(*[]float64)
+			seg := (*sp)[:0]
+			for i := start; i < end; i++ {
+				seg = append(seg, get(cols.Events[i]))
+			}
+			a = fn.Combine(a, kernel(seg))
+			*sp = seg[:0]
+			segScratch.Put(sp)
+			return a
+		},
 	}
+}
+
+// ValueAggregate is FloatAggregate for streams whose Value already is the
+// float64 being aggregated. Its batch path feeds the columnar dense value
+// column straight into the unrolled kernels — no per-element extractor calls
+// at all, the layout §4.2's accelerator results assume.
+func ValueAggregate(fn AggFn) Aggregate {
+	get := func(e core.Event) float64 { return e.Value.(float64) }
+	agg := FloatAggregate(fn, get)
+	var kernel func([]float64) float64
+	switch fn.Name {
+	case "sum":
+		kernel = sumKernel
+	case "min":
+		kernel = minKernel
+	case "max":
+		kernel = maxKernel
+	default:
+		return agg
+	}
+	agg.AddBatch = func(acc any, cols *core.Columns, start, end int) any {
+		a := acc.(float64)
+		if end-start < 8 {
+			for i := start; i < end; i++ {
+				a = fn.Combine(a, cols.Events[i].Value.(float64))
+			}
+			return a
+		}
+		if vals := cols.Vals(); vals != nil {
+			return fn.Combine(a, kernel(vals[start:end]))
+		}
+		for i := start; i < end; i++ {
+			a = fn.Combine(a, cols.Events[i].Value.(float64))
+		}
+		return a
+	}
+	return agg
 }
 
 // CountAggregate counts elements per window.
@@ -43,6 +125,9 @@ func CountAggregate() Aggregate {
 		Merge:  func(a, b any) any { return a.(int64) + b.(int64) },
 		Emit: func(key string, w Window, acc any) core.Event {
 			return core.Event{Key: key, Timestamp: w.End - 1, Value: acc}
+		},
+		AddBatch: func(acc any, _ *core.Columns, start, end int) any {
+			return acc.(int64) + int64(end-start)
 		},
 	}
 }
@@ -89,6 +174,10 @@ type operator struct {
 	lateness  int64
 	lateDrops *metrics.Counter
 	st        state.MapState // window state handle, resolved once per instance
+	// memoWin/memoKey memoize the last stateKey result for the whole-batch
+	// path; see cachedStateKey.
+	memoWin Window
+	memoKey string
 }
 
 // state returns the window state handle, resolving it on first use. The
@@ -130,6 +219,18 @@ func (o *operator) stateKey(w Window) string {
 	return winKey(w)
 }
 
+// cachedStateKey memoizes the last formatted state key. The whole-batch path
+// commonly revisits one window across many key runs (batches span far less
+// event time than a window), so the timestamp formatting is paid once per
+// window change instead of once per segment. stateKey is a pure function of
+// the window, so the memo can safely persist across batches.
+func (o *operator) cachedStateKey(w Window) string {
+	if o.memoKey == "" || w != o.memoWin {
+		o.memoWin, o.memoKey = w, o.stateKey(w)
+	}
+	return o.memoKey
+}
+
 func parseWinKey(s string) (Window, bool) {
 	i := strings.IndexByte(s, '|')
 	if i < 0 {
@@ -153,6 +254,86 @@ func (o *operator) ProcessElement(e core.Event, ctx core.Context) error {
 		if err := o.addToWindow(w, e, ctx, wm); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// ProcessBatch implements core.BatchOperator: the whole-batch columnar path.
+// The exchange flushes open batches before every control message, so the
+// watermark — and with it every lateness decision — is constant across the
+// batch. Records are walked in arrival order, grouped into runs of equal
+// keys and, within a run, into segments assigned to the same window, so key
+// scoping, state lookups, timer registration and the aggregate fold are paid
+// once per segment instead of once per record. Emission order, state
+// contents and timer sets are identical to the per-record path.
+func (o *operator) ProcessBatch(cols *core.Columns, ctx core.BatchContext) error {
+	n := len(cols.Events)
+	fast := o.point != nil && o.agg.AddBatch != nil && !o.assigner.IsSession()
+	for i := 0; i < n; {
+		key := cols.Events[i].Key
+		j := i + 1
+		for j < n && cols.Events[j].Key == key {
+			j++
+		}
+		ctx.SetKey(key)
+		ctx.State() // re-scope the backend for the cached o.st handle
+		if fast {
+			if err := o.addRun(cols, i, j, ctx); err != nil {
+				return err
+			}
+		} else {
+			for r := i; r < j; r++ {
+				if err := o.ProcessElement(cols.Events[r], ctx); err != nil {
+					return err
+				}
+			}
+		}
+		i = j
+	}
+	return nil
+}
+
+// addRun folds one same-key run [lo, hi) of the batch into its windows,
+// segment by segment, where a segment is a maximal stretch of consecutive
+// records the point assigner maps to the same window.
+func (o *operator) addRun(cols *core.Columns, lo, hi int, ctx core.BatchContext) error {
+	wm := ctx.CurrentWatermark()
+	st := o.state(ctx)
+	for s := lo; s < hi; {
+		w := o.point.AssignPoint(cols.Events[s].Timestamp)
+		e := s + 1
+		for e < hi && o.point.AssignPoint(cols.Events[e].Timestamp) == w {
+			e++
+		}
+		global := w.End == maxInt64
+		switch {
+		case !global && w.End+o.lateness <= wm:
+			// Too late even for the lateness allowance: drop the segment.
+			if o.lateDrops != nil {
+				o.lateDrops.Add(int64(e - s))
+			}
+		case !global && w.End <= wm:
+			// Late but allowed: the per-record path re-emits the updated
+			// result after every element; replay these one by one so the
+			// emission stream stays identical.
+			for r := s; r < e; r++ {
+				if err := o.addToWindow(w, cols.Events[r], ctx, wm); err != nil {
+					return err
+				}
+			}
+		default:
+			k := o.cachedStateKey(w)
+			acc, ok := st.Get(k)
+			if !ok {
+				acc = o.agg.Create()
+				ctx.RegisterEventTimeTimer(w.End)
+				if o.lateness > 0 && !global {
+					ctx.RegisterEventTimeTimer(w.End + o.lateness)
+				}
+			}
+			st.Put(k, o.agg.AddBatch(acc, cols, s, e))
+		}
+		s = e
 	}
 	return nil
 }
@@ -277,6 +458,7 @@ type countWindow struct {
 func (o *countWindow) ProcessElement(e core.Event, ctx core.Context) error {
 	accSt := ctx.State().Value("acc")
 	cntSt := ctx.State().Value("cnt")
+	startSt := ctx.State().Value("start")
 	acc, ok := accSt.Get()
 	if !ok {
 		acc = o.agg.Create()
@@ -286,13 +468,23 @@ func (o *countWindow) ProcessElement(e core.Event, ctx core.Context) error {
 	if c, ok := cntSt.Get(); ok {
 		cnt = c.(int64) + 1
 	}
+	// The window's true start is the first buffered element's timestamp,
+	// kept in state so it survives checkpoint/restore with the buffer.
+	start, haveStart := e.Timestamp, false
+	if s, ok := startSt.Get(); ok {
+		start, haveStart = s.(int64), true
+	}
 	if cnt >= o.n {
-		ctx.Emit(o.agg.Emit(ctx.Key(), Window{Start: 0, End: e.Timestamp + 1}, acc))
+		ctx.Emit(o.agg.Emit(ctx.Key(), Window{Start: start, End: e.Timestamp + 1}, acc))
 		accSt.Clear()
 		cntSt.Clear()
+		startSt.Clear()
 		return nil
 	}
 	accSt.Set(acc)
 	cntSt.Set(cnt)
+	if !haveStart {
+		startSt.Set(start)
+	}
 	return nil
 }

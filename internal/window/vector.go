@@ -15,6 +15,11 @@ package window
 type TumblingKernel interface {
 	// Process consumes values and returns completed window aggregates.
 	Process(values []float64) []float64
+	// Flush drains the partially filled trailing window at end of stream,
+	// returning its aggregate and whether any values were buffered. Without
+	// it the batched path silently retains tail records forever whenever the
+	// input length is not a multiple of the window size.
+	Flush() (float64, bool)
 	Name() string
 }
 
@@ -34,6 +39,17 @@ func NewScalarTumbling(size int, fn AggFn) *ScalarTumbling {
 
 // Name implements TumblingKernel.
 func (s *ScalarTumbling) Name() string { return "scalar" }
+
+// Flush implements TumblingKernel.
+func (s *ScalarTumbling) Flush() (float64, bool) {
+	if s.n == 0 {
+		return 0, false
+	}
+	out := s.acc
+	s.acc = s.fn.Identity
+	s.n = 0
+	return out, true
+}
 
 // Process implements TumblingKernel.
 func (s *ScalarTumbling) Process(values []float64) []float64 {
@@ -66,6 +82,29 @@ func NewBatchTumbling(size int, fn AggFn) *BatchTumbling {
 
 // Name implements TumblingKernel.
 func (b *BatchTumbling) Name() string { return "vectorized" }
+
+// Flush implements TumblingKernel.
+func (b *BatchTumbling) Flush() (float64, bool) {
+	if len(b.tail) == 0 {
+		return 0, false
+	}
+	var out float64
+	switch b.kind {
+	case "sum":
+		out = sumKernel(b.tail)
+	case "min":
+		out = minKernel(b.tail)
+	case "max":
+		out = maxKernel(b.tail)
+	default:
+		out = b.fn.Identity
+		for _, v := range b.tail {
+			out = b.fn.Combine(out, v)
+		}
+	}
+	b.tail = b.tail[:0]
+	return out, true
+}
 
 // Process implements TumblingKernel.
 func (b *BatchTumbling) Process(values []float64) []float64 {

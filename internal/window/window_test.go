@@ -308,3 +308,205 @@ func TestGlobalWindowFiresAtEndOfStream(t *testing.T) {
 		t.Fatalf("global window count: want 40, got %d", got)
 	}
 }
+
+// TestKernelFlushParity pins scalar↔vectorized parity including the
+// end-of-stream Flush, over random batch splits whose lengths are not
+// multiples of the window size — the shape that used to leave tail records
+// silently retained in BatchTumbling.
+func TestKernelFlushParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, fn := range []AggFn{Sum, Min, Max} {
+		for _, size := range []int{3, 7, 64} {
+			for trial := 0; trial < 20; trial++ {
+				n := size*rng.Intn(10) + rng.Intn(2*size) + 1
+				values := make([]float64, n)
+				for i := range values {
+					values[i] = rng.Float64() * 1000
+				}
+				scalar := NewScalarTumbling(size, fn)
+				batch := NewBatchTumbling(size, fn)
+				var rs, rb []float64
+				// Feed identical data in different split points: one value
+				// at a time vs random odd-sized chunks.
+				for _, v := range values {
+					rs = append(rs, scalar.Process([]float64{v})...)
+				}
+				for off := 0; off < n; {
+					c := 1 + rng.Intn(size+3)
+					if off+c > n {
+						c = n - off
+					}
+					rb = append(rb, batch.Process(values[off:off+c])...)
+					off += c
+				}
+				sv, sok := scalar.Flush()
+				bv, bok := batch.Flush()
+				if sok != bok {
+					t.Fatalf("%s size=%d n=%d: flush presence differs: scalar=%v batch=%v",
+						fn.Name, size, n, sok, bok)
+				}
+				if wantTail := n%size != 0; sok != wantTail {
+					t.Fatalf("%s size=%d n=%d: flush=%v, want %v", fn.Name, size, n, sok, wantTail)
+				}
+				if sok {
+					rs = append(rs, sv)
+					rb = append(rb, bv)
+				}
+				if len(rs) != len(rb) {
+					t.Fatalf("%s size=%d n=%d: window count differs: %d vs %d",
+						fn.Name, size, n, len(rs), len(rb))
+				}
+				for i := range rs {
+					if !almostEq(rs[i], rb[i]) {
+						t.Fatalf("%s size=%d n=%d window %d: scalar=%v batch=%v",
+							fn.Name, size, n, i, rs[i], rb[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelFlushIsIdempotent: a second Flush (or one after an exact
+// multiple) must report nothing buffered.
+func TestKernelFlushIsIdempotent(t *testing.T) {
+	for _, k := range []TumblingKernel{NewScalarTumbling(4, Sum), NewBatchTumbling(4, Sum)} {
+		k.Process([]float64{1, 2, 3, 4, 5})
+		if _, ok := k.Flush(); !ok {
+			t.Fatalf("%s: expected a trailing partial window", k.Name())
+		}
+		if _, ok := k.Flush(); ok {
+			t.Fatalf("%s: second flush should be empty", k.Name())
+		}
+		k.Process([]float64{1, 2, 3, 4})
+		if _, ok := k.Flush(); ok {
+			t.Fatalf("%s: flush after exact multiple should be empty", k.Name())
+		}
+	}
+}
+
+// TestCountWindowEmitsTrueStart pins the count-window bound fix: the emitted
+// window's Start must be the first buffered element's timestamp, not a
+// fabricated 0.
+func TestCountWindowEmitsTrueStart(t *testing.T) {
+	// Timestamps deliberately start well above 0 so the old fabricated
+	// Window{Start: 0} would be caught.
+	var events []core.Event
+	for i := 0; i < 12; i++ {
+		events = append(events, core.Event{Key: "k", Timestamp: int64(1000 + 5*i), Value: 1.0})
+	}
+	// Surface the window bounds through a custom Emit: Value = [start, end, count].
+	agg := Aggregate{
+		Create: func() any { return int64(0) },
+		Add:    func(acc any, _ core.Event) any { return acc.(int64) + 1 },
+		Emit: func(key string, w Window, acc any) core.Event {
+			return core.Event{Key: key, Timestamp: w.End - 1, Value: [3]int64{w.Start, w.End, acc.(int64)}}
+		},
+	}
+	sink := core.NewCollectSink()
+	b := core.NewBuilder(core.Config{Name: "cw-start"})
+	s := b.Source("src", core.NewSliceSourceFactory(events)).
+		KeyBy(func(e core.Event) string { return e.Key })
+	CountWindow(s, "cw", 5, agg).Sink("out", sink.Factory())
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := j.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 2 {
+		t.Fatalf("want 2 count windows, got %d: %v", sink.Len(), sink.Events())
+	}
+	// First window buffers ts 1000..1020, second 1025..1045.
+	want := [][3]int64{{1000, 1021, 5}, {1025, 1046, 5}}
+	got := sink.Events()
+	for i, w := range want {
+		if got[i].Value.([3]int64) != w {
+			t.Fatalf("window %d: want start/end/count %v, got %v", i, w, got[i].Value)
+		}
+	}
+}
+
+// buildColumnarWindowJob is buildWindowJob with a batched exchange and the
+// ColumnarExec flag under test.
+func buildColumnarWindowJob(t *testing.T, events []core.Event, assigner Assigner, agg Aggregate, columnar bool, opts ...Option) *core.CollectSink {
+	t.Helper()
+	sink := core.NewCollectSink()
+	b := core.NewBuilder(core.Config{
+		Name: "win-columnar", WatermarkInterval: 4, MaxBatchSize: 16, ColumnarExec: columnar,
+	})
+	s := b.Source("src", core.NewSliceSourceFactory(events), core.WithBoundedDisorder(0)).
+		KeyBy(func(e core.Event) string { return e.Key })
+	Apply(s, "window", assigner, agg, opts...).
+		Sink("out", sink.Factory())
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := j.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return sink
+}
+
+// TestColumnarWindowMatchesPerRecord runs the same windowed aggregations with
+// ColumnarExec off and on and requires identical output multisets, covering
+// the whole-batch fast path (tumbling sum/count), the per-element fallback
+// (sessions) and the late-but-allowed re-emit replay.
+func TestColumnarWindowMatchesPerRecord(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var events []core.Event
+	for i := 0; i < 600; i++ {
+		// Key runs of a few records, integer-valued floats so sums are exact.
+		events = append(events, core.Event{
+			Key:       fmt.Sprintf("k%d", (i/3)%7),
+			Timestamp: int64(i),
+			Value:     float64(rng.Intn(100)),
+		})
+	}
+	// A late-but-allowed straggler per key exercises the re-emit replay.
+	for k := 0; k < 7; k++ {
+		events = append(events, core.Event{Key: fmt.Sprintf("k%d", k), Timestamp: 5, Value: 1.0})
+	}
+	cases := []struct {
+		name     string
+		assigner Assigner
+		agg      Aggregate
+		opts     []Option
+	}{
+		{"tumbling-sum", NewTumbling(100), FloatAggregate(Sum, func(e core.Event) float64 { return e.Value.(float64) }), nil},
+		{"tumbling-count-lateness", NewTumbling(100), CountAggregate(), []Option{WithAllowedLateness(1_000_000)}},
+		{"sliding-count", NewSliding(100, 50), CountAggregate(), nil},
+		{"session-count", NewSession(40), CountAggregate(), nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			off := buildColumnarWindowJob(t, events, tc.assigner, tc.agg, false, tc.opts...)
+			on := buildColumnarWindowJob(t, events, tc.assigner, tc.agg, true, tc.opts...)
+			toMultiset := func(evs []core.Event) map[string]int {
+				m := map[string]int{}
+				for _, e := range evs {
+					m[fmt.Sprintf("%s@%d=%v", e.Key, e.Timestamp, e.Value)]++
+				}
+				return m
+			}
+			a, b := toMultiset(off.Events()), toMultiset(on.Events())
+			if len(a) != len(b) {
+				t.Fatalf("distinct outputs differ: off=%d on=%d", len(a), len(b))
+			}
+			for k, n := range a {
+				if b[k] != n {
+					t.Fatalf("output %q: off=%d on=%d", k, n, b[k])
+				}
+			}
+			if off.Len() != on.Len() {
+				t.Fatalf("output count differs: off=%d on=%d", off.Len(), on.Len())
+			}
+		})
+	}
+}
