@@ -1,16 +1,30 @@
 // Command streamvet runs the engine's invariant analyzers (poolretain,
-// msgexhaustive, wallclock, lockcross) over Go package patterns:
+// msgexhaustive, wallclock, lockcross, maporder, errdrop, chanblock,
+// goroleak) over Go package patterns:
 //
 //	go run ./cmd/streamvet ./...
 //	go run ./cmd/streamvet -run wallclock,lockcross ./internal/core
+//	go run ./cmd/streamvet -json ./... | jq '.[].analyzer'
+//	go run ./cmd/streamvet -facts ./internal/lsm
 //
-// It exits 1 when any diagnostic is reported, so it slots directly into CI.
+// Exit codes: 0 — scan clean; 1 — at least one diagnostic; 2 — the tool
+// itself failed (bad flags, unknown analyzer, load or type-check error).
+// CI gates on the distinction: 1 means the code regressed, 2 means the gate
+// is broken and must not be read as a pass.
+//
+// -json prints the diagnostics as a JSON array on stdout (file/line/col/
+// analyzer/message), one object per diagnostic, for editors and dashboards.
+// -facts dumps every cross-package fact exported during the run to stderr —
+// the debugging view of why an inter-procedural analyzer did (or did not)
+// fire.
+//
 // The suite is standard-library only — type information comes from `go list
 // -export` build-cache export data — so it runs in offline environments
 // where golang.org/x/tools (and therefore `go vet -vettool`) is unavailable.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,11 +33,22 @@ import (
 	"repro/internal/analysis/streamvet"
 )
 
+// jsonDiagnostic is the -json wire shape of one diagnostic.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := flag.Bool("json", false, "print diagnostics as a JSON array on stdout")
+	facts := flag.Bool("facts", false, "dump exported cross-package facts to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: streamvet [-list] [-run a,b] [package patterns]\n")
+		fmt.Fprintf(os.Stderr, "usage: streamvet [-list] [-run a,b] [-json] [-facts] [package patterns]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -68,13 +93,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "streamvet: %v\n", err)
 		os.Exit(2)
 	}
-	diags, err := streamvet.RunAnalyzers(analyzers, pkgs)
+	res, err := streamvet.Run(analyzers, pkgs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "streamvet: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *facts {
+		for _, r := range res.Facts {
+			fmt.Fprintf(os.Stderr, "fact: %s: %s: %v\n", r.Analyzer, r.Object, r.Fact)
+		}
+	}
+
+	diags := res.Diagnostics
+	if *asJSON {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "streamvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "streamvet: %d violation(s) in %d package(s) scanned\n", len(diags), len(pkgs))

@@ -1,0 +1,206 @@
+package streamvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BlocksFact marks a function that may block on a channel: its body performs
+// a channel send/receive, a select without a default, a range over a
+// channel, or sync.Cond.Wait / sync.WaitGroup.Wait — or it calls (statically)
+// a function already carrying the fact. Facts flow across package
+// boundaries, so a core function calling an lsm helper that receives on a
+// channel is seen blocking even though core never spells out the receive.
+type BlocksFact struct {
+	Op  string // the direct blocking operation at the chain's root
+	Via string // ObjKey of the callee the fact arrived through ("" = direct)
+}
+
+func (BlocksFact) AFact() {}
+
+func (f BlocksFact) String() string {
+	if f.Via == "" {
+		return "may block: " + f.Op
+	}
+	return fmt.Sprintf("may block: %s (via %s)", f.Op, f.Via)
+}
+
+// NewChanBlock builds the chanblock analyzer: the inter-procedural upgrade
+// of lockcross. lockcross sees `mu.Lock(); <-ch` inside one function;
+// chanblock sees `mu.Lock(); drain()` where drain — possibly in another
+// package — receives on a channel. Facts are computed for every package the
+// run loads; diagnostics are reported only in the designated pkgs, where
+// backpressure makes an indefinite block under a lock a reachable deadlock.
+func NewChanBlock(pkgs ...string) *Analyzer {
+	designated := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		designated[p] = true
+	}
+	a := &Analyzer{
+		Name: "chanblock",
+		Doc:  "reports calls made while holding a mutex to functions that may block on a channel, across package boundaries (fact-propagated lockcross)",
+	}
+	a.Run = func(pass *Pass) error {
+		exportBlocksFacts(pass)
+		if !designated[pass.Pkg.Path()] {
+			return nil
+		}
+		lw := &lockWalker{pass: pass}
+		lw.onCall = func(call *ast.CallExpr, held lockState) {
+			callee := staticCallee(pass.TypesInfo, call)
+			if callee == nil {
+				return
+			}
+			fact, ok := pass.ObjectFact(callee)
+			if !ok {
+				return
+			}
+			bf := fact.(BlocksFact)
+			for lock, at := range held {
+				pass.Reportf(call.Pos(),
+					"call to %s while holding %s (locked at %s); %s %s — a blocking call under a mutex can deadlock under backpressure",
+					ObjKey(callee), lock, pass.Fset.Position(at), ObjKey(callee), bf)
+			}
+		}
+		for _, file := range pass.Files {
+			lw.walkFile(file)
+		}
+		return nil
+	}
+	return a
+}
+
+// exportBlocksFacts computes the may-block fact for every function declared
+// in the package, to a fixpoint: a function blocks directly, or through any
+// static callee that blocks (same package — resolved by iterating — or an
+// import, whose facts the dependency-ordered run has already stored).
+func exportBlocksFacts(pass *Pass) {
+	type fnInfo struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var fns []fnInfo
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fns = append(fns, fnInfo{fn: fn, body: fd.Body})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			if _, done := pass.ObjectFact(fi.fn); done {
+				continue
+			}
+			if op, via, blocks := bodyBlocks(pass, fi.body); blocks {
+				pass.ExportObjectFact(fi.fn, BlocksFact{Op: op, Via: via})
+				changed = true
+			}
+		}
+	}
+}
+
+// blockingWaitCalls are stdlib calls treated as channel-equivalent blocking
+// points (a Cond.Wait or WaitGroup.Wait parks until another goroutine acts).
+var blockingWaitCalls = map[string]string{
+	"sync.(*Cond).Wait":      "sync.Cond.Wait",
+	"sync.(*WaitGroup).Wait": "sync.WaitGroup.Wait",
+}
+
+// bodyBlocks scans one function body — excluding nested function literals
+// and go statements, whose bodies run on other goroutines — for a direct
+// blocking operation or a static call to a function with a BlocksFact.
+func bodyBlocks(pass *Pass, body *ast.BlockStmt) (op, via string, blocks bool) {
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if blocks {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			op, blocks = "channel send", true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				op, blocks = "channel receive", true
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(x) {
+				op, blocks = "select", true
+				return false
+			}
+			// A select with a default never blocks, and neither do the sends
+			// and receives in its case headers — only the clause bodies can.
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						ast.Inspect(s, visit)
+					}
+				}
+			}
+			return false
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[x.X]; ok && tv.Type != nil {
+				if _, isChan := types.Unalias(tv.Type.Underlying()).(*types.Chan); isChan {
+					op, blocks = "range over channel", true
+				}
+			}
+		case *ast.CallExpr:
+			callee := staticCallee(pass.TypesInfo, x)
+			if callee == nil {
+				return true
+			}
+			key := ObjKey(callee)
+			if w, ok := blockingWaitCalls[key]; ok {
+				op, blocks = w, true
+				return false
+			}
+			if fact, ok := pass.ObjectFact(callee); ok {
+				bf := fact.(BlocksFact)
+				op, via, blocks = bf.Op, key, true
+			}
+		}
+		return !blocks
+	}
+	ast.Inspect(body, visit)
+	return op, via, blocks
+}
+
+// selectHasDefault reports whether a select statement has a default clause
+// (making it non-blocking).
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// staticCallee resolves the called function of a call expression when it is
+// statically known: a plain identifier or a selector resolving to a
+// *types.Func (package function, method on a concrete type, or an interface
+// method). Calls through function values and type conversions return nil.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}

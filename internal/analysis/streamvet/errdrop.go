@@ -1,0 +1,420 @@
+package streamvet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DurabilityFact marks a function whose error result can originate from a
+// durability operation — a snapshot-store Save/Complete/LinkFile, a WAL
+// append or fsync, an os.File Sync — so wrappers (`func (s *store) flush()
+// error { return s.f.Sync() }`) are as dangerous to ignore as the seed call
+// itself. The fact crosses package boundaries: state code discarding the
+// error of an lsm helper that fsyncs is flagged even though state never
+// mentions a file.
+type DurabilityFact struct {
+	Via string // ObjKey of the seed or fact-carrying callee the error flows from
+}
+
+func (DurabilityFact) AFact() {}
+
+func (f DurabilityFact) String() string { return "returns durability error (via " + f.Via + ")" }
+
+// errDropSeeds are the stdlib durability-error sources every configuration
+// starts from; engine-specific seeds (snapshot stores, the WAL) are added by
+// the Suite configuration.
+var errDropSeeds = []string{
+	"os.(*File).Sync",
+	"os.(*File).Close",
+}
+
+// NewErrDrop builds the errdrop analyzer. designated are the packages on the
+// durability path (lsm, state, core) where a dropped error silently voids
+// the exactly-once contract: a checkpoint the store failed to persist, a WAL
+// frame the OS never flushed. seeds are extra ObjKeys treated as
+// durability-error sources besides the stdlib defaults.
+//
+// Reported shapes, for calls whose static callee carries the fact:
+//
+//   - the call as a bare statement (or `go` statement): error discarded;
+//   - a multi-value assignment with `_` in the error position;
+//   - the error assigned to a variable that is overwritten before any read,
+//     or — for `:=` declarations — never read at all in its scope.
+//
+// Deliberate discards stay visible and unflagged: `_ = f.Close()` (the
+// explicit single blank assignment) and `defer f.Close()` (the read-path
+// cleanup idiom; write paths must Sync first, which is checked).
+func NewErrDrop(designated []string, seeds ...string) *Analyzer {
+	pkgs := make(map[string]bool, len(designated))
+	for _, p := range designated {
+		pkgs[p] = true
+	}
+	seedSet := make(map[string]bool, len(errDropSeeds)+len(seeds))
+	for _, s := range errDropSeeds {
+		seedSet[s] = true
+	}
+	for _, s := range seeds {
+		seedSet[s] = true
+	}
+	a := &Analyzer{
+		Name: "errdrop",
+		Doc:  "reports discarded or shadowed error results of durability operations (Save/Complete/LinkFile, WAL append/fsync, file Sync/Close) on the checkpoint path",
+	}
+	a.Run = func(pass *Pass) error {
+		exportDurabilityFacts(pass, seedSet)
+		if !pkgs[pass.Pkg.Path()] {
+			return nil
+		}
+		ed := &errDrop{pass: pass, seeds: seedSet}
+		for _, body := range functionBodies(pass.Files) {
+			ed.check(body)
+		}
+		return nil
+	}
+	return a
+}
+
+// functionBodies returns the body of every function in the files —
+// declarations and literals alike. The statement walkers never descend into
+// nested literals, so each body is visited exactly once.
+func functionBodies(files []*ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					out = append(out, fn.Body)
+				}
+			case *ast.FuncLit:
+				out = append(out, fn.Body)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// exportDurabilityFacts marks, to a fixpoint, every declared function that
+// returns an error and whose body calls a durability seed or an already
+// marked function.
+func exportDurabilityFacts(pass *Pass, seeds map[string]bool) {
+	type fnInfo struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var fns []fnInfo
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok || !returnsError(fn) {
+				continue
+			}
+			fns = append(fns, fnInfo{fn: fn, body: fd.Body})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			if _, done := pass.ObjectFact(fi.fn); done {
+				continue
+			}
+			if via, ok := bodyTouchesDurability(pass, fi.body, seeds); ok {
+				pass.ExportObjectFact(fi.fn, DurabilityFact{Via: via})
+				changed = true
+			}
+		}
+	}
+}
+
+// returnsError reports whether any result of fn is the error type.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return qualifiedTypeName(types.Unalias(t)) == "error"
+}
+
+// bodyTouchesDurability scans one body (excluding nested literals and go
+// statements) for a call to a seed or fact-carrying function.
+func bodyTouchesDurability(pass *Pass, body *ast.BlockStmt, seeds map[string]bool) (via string, found bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if key, ok := durabilityCallee(pass, seeds, x); ok {
+				via, found = key, true
+				return false
+			}
+		}
+		return true
+	})
+	return via, found
+}
+
+// durabilityCallee resolves a call's static callee and reports whether it is
+// a durability-error source (seed or fact), returning its ObjKey.
+func durabilityCallee(pass *Pass, seeds map[string]bool, call *ast.CallExpr) (string, bool) {
+	callee := staticCallee(pass.TypesInfo, call)
+	if callee == nil || !returnsError(callee) {
+		return "", false
+	}
+	key := ObjKey(callee)
+	if seeds[key] {
+		return key, true
+	}
+	if _, ok := pass.ObjectFact(callee); ok {
+		return key, true
+	}
+	return "", false
+}
+
+// errDrop scans function bodies for discarded or shadowed durability errors.
+type errDrop struct {
+	pass  *Pass
+	seeds map[string]bool
+}
+
+// check scans one function body. Discards are local statement shapes; shadow
+// detection is position-based over the whole body, so a read anywhere after
+// the assignment — an enclosing scope, a later branch, a capturing closure —
+// counts as checking the error.
+func (ed *errDrop) check(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false // a separate body, checked on its own
+		case *ast.DeferStmt:
+			// defer f.Close() is the sanctioned read-path cleanup idiom; write
+			// paths must Sync (checked) before relying on Close.
+			return false
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if key, ok := durabilityCallee(ed.pass, ed.seeds, call); ok {
+					ed.pass.Reportf(call.Pos(),
+						"discarded error from %s, a durability operation; a dropped Save/fsync error silently voids the exactly-once contract",
+						key)
+				}
+			}
+		case *ast.GoStmt:
+			// A `go save()` can never observe the error; same discard.
+			if key, ok := durabilityCallee(ed.pass, ed.seeds, st.Call); ok {
+				ed.pass.Reportf(st.Call.Pos(),
+					"discarded error from %s, a durability operation, in a go statement; the goroutine drops the error on the floor",
+					key)
+			}
+		case *ast.AssignStmt:
+			ed.checkAssign(body, st)
+		}
+		return true
+	})
+}
+
+// checkAssign inspects one assignment whose RHS is a single durability call.
+func (ed *errDrop) checkAssign(body *ast.BlockStmt, st *ast.AssignStmt) {
+	if len(st.Rhs) != 1 {
+		return
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	key, ok := durabilityCallee(ed.pass, ed.seeds, call)
+	if !ok {
+		return
+	}
+	callee := staticCallee(ed.pass.TypesInfo, call)
+	sig := callee.Type().(*types.Signature)
+	if len(st.Lhs) != sig.Results().Len() && sig.Results().Len() > 1 {
+		return // odd shapes (assignment through a tuple variable) — skip
+	}
+	for i, lhs := range st.Lhs {
+		if i >= sig.Results().Len() || !isErrorType(sig.Results().At(i).Type()) {
+			continue
+		}
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if id.Name == "_" {
+			// `_ = call()` alone is the explicit, sanctioned discard; a blank
+			// in a multi-value assignment hides the error among used results.
+			if len(st.Lhs) > 1 {
+				ed.pass.Reportf(st.Pos(),
+					"durability error from %s discarded via blank identifier; handle it or make the discard a standalone `_ = ...`",
+					key)
+			}
+			continue
+		}
+		obj := ed.objectOf(id)
+		if obj == nil {
+			continue
+		}
+		ed.checkFlow(body, st, obj, id.Name, key)
+	}
+}
+
+// objectOf resolves an assignment LHS identifier to its object, whether the
+// assignment declares it (:=) or reuses it (=).
+func (ed *errDrop) objectOf(id *ast.Ident) types.Object {
+	if obj := ed.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return ed.pass.TypesInfo.Uses[id]
+}
+
+// checkFlow finds the first mention of obj after the assignment, anywhere in
+// the body. The first mention decides: a pure overwrite (obj only on the left
+// of another assignment) means the durability error was shadowed away before
+// anyone read it; a read means it was handled. No mention at all is reported
+// only when the variable's whole life is visible — declared in this body and
+// not read by an earlier line of an enclosing loop (the next iteration's
+// read) — so outer-scope and package variables never false-positive.
+func (ed *errDrop) checkFlow(body *ast.BlockStmt, assign *ast.AssignStmt, obj types.Object, name, key string) {
+	var first *ast.Ident
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Pos() <= assign.End() {
+			return true
+		}
+		if ed.pass.TypesInfo.Uses[id] != obj && ed.pass.TypesInfo.Defs[id] != obj {
+			return true
+		}
+		if first == nil || id.Pos() < first.Pos() {
+			first = id
+		}
+		return true
+	})
+	if first == nil {
+		if ed.readInEnclosingLoop(body, assign, obj) {
+			return
+		}
+		if obj.Pos() < body.Pos() || obj.Pos() > body.End() {
+			return // outer-scope or package variable: reads exist elsewhere
+		}
+		ed.pass.Reportf(assign.Pos(),
+			"durability error from %s assigned to %s and never checked", key, name)
+		return
+	}
+	if ov := ed.enclosingAssignLHS(body, first); ov != nil && pureOverwrite(ed.pass, ov, obj) {
+		ed.pass.Reportf(assign.Pos(),
+			"durability error from %s assigned to %s but overwritten at %s before being checked",
+			key, name, ed.pass.Fset.Position(ov.Pos()))
+	}
+}
+
+// readInEnclosingLoop reports whether a for/range statement encloses the
+// assignment and mentions obj somewhere outside it — a read that executes on
+// the next iteration even though it sits at an earlier position.
+func (ed *errDrop) readInEnclosingLoop(body *ast.BlockStmt, assign *ast.AssignStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if n.Pos() <= assign.Pos() && assign.End() <= n.End() &&
+				referencesObjectAfter(ed.pass, n, obj, assign) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// enclosingAssignLHS returns the assignment statement that has id as one of
+// its left-hand sides, if any.
+func (ed *errDrop) enclosingAssignLHS(body *ast.BlockStmt, id *ast.Ident) *ast.AssignStmt {
+	var out *ast.AssignStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, l := range as.Lhs {
+			if lid, ok := l.(*ast.Ident); ok && lid == id {
+				out = as
+			}
+		}
+		return out == nil
+	})
+	return out
+}
+
+// referencesObject reports whether the statement subtree mentions obj.
+func referencesObject(pass *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := x.(*ast.Ident); ok {
+			if pass.TypesInfo.Uses[id] == obj || pass.TypesInfo.Defs[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// referencesObjectAfter is referencesObject excluding one subtree (the
+// assignment itself, when it syntactically sits inside n as an init clause).
+func referencesObjectAfter(pass *Pass, n ast.Node, obj types.Object, skip ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found || x == skip {
+			return false
+		}
+		if id, ok := x.(*ast.Ident); ok {
+			if pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// pureOverwrite reports whether the assignment writes obj without reading it
+// — obj appears on the LHS and nowhere in the RHS.
+func pureOverwrite(pass *Pass, st *ast.AssignStmt, obj types.Object) bool {
+	writes := false
+	for _, lhs := range st.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && (pass.TypesInfo.Uses[id] == obj || pass.TypesInfo.Defs[id] == obj) {
+			writes = true
+		}
+	}
+	if !writes {
+		return false
+	}
+	for _, rhs := range st.Rhs {
+		if referencesObject(pass, rhs, obj) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,139 @@
+package streamvet
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+)
+
+// The fact system makes analyzers inter-procedural: an analyzer can attach a
+// Fact to a function (or any other named object) while analyzing the package
+// that declares it, and read that fact back from any later pass — including
+// passes over packages that only see the declaring package through `go list
+// -export` export data. Facts are keyed by the object's stable fully
+// qualified name (ObjKey), not by go/types object identity, because the
+// source-checked version of a package and the export-data version imported
+// by its dependents are distinct *types.Package values. RunAnalyzers
+// processes packages in dependency order, so by the time a dependent is
+// analyzed, every fact of its imports is already in the store.
+
+// Fact is a piece of information an analyzer exports about an object. The
+// AFact marker method mirrors golang.org/x/tools/go/analysis.Fact.
+// Implementations should have a useful String() for the -facts debug dump.
+type Fact interface{ AFact() }
+
+// FactRecord is one exported fact, in the externalized form the -facts dump
+// and tests consume.
+type FactRecord struct {
+	Analyzer string // exporting analyzer
+	Object   string // ObjKey of the object the fact is about
+	Fact     Fact
+}
+
+// factStore holds every fact exported during one Run, namespaced per
+// analyzer so two analyzers' facts about the same function never collide.
+type factStore struct {
+	m map[string]map[string]Fact // analyzer -> ObjKey -> fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{m: make(map[string]map[string]Fact)}
+}
+
+func (s *factStore) export(analyzer, key string, f Fact) {
+	byKey := s.m[analyzer]
+	if byKey == nil {
+		byKey = make(map[string]Fact)
+		s.m[analyzer] = byKey
+	}
+	byKey[key] = f
+}
+
+func (s *factStore) get(analyzer, key string) (Fact, bool) {
+	f, ok := s.m[analyzer][key]
+	return f, ok
+}
+
+// records externalizes the store, sorted for deterministic dumps.
+func (s *factStore) records() []FactRecord {
+	var out []FactRecord
+	for analyzer, byKey := range s.m {
+		for key, f := range byKey {
+			out = append(out, FactRecord{Analyzer: analyzer, Object: key, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
+		return out[i].Object < out[j].Object
+	})
+	return out
+}
+
+// ObjKey renders an object as a stable fully qualified key that is identical
+// whether the object came from source type-checking or from export data:
+//
+//	repro/internal/lsm.linkOrCopy          package function
+//	repro/internal/lsm.(*Tree).Put         pointer-receiver method
+//	repro/internal/core.(Collector).Collect  interface method
+//	os.(*File).Sync                        stdlib method (seed keys)
+//
+// Objects that cannot be named across packages (locals, universe scope)
+// return "".
+func ObjKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	path := obj.Pkg().Path()
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := types.Unalias(sig.Recv().Type())
+			ptr := ""
+			if p, ok := t.(*types.Pointer); ok {
+				t = types.Unalias(p.Elem())
+				ptr = "*"
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return "" // method on an unnamed type (e.g. a local interface)
+			}
+			return fmt.Sprintf("%s.(%s%s).%s", path, ptr, named.Obj().Name(), fn.Name())
+		}
+		// A local function (declared inside another function) has a non-nil
+		// Pkg but no cross-package name; parent scope distinguishes it.
+		if fn.Scope() != nil && fn.Pkg().Scope().Lookup(fn.Name()) != fn {
+			return ""
+		}
+	}
+	return path + "." + obj.Name()
+}
+
+// ExportObjectFact records a fact about obj under this pass's analyzer. It
+// is a no-op for objects without a stable cross-package name.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if p.facts == nil {
+		return
+	}
+	if key := ObjKey(obj); key != "" {
+		p.facts.export(p.Analyzer.Name, key, f)
+	}
+}
+
+// ObjectFact returns this pass's analyzer's fact about obj, whether exported
+// by this pass or by a pass over a dependency package earlier in the run.
+func (p *Pass) ObjectFact(obj types.Object) (Fact, bool) {
+	if p.facts == nil {
+		return nil, false
+	}
+	return p.facts.get(p.Analyzer.Name, ObjKey(obj))
+}
+
+// ObjectFactByKey is ObjectFact addressed by key, for analyzers that track
+// seed sets and propagation worklists as ObjKey strings.
+func (p *Pass) ObjectFactByKey(key string) (Fact, bool) {
+	if p.facts == nil {
+		return nil, false
+	}
+	return p.facts.get(p.Analyzer.Name, key)
+}

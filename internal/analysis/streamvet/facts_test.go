@@ -1,0 +1,99 @@
+package streamvet
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestChanBlockFactsCrossPackages is the tentpole contract: a fact computed
+// while analyzing one package (base.Drain may block) must reach the analysis
+// of a dependent package that sees base only through export data, and produce
+// the diagnostic there. If fact propagation breaks — keying by object
+// identity instead of ObjKey, losing dependency order in Load — this test
+// fails while the single-package goldens keep passing.
+func TestChanBlockFactsCrossPackages(t *testing.T) {
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "repro/internal/analysis/streamvet/facttest/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2 (base and use)", len(pkgs))
+	}
+	const basePath = "repro/internal/analysis/streamvet/facttest/base"
+	if pkgs[0].PkgPath != basePath {
+		t.Errorf("dependency order broken: first package is %s, want %s", pkgs[0].PkgPath, basePath)
+	}
+
+	res, err := Run([]*Analyzer{NewChanBlock("repro/internal/analysis/streamvet/facttest/use")}, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diagnostics) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1: %v", len(res.Diagnostics), res.Diagnostics)
+	}
+	d := res.Diagnostics[0]
+	if !strings.Contains(d.Message, "call to "+basePath+".Drain while holding g.mu") {
+		t.Errorf("diagnostic %q does not name the cross-package callee and the held lock", d.Message)
+	}
+	if !strings.Contains(d.Message, "channel receive") {
+		t.Errorf("diagnostic %q does not carry the root blocking op from the fact", d.Message)
+	}
+
+	foundFact := false
+	for _, r := range res.Facts {
+		if r.Analyzer == "chanblock" && r.Object == basePath+".Drain" {
+			foundFact = true
+			if !strings.Contains(r.Fact.(BlocksFact).Op, "channel receive") {
+				t.Errorf("fact for base.Drain has op %q, want channel receive", r.Fact.(BlocksFact).Op)
+			}
+		}
+	}
+	if !foundFact {
+		t.Errorf("no chanblock fact recorded for %s.Drain; facts: %v", basePath, res.Facts)
+	}
+}
+
+// TestStaleAllow pins the stale-annotation check against the staleallow
+// testdata package: a used annotation is quiet, a rotted one is reported
+// under the staleallow name, and a rotted one explicitly tagged staleallow is
+// tolerated.
+func TestStaleAllow(t *testing.T) {
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(root, filepath.Join(root, "internal/analysis/streamvet/testdata/staleallow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diags, err := RunAnalyzers([]*Analyzer{NewWallClock("staleallow")}, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1 (the rotted annotation): %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != StaleAllowName {
+		t.Errorf("diagnostic analyzer = %q, want %q", d.Analyzer, StaleAllowName)
+	}
+	if !strings.Contains(d.Message, "suppresses no wallclock diagnostic") {
+		t.Errorf("diagnostic %q does not describe the rotted escape", d.Message)
+	}
+
+	// An annotation naming an analyzer outside the run set is not judged: the
+	// analyzer that would use it never looked.
+	diags, err = RunAnalyzers([]*Analyzer{NewLockCross("staleallow")}, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("run without wallclock judged its annotations: %v", diags)
+	}
+}

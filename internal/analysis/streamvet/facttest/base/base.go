@@ -1,0 +1,11 @@
+// Package base is one half of the cross-package fact-propagation fixture (a
+// real module package, not testdata, so `go list -export` compiles it and its
+// dependents see it only through export data). Drain blocks on a channel; the
+// chanblock analyzer must export a BlocksFact for it that survives the
+// package boundary into facttest/use.
+package base
+
+// Drain blocks until a value arrives.
+func Drain(ch chan int) int {
+	return <-ch
+}

@@ -1,0 +1,24 @@
+// Package use is the other half of the cross-package fact-propagation
+// fixture: Take calls base.Drain — a function whose blocking nature is
+// invisible here without facts — while holding a mutex. The package is not
+// designated in the Suite configuration, so the whole-repo scan stays clean;
+// TestChanBlockFactsCrossPackages designates it explicitly and requires the
+// diagnostic.
+package use
+
+import (
+	"sync"
+
+	"repro/internal/analysis/streamvet/facttest/base"
+)
+
+type Guarded struct {
+	mu sync.Mutex
+	N  int
+}
+
+func (g *Guarded) Take(ch chan int) {
+	g.mu.Lock()
+	g.N = base.Drain(ch)
+	g.mu.Unlock()
+}

@@ -1,0 +1,298 @@
+package streamvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SignaledFact marks a function that participates in shutdown signaling: its
+// body receives from a channel, selects, ranges over a channel, waits on a
+// sync.Cond or WaitGroup, calls WaitGroup.Done, or statically calls a
+// function already carrying the fact. A goroutine whose root is signaled is
+// tied to a lifecycle — it can be told to stop, or its completion can be
+// joined — so Close can actually quiesce the job.
+type SignaledFact struct {
+	Op string // the signaling operation at the chain's root
+}
+
+func (SignaledFact) AFact() {}
+
+func (f SignaledFact) String() string { return "shutdown-signaled: " + f.Op }
+
+// complianceCalls are stdlib calls that by themselves tie a goroutine to a
+// lifecycle: parking on a Cond or WaitGroup, or announcing completion with
+// Done so a Close-side Wait can join.
+var complianceCalls = map[string]string{
+	"sync.(*Cond).Wait":      "sync.Cond.Wait",
+	"sync.(*WaitGroup).Wait": "sync.WaitGroup.Wait",
+	"sync.(*WaitGroup).Done": "sync.WaitGroup.Done",
+}
+
+// NewGoroLeak builds the goroleak analyzer. pkgs are the long-lived-component
+// packages (core, elastic, obsv, ha) where an unjoined goroutine outlives its
+// owner: it keeps polling a closed store, holds ports, and makes test
+// shutdown flaky.
+//
+// Every `go` statement in a designated package must start a function that is
+// tied to shutdown: its body (or a function it statically calls, across
+// packages via facts, or a local `name := func(){...}` it invokes) receives
+// on a ctx.Done/quit channel, selects, joins or signals a WaitGroup, or waits
+// on a Cond. Goroutines launched through dynamic function values are not
+// judged — the analyzer cannot see their bodies.
+func NewGoroLeak(pkgs ...string) *Analyzer {
+	designated := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		designated[p] = true
+	}
+	a := &Analyzer{
+		Name: "goroleak",
+		Doc:  "reports goroutines in lifecycle-owning packages that are not tied to shutdown (no done/quit channel, no WaitGroup join) and so leak past Close",
+	}
+	a.Run = func(pass *Pass) error {
+		exportSignaledFacts(pass)
+		if !designated[pass.Pkg.Path()] {
+			return nil
+		}
+		gl := &goroLeak{pass: pass}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						gl.checkOwner(fn.Body)
+					}
+					return false
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// goroLeak checks the go statements of one package.
+type goroLeak struct {
+	pass *Pass
+}
+
+// checkOwner walks one top-level function body, collecting local
+// `name := func(){...}` bindings as it goes so `go name()` and bodies calling
+// name resolve, then judges every go statement found anywhere inside
+// (including inside nested literals, which share the local environment).
+func (gl *goroLeak) checkOwner(body *ast.BlockStmt) {
+	env := map[types.Object]*ast.FuncLit{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			lit, ok := rhs.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := gl.pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = gl.pass.TypesInfo.Uses[id]
+			}
+			if obj != nil {
+				env[obj] = lit
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			gl.checkGo(g, env)
+		}
+		return true
+	})
+}
+
+// checkGo judges one go statement's root function.
+func (gl *goroLeak) checkGo(g *ast.GoStmt, env map[types.Object]*ast.FuncLit) {
+	visited := map[ast.Node]bool{}
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if gl.compliant(fun.Body, env, visited) {
+			return
+		}
+	case *ast.Ident:
+		if obj := gl.pass.TypesInfo.Uses[fun]; obj != nil {
+			if lit, ok := env[obj]; ok {
+				if gl.compliant(lit.Body, env, visited) {
+					return
+				}
+				break
+			}
+		}
+		if gl.calleeCompliant(g.Call) {
+			return
+		}
+	default:
+		if gl.calleeCompliant(g.Call) {
+			return
+		}
+	}
+	gl.pass.Reportf(g.Pos(),
+		"goroutine is not tied to shutdown: its body neither selects on a done/quit channel nor joins a WaitGroup, so it outlives Close; thread a ctx/done channel or register with a WaitGroup")
+}
+
+// calleeCompliant resolves the go statement's static callee and checks its
+// fact; dynamic function values resolve to nil and are not judged.
+func (gl *goroLeak) calleeCompliant(call *ast.CallExpr) bool {
+	callee := staticCallee(gl.pass.TypesInfo, call)
+	if callee == nil {
+		return true // unjudgeable: a func value whose body is elsewhere
+	}
+	if complianceCalls[ObjKey(callee)] != "" {
+		return true
+	}
+	_, ok := gl.pass.ObjectFact(callee)
+	return ok
+}
+
+// compliant reports whether a body contains a signaling operation: a channel
+// receive, any select, a range over a channel, a compliance call, a call to a
+// fact-carrying function, or a call into a local function-literal binding
+// whose body is compliant. Nested go statements are excluded (a spawned
+// child being signaled does not tie this goroutine down); nested literals
+// that are deferred or invoked inline run on this goroutine and are
+// included.
+func (gl *goroLeak) compliant(body *ast.BlockStmt, env map[types.Object]*ast.FuncLit, visited map[ast.Node]bool) bool {
+	if visited[body] {
+		return false
+	}
+	visited[body] = true
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				ok = true
+			}
+		case *ast.SelectStmt:
+			ok = true
+		case *ast.RangeStmt:
+			if tv, found := gl.pass.TypesInfo.Types[x.X]; found && tv.Type != nil {
+				if _, isChan := types.Unalias(tv.Type.Underlying()).(*types.Chan); isChan {
+					ok = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, isIdent := ast.Unparen(x.Fun).(*ast.Ident); isIdent {
+				if obj := gl.pass.TypesInfo.Uses[id]; obj != nil {
+					if lit, bound := env[obj]; bound && gl.compliant(lit.Body, env, visited) {
+						ok = true
+						return false
+					}
+				}
+			}
+			callee := staticCallee(gl.pass.TypesInfo, x)
+			if callee == nil {
+				return true
+			}
+			if complianceCalls[ObjKey(callee)] != "" {
+				ok = true
+				return false
+			}
+			if _, carries := gl.pass.ObjectFact(callee); carries {
+				ok = true
+				return false
+			}
+		}
+		return !ok
+	})
+	return ok
+}
+
+// exportSignaledFacts marks, to a fixpoint, every declared function whose
+// body contains a signaling operation or statically calls a marked function.
+func exportSignaledFacts(pass *Pass) {
+	type fnInfo struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var fns []fnInfo
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fns = append(fns, fnInfo{fn: fn, body: fd.Body})
+		}
+	}
+	gl := &goroLeak{pass: pass}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			if _, done := pass.ObjectFact(fi.fn); done {
+				continue
+			}
+			if op, sig := gl.signalOp(fi.body); sig {
+				pass.ExportObjectFact(fi.fn, SignaledFact{Op: op})
+				changed = true
+			}
+		}
+	}
+}
+
+// signalOp is compliant() for fact export: it additionally names the
+// operation found, and uses an empty local environment (declared functions
+// resolve through facts, not literal bindings).
+func (gl *goroLeak) signalOp(body *ast.BlockStmt) (string, bool) {
+	op := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if op != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				op = "channel receive"
+			}
+		case *ast.SelectStmt:
+			op = "select"
+		case *ast.RangeStmt:
+			if tv, found := gl.pass.TypesInfo.Types[x.X]; found && tv.Type != nil {
+				if _, isChan := types.Unalias(tv.Type.Underlying()).(*types.Chan); isChan {
+					op = "range over channel"
+				}
+			}
+		case *ast.CallExpr:
+			callee := staticCallee(gl.pass.TypesInfo, x)
+			if callee == nil {
+				return true
+			}
+			key := ObjKey(callee)
+			if w, known := complianceCalls[key]; known {
+				op = w
+				return false
+			}
+			if fact, carries := gl.pass.ObjectFact(callee); carries {
+				op = fact.(SignaledFact).Op + " (via " + key + ")"
+				return false
+			}
+		}
+		return op == ""
+	})
+	return op, op != ""
+}

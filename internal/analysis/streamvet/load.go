@@ -34,6 +34,7 @@ type listedPackage struct {
 	GoFiles    []string
 	Export     string
 	DepOnly    bool
+	Imports    []string
 }
 
 // goList runs `go list -export -deps -json` for the given patterns in dir and
@@ -42,7 +43,7 @@ type listedPackage struct {
 // imports without golang.org/x/tools (unavailable offline).
 func goList(dir string, patterns []string) ([]listedPackage, error) {
 	args := []string{"list", "-e", "-export", "-deps",
-		"-json=ImportPath,Dir,GoFiles,Export,DepOnly"}
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Imports"}
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -108,7 +109,10 @@ func typeCheck(fset *token.FileSet, imp types.Importer, p listedPackage) (*Packa
 // Load loads and type-checks the packages matching the go package patterns
 // (e.g. "./..."), resolving them relative to dir ("" = current directory).
 // Only the matched packages are returned; their dependencies are consumed as
-// export data.
+// export data. Packages are returned in dependency order (every package
+// after all of its imports) so analyzer facts exported while checking a
+// package are visible to passes over its dependents; ties break on import
+// path, keeping the order deterministic.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -127,7 +131,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			targets = append(targets, p)
 		}
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	targets = topoSort(targets)
 	fset := token.NewFileSet()
 	imp := newExportImporter(fset, exports)
 	var out []*Package
@@ -139,6 +143,64 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		out = append(out, pkg)
 	}
 	return out, nil
+}
+
+// topoSort orders targets so that every package appears after all of its
+// imports that are themselves targets (Kahn's algorithm). The ready set is
+// kept sorted by import path, so the order is deterministic. Import cycles
+// cannot occur in valid Go; if the input is somehow cyclic, the remainder is
+// appended in path order rather than dropped.
+func topoSort(targets []listedPackage) []listedPackage {
+	byPath := make(map[string]*listedPackage, len(targets))
+	indeg := make(map[string]int, len(targets))
+	dependents := make(map[string][]string)
+	for i := range targets {
+		byPath[targets[i].ImportPath] = &targets[i]
+		indeg[targets[i].ImportPath] = 0
+	}
+	for _, t := range targets {
+		for _, imp := range t.Imports {
+			if _, ok := byPath[imp]; ok {
+				indeg[t.ImportPath]++
+				dependents[imp] = append(dependents[imp], t.ImportPath)
+			}
+		}
+	}
+	var ready []string
+	for path, d := range indeg {
+		if d == 0 {
+			ready = append(ready, path)
+		}
+	}
+	sort.Strings(ready)
+	out := make([]listedPackage, 0, len(targets))
+	for len(ready) > 0 {
+		path := ready[0]
+		ready = ready[1:]
+		out = append(out, *byPath[path])
+		delete(indeg, path)
+		var unlocked []string
+		for _, dep := range dependents[path] {
+			if indeg[dep]--; indeg[dep] == 0 {
+				unlocked = append(unlocked, dep)
+			}
+		}
+		if len(unlocked) > 0 {
+			ready = append(ready, unlocked...)
+			sort.Strings(ready)
+		}
+	}
+	if len(indeg) > 0 { // cyclic remainder: keep deterministic, don't drop
+		var rest []string
+		for path := range indeg {
+			rest = append(rest, path)
+		}
+		sort.Strings(rest)
+		for _, path := range rest {
+			out = append(out, *byPath[path])
+		}
+	}
+	return out
 }
 
 // LoadDir loads a single directory of Go files as one package — the shape of

@@ -1,9 +1,7 @@
 package streamvet
 
 import (
-	"go/ast"
 	"go/token"
-	"go/types"
 )
 
 // NewLockCross builds the lockcross analyzer. pkgs are the import paths of
@@ -14,10 +12,9 @@ import (
 // send, channel receive, select, or sync.Cond.Wait within one function.
 // Under backpressure a channel operation can block indefinitely; if the
 // blocked goroutine holds a lock that the goroutine draining the channel
-// needs, the job wedges. The check is intra-procedural and flow-approximate:
-// it tracks Lock/Unlock pairs through straight-line code and branches, treats
-// a deferred Unlock as holding until function exit, and analyzes closure
-// bodies as separate functions.
+// needs, the job wedges. The check is intra-procedural and flow-approximate
+// (see lockWalker); its inter-procedural counterpart — a call to a function
+// that may block, made while holding a lock — is chanblock.
 func NewLockCross(pkgs ...string) *Analyzer {
 	designated := make(map[string]bool, len(pkgs))
 	for _, p := range pkgs {
@@ -31,316 +28,18 @@ func NewLockCross(pkgs ...string) *Analyzer {
 		if !designated[pass.Pkg.Path()] {
 			return nil
 		}
-		lc := &lockCross{pass: pass}
+		lc := &lockWalker{pass: pass}
+		lc.onOp = func(pos token.Pos, op string, held lockState) {
+			for lock, at := range held {
+				pass.Reportf(pos,
+					"%s while holding %s (locked at %s); a mutex held across a blocking channel operation can deadlock under backpressure",
+					op, lock, pass.Fset.Position(at))
+			}
+		}
 		for _, file := range pass.Files {
-			// Each function — declaration or literal, however nested — is
-			// analyzed as its own unit with its own lock state; the statement
-			// walker never descends into nested literals.
-			ast.Inspect(file, func(n ast.Node) bool {
-				switch fn := n.(type) {
-				case *ast.FuncDecl:
-					if fn.Body != nil {
-						lc.checkFunc(fn.Body)
-					}
-				case *ast.FuncLit:
-					lc.checkFunc(fn.Body)
-				}
-				return true
-			})
+			lc.walkFile(file)
 		}
 		return nil
 	}
 	return a
-}
-
-type lockCross struct {
-	pass *Pass
-}
-
-// lockState maps the printed receiver expression of a Lock call to the
-// position where the lock was taken.
-type lockState map[string]token.Pos
-
-func (s lockState) clone() lockState {
-	c := make(lockState, len(s))
-	for k, v := range s {
-		c[k] = v
-	}
-	return c
-}
-
-// checkFunc walks one function body in source order, tracking held locks.
-// Nested function literals are analyzed independently (their bodies run
-// later, under their own lock state).
-func (lc *lockCross) checkFunc(body *ast.BlockStmt) {
-	held := make(lockState)
-	lc.walkStmts(body.List, held)
-	// Nested FuncLits are visited by the enclosing ast.Inspect in Run via the
-	// FuncLit case, so nothing more to do here.
-}
-
-// walkStmts processes a statement list, mutating held in place, and returns
-// whether the list definitely terminates (ends in return, or an
-// unconditional branch out).
-func (lc *lockCross) walkStmts(list []ast.Stmt, held lockState) bool {
-	for _, s := range list {
-		if lc.walkStmt(s, held) {
-			return true
-		}
-	}
-	return false
-}
-
-// walkStmt processes one statement; returns true if the statement definitely
-// terminates the enclosing list.
-func (lc *lockCross) walkStmt(s ast.Stmt, held lockState) bool {
-	switch st := s.(type) {
-	case *ast.ExprStmt:
-		lc.checkExpr(st.X, held)
-		lc.applyLockCall(st.X, held, false)
-	case *ast.DeferStmt:
-		// defer mu.Unlock() keeps the lock held for the rest of the
-		// function; any other deferred call runs at exit and is ignored.
-		lc.applyLockCall(st.Call, held, true)
-	case *ast.SendStmt:
-		lc.reportIfHeld(st.Arrow, "channel send", held)
-		lc.checkExpr(st.Value, held)
-	case *ast.SelectStmt:
-		lc.reportIfHeld(st.Select, "select", held)
-		// Comm clause bodies run with the same lock state.
-		for _, c := range st.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				branch := held.clone()
-				lc.walkStmts(cc.Body, branch)
-			}
-		}
-	case *ast.AssignStmt:
-		for _, r := range st.Rhs {
-			lc.checkExpr(r, held)
-		}
-		for _, l := range st.Lhs {
-			lc.checkExpr(l, held)
-		}
-	case *ast.DeclStmt:
-		if gd, ok := st.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, v := range vs.Values {
-						lc.checkExpr(v, held)
-					}
-				}
-			}
-		}
-	case *ast.ReturnStmt:
-		for _, r := range st.Results {
-			lc.checkExpr(r, held)
-		}
-		return true
-	case *ast.BranchStmt:
-		// break/continue/goto end this list from the walker's perspective.
-		return true
-	case *ast.IfStmt:
-		if st.Init != nil {
-			lc.walkStmt(st.Init, held)
-		}
-		lc.checkExpr(st.Cond, held)
-		thenState := held.clone()
-		thenTerm := lc.walkStmts(st.Body.List, thenState)
-		var elseState lockState
-		elseTerm := false
-		if st.Else != nil {
-			elseState = held.clone()
-			elseTerm = lc.walkStmt(st.Else, elseState)
-		}
-		// Merge: the state after the if is the state of whichever branches
-		// fall through. A branch that terminates (unlock-and-return) does not
-		// constrain the code after the if.
-		switch {
-		case thenTerm && st.Else == nil:
-			// held unchanged: only the fall-through (no else) path continues.
-		case thenTerm && elseTerm:
-			return true
-		case thenTerm:
-			replace(held, elseState)
-		case st.Else == nil:
-			merge(held, thenState)
-		case elseTerm:
-			replace(held, thenState)
-		default:
-			replace(held, thenState)
-			merge(held, elseState)
-		}
-	case *ast.BlockStmt:
-		return lc.walkStmts(st.List, held)
-	case *ast.ForStmt:
-		if st.Init != nil {
-			lc.walkStmt(st.Init, held)
-		}
-		if st.Cond != nil {
-			lc.checkExpr(st.Cond, held)
-		}
-		bodyState := held.clone()
-		lc.walkStmts(st.Body.List, bodyState)
-		if st.Post != nil {
-			lc.walkStmt(st.Post, bodyState)
-		}
-		merge(held, bodyState)
-	case *ast.RangeStmt:
-		// Ranging over a channel receives from it.
-		if tv, ok := lc.pass.TypesInfo.Types[st.X]; ok && tv.Type != nil {
-			if _, isChan := types.Unalias(tv.Type.Underlying()).(*types.Chan); isChan {
-				lc.reportIfHeld(st.For, "range over channel", held)
-			}
-		}
-		lc.checkExpr(st.X, held)
-		bodyState := held.clone()
-		lc.walkStmts(st.Body.List, bodyState)
-		merge(held, bodyState)
-	case *ast.SwitchStmt:
-		if st.Init != nil {
-			lc.walkStmt(st.Init, held)
-		}
-		if st.Tag != nil {
-			lc.checkExpr(st.Tag, held)
-		}
-		for _, c := range st.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				branch := held.clone()
-				lc.walkStmts(cc.Body, branch)
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		for _, c := range st.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				branch := held.clone()
-				lc.walkStmts(cc.Body, branch)
-			}
-		}
-	case *ast.GoStmt:
-		// The goroutine body runs under its own lock state; the FuncLit case
-		// in Run analyzes it separately.
-	case *ast.LabeledStmt:
-		return lc.walkStmt(st.Stmt, held)
-	}
-	return false
-}
-
-// merge unions src into dst (a lock held on either path is considered held).
-func merge(dst, src lockState) {
-	for k, v := range src {
-		if _, ok := dst[k]; !ok {
-			dst[k] = v
-		}
-	}
-}
-
-// replace overwrites dst with src.
-func replace(dst, src lockState) {
-	for k := range dst {
-		delete(dst, k)
-	}
-	for k, v := range src {
-		dst[k] = v
-	}
-}
-
-// checkExpr scans an expression for channel receives (<-ch) and
-// sync.Cond.Wait calls performed while a lock is held. Function literals are
-// skipped: their bodies run later.
-func (lc *lockCross) checkExpr(e ast.Expr, held lockState) {
-	if e == nil || len(held) == 0 {
-		return
-	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.FuncLit:
-			return false
-		case *ast.UnaryExpr:
-			if x.Op == token.ARROW {
-				lc.reportIfHeld(x.OpPos, "channel receive", held)
-			}
-		case *ast.CallExpr:
-			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
-				if lc.isSyncType(sel.X, "sync.Cond") {
-					lc.reportIfHeld(x.Pos(), "sync.Cond.Wait", held)
-				}
-			}
-		}
-		return true
-	})
-}
-
-// applyLockCall updates held if expr is a Lock/RLock/Unlock/RUnlock call on a
-// sync.Mutex or sync.RWMutex. deferred Unlocks leave the lock held (it
-// releases only at function exit).
-func (lc *lockCross) applyLockCall(e ast.Expr, held lockState, deferred bool) {
-	call, ok := e.(*ast.CallExpr)
-	if !ok {
-		return
-	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return
-	}
-	name := sel.Sel.Name
-	if name != "Lock" && name != "RLock" && name != "Unlock" && name != "RUnlock" {
-		return
-	}
-	if !lc.isSyncType(sel.X, "sync.Mutex") && !lc.isSyncType(sel.X, "sync.RWMutex") {
-		return
-	}
-	key := exprKey(sel.X)
-	switch name {
-	case "Lock", "RLock":
-		held[key] = call.Pos()
-	case "Unlock", "RUnlock":
-		if !deferred {
-			delete(held, key)
-		}
-	}
-}
-
-// isSyncType reports whether the expression's (possibly pointer) type is the
-// given sync type.
-func (lc *lockCross) isSyncType(e ast.Expr, want string) bool {
-	tv, ok := lc.pass.TypesInfo.Types[e]
-	if !ok || tv.Type == nil {
-		return false
-	}
-	t := types.Unalias(tv.Type)
-	if ptr, ok := t.(*types.Pointer); ok {
-		t = types.Unalias(ptr.Elem())
-	}
-	return qualifiedTypeName(t) == want
-}
-
-// reportIfHeld emits one diagnostic per held lock for a blocking operation.
-func (lc *lockCross) reportIfHeld(pos token.Pos, op string, held lockState) {
-	for lock, at := range held {
-		lc.pass.Reportf(pos,
-			"%s while holding %s (locked at %s); a mutex held across a blocking channel operation can deadlock under backpressure",
-			op, lock, lc.pass.Fset.Position(at))
-	}
-}
-
-// exprKey renders the lock receiver expression as a comparable key
-// (approximate: distinct expressions printing alike are treated as the same
-// lock, which errs on the side of reporting).
-func exprKey(e ast.Expr) string {
-	switch x := e.(type) {
-	case *ast.Ident:
-		return x.Name
-	case *ast.SelectorExpr:
-		return exprKey(x.X) + "." + x.Sel.Name
-	case *ast.ParenExpr:
-		return exprKey(x.X)
-	case *ast.StarExpr:
-		return "*" + exprKey(x.X)
-	case *ast.IndexExpr:
-		return exprKey(x.X) + "[...]"
-	case *ast.CallExpr:
-		return exprKey(x.Fun) + "(...)"
-	default:
-		return "lock"
-	}
 }

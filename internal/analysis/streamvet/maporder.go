@@ -1,0 +1,343 @@
+package streamvet
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// SerializesFact marks a function whose call is an order-sensitive sink:
+// calling it with data derived from map iteration bakes Go's randomized map
+// order into bytes that must be deterministic — a checkpoint payload, an
+// emitted record stream, a snapshot manifest. The fact propagates through
+// wrappers across packages: a state helper that gob-encodes its argument
+// makes its own callers order-sensitive too.
+type SerializesFact struct {
+	Via string // ObjKey of the seed or carrier the sensitivity flows from
+}
+
+func (SerializesFact) AFact() {}
+
+func (f SerializesFact) String() string { return "order-sensitive sink (via " + f.Via + ")" }
+
+// mapOrderSeeds are the stdlib order-sensitive encoders; the engine sinks
+// (Emit, Collect, SnapshotStore.Save) are configured by the Suite.
+var mapOrderSeeds = []string{
+	"encoding/gob.(*Encoder).Encode",
+	"encoding/json.(*Encoder).Encode",
+	"encoding/binary.Write",
+}
+
+// NewMapOrder builds the maporder analyzer. designated are the packages whose
+// serialized bytes feed determinism contracts (checkpoints compared across
+// recoveries, output-equality tests); sinks are extra ObjKeys treated as
+// order-sensitive besides the stdlib encoders.
+//
+// Two shapes are reported, per function body:
+//
+//   - a call to a sink inside `for k := range m` over a map: records leave in
+//     map order, which differs run to run;
+//   - values collected from a map range (appends/assignments tainted by the
+//     loop variables) reaching a sink call later in the same function without
+//     passing through a sort.* or slices.* call first. The collect-sort-use
+//     idiom — append keys, sort.Strings, iterate sorted — is the fix and is
+//     recognized as clean.
+func NewMapOrder(designated []string, sinks ...string) *Analyzer {
+	pkgs := make(map[string]bool, len(designated))
+	for _, p := range designated {
+		pkgs[p] = true
+	}
+	sinkSet := make(map[string]bool, len(mapOrderSeeds)+len(sinks))
+	for _, s := range mapOrderSeeds {
+		sinkSet[s] = true
+	}
+	for _, s := range sinks {
+		sinkSet[s] = true
+	}
+	a := &Analyzer{
+		Name: "maporder",
+		Doc:  "reports map iteration whose values reach snapshot serialization or record emission without an intervening sort — nondeterministic bytes on the determinism path",
+	}
+	a.Run = func(pass *Pass) error {
+		exportSerializesFacts(pass, sinkSet)
+		if !pkgs[pass.Pkg.Path()] {
+			return nil
+		}
+		mo := &mapOrder{pass: pass, sinks: sinkSet}
+		for _, body := range functionBodies(pass.Files) {
+			mo.checkBody(body)
+		}
+		return nil
+	}
+	return a
+}
+
+// exportSerializesFacts marks, to a fixpoint, every declared function whose
+// body calls a sink or an already marked function — wrappers inherit
+// order-sensitivity.
+func exportSerializesFacts(pass *Pass, sinks map[string]bool) {
+	type fnInfo struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var fns []fnInfo
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fns = append(fns, fnInfo{fn: fn, body: fd.Body})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			if _, done := pass.ObjectFact(fi.fn); done {
+				continue
+			}
+			via := ""
+			ast.Inspect(fi.body, func(n ast.Node) bool {
+				if via != "" {
+					return false
+				}
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if key, ok := sinkCallee(pass, sinks, call); ok {
+						via = key
+						return false
+					}
+				}
+				return true
+			})
+			if via != "" {
+				pass.ExportObjectFact(fi.fn, SerializesFact{Via: via})
+				changed = true
+			}
+		}
+	}
+}
+
+// sinkCallee resolves a call's static callee and reports whether it is an
+// order-sensitive sink (configured or fact-carrying), returning its ObjKey.
+func sinkCallee(pass *Pass, sinks map[string]bool, call *ast.CallExpr) (string, bool) {
+	callee := staticCallee(pass.TypesInfo, call)
+	if callee == nil {
+		return "", false
+	}
+	key := ObjKey(callee)
+	if sinks[key] {
+		return key, true
+	}
+	if _, ok := pass.ObjectFact(callee); ok {
+		return key, true
+	}
+	return "", false
+}
+
+type mapOrder struct {
+	pass  *Pass
+	sinks map[string]bool
+}
+
+// checkBody finds each map range in one function body (nested literals are
+// separate bodies) and checks both violation shapes.
+func (mo *mapOrder) checkBody(body *ast.BlockStmt) {
+	var ranges []*ast.RangeStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if r, ok := n.(*ast.RangeStmt); ok && mo.isMapRange(r) {
+			ranges = append(ranges, r)
+		}
+		return true
+	})
+	for _, r := range ranges {
+		mo.checkDirectSinks(r)
+		mo.checkTaintFlow(r, body)
+	}
+}
+
+func (mo *mapOrder) isMapRange(r *ast.RangeStmt) bool {
+	tv, ok := mo.pass.TypesInfo.Types[r.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := types.Unalias(tv.Type.Underlying()).(*types.Map)
+	return isMap
+}
+
+// checkDirectSinks reports sink calls made inside the map-range body itself:
+// per-iteration emission in map order.
+func (mo *mapOrder) checkDirectSinks(r *ast.RangeStmt) {
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, ok := sinkCallee(mo.pass, mo.sinks, call); ok {
+			mo.pass.Reportf(call.Pos(),
+				"%s called inside iteration over a map (range at %s); map order is nondeterministic — collect into a slice, sort, then emit",
+				key, mo.pass.Fset.Position(r.Pos()))
+		}
+		return true
+	})
+}
+
+// checkTaintFlow tracks values collected from the map range (variables
+// assigned from the loop key/value, transitively within the loop body) to
+// sink calls later in the enclosing function. A sort.* or slices.* call whose
+// arguments mention a tainted variable cleanses it.
+func (mo *mapOrder) checkTaintFlow(r *ast.RangeStmt, body *ast.BlockStmt) {
+	tainted := mo.taintedByLoop(r)
+	if len(tainted) == 0 {
+		return
+	}
+	// Walk the function after the loop in source order: cleanses first-come,
+	// then sinks on whatever taint remains.
+	type event struct {
+		pos     int
+		cleanse bool
+		call    *ast.CallExpr
+		key     string
+		objs    []types.Object
+	}
+	var events []event
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= r.End() {
+			return true
+		}
+		var touched []types.Object
+		for _, arg := range call.Args {
+			for obj := range tainted {
+				if referencesObject(mo.pass, arg, obj) {
+					touched = append(touched, obj)
+				}
+			}
+		}
+		if len(touched) == 0 {
+			return true
+		}
+		if mo.isSortCall(call) {
+			events = append(events, event{pos: int(call.Pos()), cleanse: true, objs: touched})
+			return true
+		}
+		if key, ok := sinkCallee(mo.pass, mo.sinks, call); ok {
+			events = append(events, event{pos: int(call.Pos()), call: call, key: key, objs: touched})
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	for _, ev := range events {
+		if ev.cleanse {
+			for _, obj := range ev.objs {
+				delete(tainted, obj)
+			}
+			continue
+		}
+		for _, obj := range ev.objs {
+			if !tainted[obj] {
+				continue
+			}
+			mo.pass.Reportf(ev.call.Pos(),
+				"%s receives %s, collected from map iteration at %s, without an intervening sort; the serialized bytes differ run to run",
+				ev.key, obj.Name(), mo.pass.Fset.Position(r.Pos()))
+			break // one report per sink call
+		}
+	}
+}
+
+// taintedByLoop returns the variables outside the loop that the loop body
+// fills from the iteration variables (append targets and direct assignment
+// targets), found by a small fixpoint so chained local copies inside the body
+// propagate.
+func (mo *mapOrder) taintedByLoop(r *ast.RangeStmt) map[types.Object]bool {
+	seeds := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{r.Key, r.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := mo.pass.TypesInfo.Defs[id]; obj != nil {
+				seeds[obj] = true
+			}
+		}
+	}
+	if len(seeds) == 0 {
+		// `for range m` yields no values to leak.
+		return nil
+	}
+	all := make(map[types.Object]bool, len(seeds))
+	for o := range seeds {
+		all[o] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(r.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			rhsTainted := false
+			for _, rhs := range as.Rhs {
+				for obj := range all {
+					if referencesObject(mo.pass, rhs, obj) {
+						rhsTainted = true
+					}
+				}
+			}
+			if !rhsTainted {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					obj := mo.pass.TypesInfo.Defs[id]
+					if obj == nil {
+						obj = mo.pass.TypesInfo.Uses[id]
+					}
+					if obj != nil && !all[obj] {
+						all[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Only variables that outlive the loop matter downstream.
+	out := make(map[types.Object]bool)
+	for obj := range all {
+		if seeds[obj] {
+			continue
+		}
+		if obj.Pos() < r.Pos() || obj.Pos() > r.End() {
+			out[obj] = true
+		}
+	}
+	return out
+}
+
+// isSortCall reports whether the call is into package sort or slices — the
+// recognized cleanse for map-derived collections.
+func (mo *mapOrder) isSortCall(call *ast.CallExpr) bool {
+	callee := staticCallee(mo.pass.TypesInfo, call)
+	if callee == nil || callee.Pkg() == nil {
+		return false
+	}
+	p := callee.Pkg().Path()
+	return p == "sort" || p == "slices"
+}

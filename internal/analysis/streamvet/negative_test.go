@@ -36,6 +36,26 @@ func TestSeededViolations(t *testing.T) {
 			analyzer: NewLockCross("seedlockcross"),
 			contains: "channel send while holding b.mu",
 		},
+		{
+			dir:      "maporder",
+			analyzer: NewMapOrder([]string{"seedmaporder"}),
+			contains: "collected from map iteration",
+		},
+		{
+			dir:      "errdrop",
+			analyzer: NewErrDrop([]string{"seederrdrop"}),
+			contains: "discarded error from os.(*File).Sync",
+		},
+		{
+			dir:      "chanblock",
+			analyzer: NewChanBlock("seedchanblock"),
+			contains: "call to seedchanblock.(*box).recv while holding b.mu",
+		},
+		{
+			dir:      "goroleak",
+			analyzer: NewGoroLeak("seedgoroleak"),
+			contains: "goroutine is not tied to shutdown",
+		},
 	}
 	root, err := ModuleRoot()
 	if err != nil {

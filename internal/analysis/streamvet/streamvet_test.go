@@ -39,22 +39,50 @@ func TestLockCrossGolden(t *testing.T) {
 	golden(t, "lockcross", NewLockCross("lockcross"))
 }
 
+func TestMapOrderGolden(t *testing.T) {
+	golden(t, "maporder", NewMapOrder([]string{"maporder"}, "maporder.(Emitter).Emit"))
+}
+
+func TestErrDropGolden(t *testing.T) {
+	golden(t, "errdrop", NewErrDrop([]string{"errdrop"}, "errdrop.(Store).Save"))
+}
+
+func TestChanBlockGolden(t *testing.T) {
+	golden(t, "chanblock", NewChanBlock("chanblock"))
+}
+
+func TestGoroLeakGolden(t *testing.T) {
+	golden(t, "goroleak", NewGoroLeak("goroleak"))
+}
+
 // TestAllowAnnotationScope pins the annotation contract: a trailing
 // annotation covers its line, a standalone annotation covers the next line,
 // and an annotation for one analyzer does not silence another.
 func TestAllowAnnotationScope(t *testing.T) {
-	allows := map[string]map[int]map[string]bool{
+	e := &allowEntry{analyzer: "wallclock"}
+	allows := map[string]map[int]map[string]*allowEntry{
 		"f.go": {
-			10: {"wallclock": true},
-			11: {"wallclock": true},
+			10: {"wallclock": e},
+			11: {"wallclock": e},
 		},
 	}
 	pass := &Pass{Analyzer: &Analyzer{Name: "wallclock"}, allow: allows}
-	for line, want := range map[int]bool{9: false, 10: true, 11: true, 12: false} {
-		got := pass.allowedAt(token.Position{Filename: "f.go", Line: line})
-		if got != want {
-			t.Errorf("line %d: allowed = %v, want %v", line, got, want)
+	if pass.allowedAt(token.Position{Filename: "f.go", Line: 9}) {
+		t.Error("line 9 must not be covered")
+	}
+	if e.used {
+		t.Error("a miss must not mark the annotation used")
+	}
+	for _, line := range []int{10, 11} {
+		if !pass.allowedAt(token.Position{Filename: "f.go", Line: line}) {
+			t.Errorf("line %d must be covered", line)
 		}
+	}
+	if !e.used {
+		t.Error("suppressing must mark the annotation used")
+	}
+	if pass.allowedAt(token.Position{Filename: "f.go", Line: 12}) {
+		t.Error("line 12 must not be covered")
 	}
 	other := &Pass{Analyzer: &Analyzer{Name: "lockcross"}, allow: allows}
 	if other.allowedAt(token.Position{Filename: "f.go", Line: 10}) {
@@ -62,10 +90,13 @@ func TestAllowAnnotationScope(t *testing.T) {
 	}
 }
 
-// TestSuiteComposition pins the suite: four analyzers under their contract
+// TestSuiteComposition pins the suite: eight analyzers under their contract
 // names, so a config regression (dropping one, renaming one) fails here.
 func TestSuiteComposition(t *testing.T) {
-	want := []string{"poolretain", "msgexhaustive", "wallclock", "lockcross"}
+	want := []string{
+		"poolretain", "msgexhaustive", "wallclock", "lockcross",
+		"maporder", "errdrop", "chanblock", "goroleak",
+	}
 	suite := Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("Suite has %d analyzers, want %d", len(suite), len(want))

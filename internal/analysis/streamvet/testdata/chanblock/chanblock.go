@@ -1,0 +1,76 @@
+// Package chanblock is golden testdata for the chanblock analyzer, with this
+// package designated. chanblock is the inter-procedural lockcross: a call
+// made under a mutex to a function that may block on a channel — directly or
+// through wrappers, resolved via facts — is the deadlock shape backpressure
+// makes reachable.
+package chanblock
+
+import "sync"
+
+type pool struct {
+	mu    sync.Mutex
+	ready chan int
+	n     int
+}
+
+// drain blocks on a receive: it carries the may-block fact.
+func (p *pool) drain() int {
+	return <-p.ready
+}
+
+// refill wraps drain: the fact propagates through the wrapper.
+func (p *pool) refill() {
+	p.n = p.drain()
+}
+
+func (p *pool) takeDirect() {
+	p.mu.Lock()
+	p.n = p.drain() // want `call to chanblock\.\(\*pool\)\.drain while holding p\.mu`
+	p.mu.Unlock()
+}
+
+func (p *pool) takeViaWrapper() {
+	p.mu.Lock()
+	p.refill() // want `call to chanblock\.\(\*pool\)\.refill while holding p\.mu`
+	p.mu.Unlock()
+}
+
+// unlockedCall is clean: no lock held at the call.
+func (p *pool) unlockedCall() {
+	p.n = p.drain()
+}
+
+// nonBlockingUnderLock is clean: bump never touches a channel.
+func (p *pool) nonBlockingUnderLock() {
+	p.mu.Lock()
+	p.bump()
+	p.mu.Unlock()
+}
+
+func (p *pool) bump() { p.n++ }
+
+// waitAll parks on a WaitGroup — channel-equivalent blocking.
+func waitAll(wg *sync.WaitGroup) { wg.Wait() }
+
+func (p *pool) joinUnderLock(wg *sync.WaitGroup) {
+	p.mu.Lock()
+	waitAll(wg) // want `call to chanblock\.waitAll while holding p\.mu`
+	p.mu.Unlock()
+}
+
+// tryTake is clean: the select has a default, so drainNonBlocking never
+// blocks and carries no fact.
+func (p *pool) tryTake() {
+	p.mu.Lock()
+	p.n = p.drainNonBlocking()
+	p.mu.Unlock()
+}
+
+func (p *pool) drainNonBlocking() int {
+	select {
+	case v := <-p.ready:
+		return v
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,120 @@
+// Package errdrop is golden testdata for the errdrop analyzer, with this
+// package designated and errdrop.(Store).Save configured as a durability
+// seed alongside the built-in os.(*File).Sync and Close. A dropped
+// durability error silently voids the exactly-once contract.
+package errdrop
+
+import "os"
+
+type Store interface {
+	Save(name string, data []byte) error
+}
+
+func discardStatement(f *os.File) {
+	f.Sync() // want `discarded error from os\.\(\*File\)\.Sync`
+}
+
+func discardInGoStmt(s Store) {
+	go s.Save("a", nil) // want `discarded error from errdrop\.\(Store\)\.Save, a durability operation, in a go statement`
+}
+
+// explicitBlank is the sanctioned deliberate discard. Clean.
+func explicitBlank(f *os.File) {
+	_ = f.Sync()
+}
+
+// deferredClose is the sanctioned read-path cleanup idiom. Clean.
+func deferredClose(f *os.File) byte {
+	defer f.Close()
+	var b [1]byte
+	f.Read(b[:])
+	return b[0]
+}
+
+// flush wraps Sync: it returns an error and calls a seed, so it carries the
+// durability fact and dropping its error is dropping the fsync error.
+func flush(f *os.File) error {
+	return f.Sync()
+}
+
+func discardWrapped(f *os.File) {
+	flush(f) // want `discarded error from errdrop\.flush`
+}
+
+// writeAll carries the fact through a multi-result signature.
+func writeAll(f *os.File, data []byte) (int, error) {
+	n, err := f.Write(data)
+	if err != nil {
+		return n, err
+	}
+	return n, f.Sync()
+}
+
+func blankInTuple(f *os.File) int {
+	n, _ := writeAll(f, nil) // want `durability error from errdrop\.writeAll discarded via blank identifier`
+	return n
+}
+
+func overwritten(f *os.File, ok bool) error {
+	err := flush(f) // want `assigned to err but overwritten at`
+	err = validate(ok)
+	return err
+}
+
+func lastWriteDropped(f *os.File, ok bool) error {
+	var err error
+	err = validate(ok)
+	if err != nil {
+		return err
+	}
+	err = flush(f) // want `assigned to err and never checked`
+	return nil
+}
+
+// checkedLater is clean: the read happens in an outer scope after the branch
+// that assigned.
+func checkedLater(f *os.File, ok bool) error {
+	var err error
+	if ok {
+		err = flush(f)
+	}
+	return err
+}
+
+// checkedInCond is clean: the if condition reads the error.
+func checkedInCond(f *os.File) {
+	if err := flush(f); err != nil {
+		panic(err)
+	}
+}
+
+// retryLoop is clean: the error is read after the loop.
+func retryLoop(f *os.File, n int) error {
+	var err error
+	for i := 0; i < n; i++ {
+		if i > 0 && err == nil {
+			return nil
+		}
+		err = flush(f)
+	}
+	return err
+}
+
+// retryUntilNil is clean: the only read sits at the top of the loop, before
+// the assignment positionally, but it executes on the next iteration.
+func retryUntilNil(f *os.File, n int) {
+	var err error
+	for i := 0; i < n; i++ {
+		if err != nil {
+			return
+		}
+		err = flush(f)
+	}
+}
+
+func validate(ok bool) error {
+	if !ok {
+		return os.ErrInvalid
+	}
+	return nil
+}

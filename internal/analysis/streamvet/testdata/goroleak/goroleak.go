@@ -1,0 +1,102 @@
+// Package goroleak is golden testdata for the goroleak analyzer, with this
+// package designated. Every goroutine in a lifecycle-owning package must be
+// tied to shutdown: select on a done/quit channel, join or signal a
+// WaitGroup — directly, through a statically-called function (facts), or
+// through a local function-literal binding.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+type worker struct {
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+func poll() {}
+
+func (w *worker) startLeakyLit() {
+	go func() { // want `goroutine is not tied to shutdown`
+		for {
+			poll()
+		}
+	}()
+}
+
+// startSelect is clean: the body selects on ctx.Done.
+func (w *worker) startSelect(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				poll()
+			}
+		}
+	}()
+}
+
+// startJoined is clean: the body signals a WaitGroup the owner joins.
+func (w *worker) startJoined() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		poll()
+	}()
+}
+
+// run receives from quit, so it carries the signaled fact.
+func (w *worker) run() {
+	<-w.quit
+}
+
+// startMethod is clean: the static callee carries the fact.
+func (w *worker) startMethod() {
+	go w.run()
+}
+
+// startLocalLit is clean: loop is a local binding whose body selects on quit.
+func (w *worker) startLocalLit() {
+	loop := func() {
+		for {
+			select {
+			case <-w.quit:
+				return
+			default:
+				poll()
+			}
+		}
+	}
+	go loop()
+}
+
+func (w *worker) spin() {
+	for {
+		poll()
+	}
+}
+
+func (w *worker) startLeakyMethod() {
+	go w.spin() // want `goroutine is not tied to shutdown`
+}
+
+// startDynamic is not judged: the analyzer cannot see a function value's
+// body, and guessing would flood callers with false positives.
+func startDynamic(f func()) {
+	go f()
+}
+
+// startNested is clean for the outer goroutine (it joins the WaitGroup); the
+// inner one it spawns has its own select.
+func (w *worker) startNested() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		go func() {
+			<-w.quit
+		}()
+	}()
+}

@@ -1,0 +1,84 @@
+// Package maporder is golden testdata for the maporder analyzer, with this
+// package designated and maporder.(Emitter).Emit configured as an
+// order-sensitive sink alongside the built-in encoders. Map iteration whose
+// values reach a sink without a sort bakes nondeterministic order into bytes
+// that must be stable.
+package maporder
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sort"
+)
+
+type Emitter interface{ Emit(v any) }
+
+func emitPerKey(e Emitter, m map[string]int) {
+	for k := range m {
+		e.Emit(k) // want `maporder\.\(Emitter\)\.Emit called inside iteration over a map`
+	}
+}
+
+func encodeCollected(m map[string]int) ([]byte, error) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(keys); err != nil { // want `receives keys, collected from map iteration`
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// encodeSorted is the fix: collect, sort, then encode. Clean.
+func encodeSorted(m map[string]int) ([]byte, error) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(keys); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// encodeVia wraps a gob encode, so it inherits the order-sensitivity fact and
+// calling it from inside a map range is as bad as encoding directly.
+func encodeVia(v any) error {
+	return gob.NewEncoder(new(bytes.Buffer)).Encode(v)
+}
+
+func emitViaWrapper(m map[string]int) {
+	for k := range m {
+		_ = encodeVia(k) // want `maporder\.encodeVia called inside iteration over a map`
+	}
+}
+
+// chained taint: a local copy inside the loop still carries the map order.
+func encodeChained(e Emitter, m map[string]int) {
+	var rows []string
+	for k, v := range m {
+		row := k
+		if v > 0 {
+			row = k + "!"
+		}
+		rows = append(rows, row)
+	}
+	e.Emit(rows) // want `receives rows, collected from map iteration`
+}
+
+// keysOnlyLookup is clean: iterating sorted keys and looking values up does
+// not leak map order even though a map is read in the loop.
+func keysOnlyLookup(e Emitter, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.Emit(m[k])
+	}
+}

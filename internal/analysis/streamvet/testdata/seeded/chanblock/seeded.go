@@ -1,0 +1,19 @@
+// Package seedchanblock carries exactly one chanblock violation: a call made
+// under a mutex to a function that blocks on a channel receive.
+package seedchanblock
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+	v  int
+}
+
+func (b *box) recv() int { return <-b.ch }
+
+func (b *box) take() {
+	b.mu.Lock()
+	b.v = b.recv() // the seeded violation
+	b.mu.Unlock()
+}

@@ -1,0 +1,9 @@
+// Package seederrdrop carries exactly one errdrop violation: a discarded
+// fsync error on what the configuration treats as a durability path.
+package seederrdrop
+
+import "os"
+
+func Flush(f *os.File) {
+	f.Sync() // the seeded violation
+}

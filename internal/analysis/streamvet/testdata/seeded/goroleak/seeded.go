@@ -1,0 +1,13 @@
+// Package seedgoroleak carries exactly one goroleak violation: a goroutine
+// with no tie to shutdown.
+package seedgoroleak
+
+func tick() {}
+
+func Start() {
+	go func() { // the seeded violation
+		for {
+			tick()
+		}
+	}()
+}

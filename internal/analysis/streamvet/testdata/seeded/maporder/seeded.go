@@ -1,0 +1,20 @@
+// Package seedmaporder carries exactly one maporder violation: map-collected
+// values reach a gob encode without an intervening sort.
+package seedmaporder
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+func Snapshot(set map[string]int64) ([]byte, error) {
+	entries := make([]string, 0, len(set))
+	for k := range set {
+		entries = append(entries, k)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(entries); err != nil { // the seeded violation
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

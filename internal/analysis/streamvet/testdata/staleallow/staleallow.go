@@ -1,0 +1,25 @@
+// Package staleallow exercises the stale-annotation check: an allow that
+// suppresses a genuine diagnostic is kept quiet; an allow whose violation has
+// since been fixed is itself reported under the staleallow name; an allow
+// additionally tagged staleallow is tolerated (annotation churn mid-refactor).
+package staleallow
+
+import "time"
+
+// Boot genuinely reads the wall clock; the annotation earns its keep.
+func Boot() int64 {
+	//streamvet:allow wallclock — lifecycle timestamp, not event time
+	return time.Now().UnixNano()
+}
+
+// Stale suppresses nothing: the violation it once silenced is gone.
+func Stale() int {
+	//streamvet:allow wallclock — rotted: nothing below reads the clock
+	return 42
+}
+
+// Muted is a rotted annotation explicitly kept through a refactor.
+func Muted() int {
+	//streamvet:allow wallclock staleallow — kept while the migration lands
+	return 7
+}

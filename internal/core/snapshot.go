@@ -511,11 +511,7 @@ func (s *FileSnapshotStore) LinkFile(cp int64, name, src string) error {
 			return nil
 		}
 	}
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-	return nil
+	return syncDir(dir)
 }
 
 // LinkedPath implements FileLinkingStore.
@@ -557,12 +553,12 @@ func commitFile(dir, name string, data []byte) error {
 		return fmt.Errorf("core: snapshot tmp: %w", err)
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("core: snapshot write: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("core: snapshot fsync: %w", err)
 	}
@@ -574,9 +570,25 @@ func commitFile(dir, name string, data []byte) error {
 		os.Remove(tmp)
 		return fmt.Errorf("core: snapshot rename: %w", err)
 	}
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed or just-linked entry survives a
+// crash. The previous best-effort version silently dropped the Sync error,
+// which let a checkpoint be acknowledged while its directory entry could still
+// vanish on power loss — exactly the torn-snapshot case the commit protocol
+// exists to rule out.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("core: open dir for fsync: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close()
+		return fmt.Errorf("core: fsync dir: %w", err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("core: close dir after fsync: %w", err)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sort"
 )
 
 // timerEntry is one registered event-time timer.
@@ -122,12 +123,22 @@ func (t *timerService) due(wm int64) []timerEntry {
 // pending returns the number of live timers.
 func (t *timerService) pending() int { return len(t.set) }
 
-// snapshot serialises the live timers.
+// snapshot serialises the live timers in (TS, Key) order. The set is a map,
+// so without the sort the checkpoint payload bytes depended on map iteration
+// order — replay was still correct (restore rebuilds the heap), but two
+// snapshots of identical timer state could differ byte-for-byte, breaking
+// checkpoint-equality comparisons and content-addressed dedup.
 func (t *timerService) snapshot() ([]byte, error) {
 	entries := make([]timerEntry, 0, len(t.set))
 	for e := range t.set {
 		entries = append(entries, e)
 	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].TS != entries[j].TS {
+			return entries[i].TS < entries[j].TS
+		}
+		return entries[i].Key < entries[j].Key
+	})
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(entries); err != nil {
 		return nil, fmt.Errorf("core: snapshot timers: %w", err)

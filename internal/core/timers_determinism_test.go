@@ -1,0 +1,65 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestTimerSnapshotDeterministic pins the fix for nondeterministic timer
+// snapshots: the live set is a map, so the encoded entries used to leave in
+// map iteration order — replay was correct, but two snapshots of identical
+// timer state could differ byte-for-byte, breaking checkpoint-equality
+// comparisons. Snapshots must now be identical across encodings of the same
+// logical state regardless of registration order.
+func TestTimerSnapshotDeterministic(t *testing.T) {
+	build := func(reverse bool) *timerService {
+		ts := newTimerService()
+		for i := 0; i < 200; i++ {
+			n := i
+			if reverse {
+				n = 199 - i
+			}
+			ts.register(int64(n%17), fmt.Sprintf("key-%04d", n))
+		}
+		return ts
+	}
+
+	base, err := build(false).snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := build(i%2 == 1).snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(base, again) {
+			t.Fatalf("snapshot %d differs from the first for identical timer state", i)
+		}
+	}
+
+	// The same service snapshotted twice must also be byte-stable (each range
+	// over the set randomizes independently).
+	s := build(false)
+	a, err := s.snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two snapshots of one service differ")
+	}
+
+	// Determinism must not change what restore sees.
+	restored := newTimerService()
+	if err := restored.restore(base); err != nil {
+		t.Fatal(err)
+	}
+	if restored.pending() != build(false).pending() {
+		t.Fatalf("restored %d timers, want %d", restored.pending(), build(false).pending())
+	}
+}

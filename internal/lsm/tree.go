@@ -392,11 +392,11 @@ func linkOrCopy(src, dst string) error {
 		return fmt.Errorf("lsm: copy table: %w", err)
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("lsm: copy table: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("lsm: copy table: %w", err)
 	}
 	return f.Close()

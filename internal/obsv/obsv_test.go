@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -191,5 +192,46 @@ func TestServerStartClose(t *testing.T) {
 	defer s.Close()
 	if s.Addr() == "" {
 		t.Fatal("no bound address")
+	}
+}
+
+// TestServerCloseJoinsServeGoroutine pins the fix for the unjoined serve
+// goroutine: Close now waits for the background Serve loop to return, so a
+// returned Close guarantees nothing from this server runs afterwards. With
+// the join in place the goroutine count is back to baseline immediately after
+// Close — no sleep, no retry.
+func TestServerCloseJoinsServeGoroutine(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		s := NewServer(metrics.NewRegistry(), nil, nil)
+		if err := s.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines grew from %d to %d across five start/close cycles", before, after)
+	}
+}
+
+// TestServerCloseReleasesAddr: after Close returns, the exact address can be
+// bound again — shutdown is complete, not merely initiated.
+func TestServerCloseReleasesAddr(t *testing.T) {
+	s1 := NewServer(metrics.NewRegistry(), nil, nil)
+	if err := s1.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := s1.Addr()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewServer(metrics.NewRegistry(), nil, nil)
+	if err := s2.Start(addr); err != nil {
+		t.Fatalf("rebinding %s after Close: %v", addr, err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

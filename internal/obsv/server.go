@@ -79,6 +79,7 @@ type Server struct {
 	mu   sync.Mutex
 	ln   net.Listener
 	http *http.Server
+	wg   sync.WaitGroup
 }
 
 // NewServer builds a server over the given sources. tracer may be nil
@@ -136,7 +137,13 @@ func (s *Server) Start(addr string) error {
 	s.ln = ln
 	s.http = srv
 	s.mu.Unlock()
-	go srv.Serve(ln)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		// Serve always returns a non-nil error; after Close it is
+		// http.ErrServerClosed, which is the expected shutdown path.
+		_ = srv.Serve(ln)
+	}()
 	return nil
 }
 
@@ -151,7 +158,10 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the listener and in-flight handlers.
+// Close stops the listener and in-flight handlers and joins the serve
+// goroutine, so a returned Close guarantees the port is released and nothing
+// from this server runs afterwards (tests reusing addresses relied on luck
+// before).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	srv := s.http
@@ -159,5 +169,7 @@ func (s *Server) Close() error {
 	if srv == nil {
 		return nil
 	}
-	return srv.Close()
+	err := srv.Close()
+	s.wg.Wait()
+	return err
 }

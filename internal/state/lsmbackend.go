@@ -1,8 +1,10 @@
 package state
 
 import (
+	"cmp"
 	"encoding/binary"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/lsm"
@@ -272,10 +274,17 @@ func (b *LSMBackend) ImportGroups(data []byte) error {
 	if err != nil {
 		return err
 	}
-	for _, names := range img.Groups {
-		for name, kvs := range names {
-			for key, val := range kvs {
-				raw, err := encodeAny(val)
+	// Apply in sorted (group, name, key) order. The image is nested maps;
+	// iterating them directly fed the LSM (WAL frame order, memtable flush
+	// boundaries) in a different order each run, so two imports of the same
+	// image produced byte-different trees — which defeats incremental
+	// checkpoints' unchanged-file sharing right after a rescale import.
+	for _, g := range sortedKeys(img.Groups) {
+		names := img.Groups[g]
+		for _, name := range sortedKeys(names) {
+			kvs := names[name]
+			for _, key := range sortedKeys(kvs) {
+				raw, err := encodeAny(kvs[key])
 				if err != nil {
 					return err
 				}
@@ -286,6 +295,17 @@ func (b *LSMBackend) ImportGroups(data []byte) error {
 		}
 	}
 	return nil
+}
+
+// sortedKeys returns m's keys sorted, for deterministic application of
+// nested-map images.
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
 }
 
 // ForEachKey iterates all keys under the named value state.
