@@ -2,8 +2,11 @@
 // stream database for network applications") rebuilt across generations:
 // bounded-memory synopses track heavy hitters and distinct destinations, a
 // CQL continuous query aggregates per-protocol traffic in-engine, and the
-// per-source byte counters are published as queryable state served over TCP
-// — 1st-generation analytics under a 3rd-generation interface.
+// flow stream plus the per-source byte counters are served through the
+// stream SQL front door — a TCP client subscribes a WHERE-filtered
+// continuous query live and point-queries exact state afterwards over the
+// same connection: 1st-generation analytics under a 3rd-generation
+// interface.
 package main
 
 import (
@@ -11,11 +14,13 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/cql"
 	"repro/internal/gen"
 	"repro/internal/queryable"
+	"repro/internal/serve"
 	"repro/internal/synopsis"
 )
 
@@ -41,8 +46,25 @@ func main() {
 	svc := queryable.NewService()
 	cqlOut := core.NewCollectSink()
 
+	// Stream SQL front door: the flow stream is tapped into a serve hub so
+	// network clients can attach continuous CQL queries while the job runs,
+	// and the queryable service answers point queries over the same protocol.
+	front := serve.NewServer(serve.Options{Service: svc})
+	tap := front.RegisterStream("flows", func(e core.Event) (cql.Row, bool) {
+		f, ok := e.Value.(gen.NetFlow)
+		if !ok {
+			return nil, false
+		}
+		return cql.Row{"src": f.SrcIP, "bytes": float64(f.Bytes)}, true
+	})
+	if err := front.Listen("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer front.Close()
+
 	b := core.NewBuilder(core.Config{Name: "netmon", WatermarkInterval: 64})
-	src := b.Source("flows", gen.SourceFactory(spec), core.WithBoundedDisorder(0), core.WithParallelism(par))
+	src := b.Source("flows", gen.SourceFactory(spec), core.WithBoundedDisorder(0), core.WithParallelism(par)).
+		TapInto("tap", tap)
 
 	// Branch 1: synopses (heavy hitters + distinct destinations).
 	src.ProcessWith("sketch", func() core.Operator {
@@ -81,9 +103,37 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// A TCP client subscribes an elephant-flow feed (WHERE-filtered, [NOW]
+	// window — cheap enough to fan out per record) before the job starts, so
+	// it observes the whole stream live and drains on job EOS.
+	client, err := serve.Dial(front.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	sub, err := client.Subscribe("elephants",
+		"ISTREAM (SELECT src, bytes FROM flows [NOW] WHERE bytes > 60000)",
+		serve.SubscribeOptions{Buffer: 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elephants := 0
+	var drain sync.WaitGroup
+	drain.Add(1)
+	go func() {
+		defer drain.Done()
+		for f := range sub.Frames {
+			if f.Op == "delta" {
+				elephants++
+			}
+		}
+	}()
+
 	if err := job.Run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
+	drain.Wait()
 
 	// Merge per-instance sketches.
 	cm := sketches[0]
@@ -113,23 +163,15 @@ func main() {
 	}
 	sort.Slice(talkers, func(i, j int) bool { return talkers[i].est > talkers[j].est })
 	fmt.Printf("  tracked sources        : %d (CMS %d bytes)\n", len(talkers), cm.Bytes())
-	fmt.Println("  top talkers (sketch estimate vs exact queryable state):")
-	srv, err := queryable.Serve(svc, "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer srv.Close()
-	client, err := queryable.Dial(srv.Addr())
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer client.Close()
+	fmt.Printf("  elephant flows >60kB   : %d (streamed live over the front door)\n", elephants)
+	fmt.Println("  top talkers (sketch estimate vs exact state over the front door):")
 	for _, tk := range talkers[:5] {
 		exact, _, err := client.Get("src_bytes", tk.src)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("    %-8s sketch=%-12d exact=%-12d\n", tk.src, tk.est, exact)
+		// Values round-trip through JSON, so numbers arrive as float64.
+		fmt.Printf("    %-8s sketch=%-12d exact=%-12d\n", tk.src, tk.est, int64(exact.(float64)))
 	}
 
 	// Last CQL relation snapshot per protocol.

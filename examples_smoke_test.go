@@ -67,6 +67,21 @@ func TestCommandsRun(t *testing.T) {
 			t.Fatalf("evolution output unexpected:\n%s", out)
 		}
 	})
+	t.Run("serve-tiny", func(t *testing.T) {
+		// Exercises the stream SQL front door end to end: tapped pipeline,
+		// TCP subscribers with continuous CQL queries, live point queries.
+		out := runGo(t, "run", "./cmd/serve", "-n", "4000", "-clients", "3")
+		for _, want := range []string{
+			"stream SQL front door on",
+			"stream SQL front door demo",
+			"true (aggregate stream across 2 subscribers)",
+			"served streams/tables: [flows] / [src_bytes]",
+		} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("serve output missing %q:\n%s", want, out)
+			}
+		}
+	})
 	t.Run("observe-tiny", func(t *testing.T) {
 		// The command self-scrapes /metrics at the end, so this exercises the
 		// introspection HTTP path end to end.

@@ -80,6 +80,11 @@ type Scenario struct {
 	// Columnar enables Config.ColumnarExec: whole-batch columnar operator
 	// execution over the batched exchange. Only meaningful with Batch > 1.
 	Columnar bool `json:"columnar,omitempty"`
+	// Subscribers attaches this many live serve-layer CQL subscribers (TCP
+	// clients on the stream SQL front door) to the pipeline's tapped source
+	// stream for the whole run — the serving-workload cell: fan-out transport
+	// overhead must not dent job throughput.
+	Subscribers int `json:"subscribers,omitempty"`
 	// Events is the stream length at scale 1.0.
 	Events int `json:"events"`
 	// Description says what the scenario exercises.
@@ -113,6 +118,11 @@ func Matrix() []Scenario {
 			Name: "quickstart-columnar-b64-p4", Pipeline: PipelineQuickstart, Arrival: ArrivalSteady,
 			Batch: 64, Parallelism: 4, Columnar: true, Events: 40_000,
 			Description: "windowed count with whole-batch columnar operator execution",
+		},
+		{
+			Name: "quickstart-serve", Pipeline: PipelineQuickstart, Arrival: ArrivalSteady,
+			Batch: 64, Parallelism: 4, Subscribers: 8, Events: 40_000,
+			Description: "windowed count with 8 live CQL subscribers on the serve front door (vs quickstart-b64-p4 unserved)",
 		},
 		{
 			Name: "quickstart-hotkey-b64-p4", Pipeline: PipelineQuickstart, Arrival: ArrivalHotKey,

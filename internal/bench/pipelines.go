@@ -18,7 +18,10 @@ type pipeline struct {
 	source string
 	sink   string
 	scaled string
-	build  func(b *core.Builder, src core.SourceFactory, srcOpts []core.SourceOption, sink *core.CollectSink)
+	// build wires the topology; tap, when non-nil, is inserted on the source
+	// stream (only the quickstart pipeline honours it — the serve scenario's
+	// attachment point).
+	build func(b *core.Builder, src core.SourceFactory, srcOpts []core.SourceOption, sink *core.CollectSink, tap core.Tap)
 }
 
 // pipelineFor materialises the scenario's input stream (deterministic in the
@@ -53,9 +56,12 @@ func quickstartPipeline(n int, hot bool, keys int) pipeline {
 	return pipeline{
 		events: gen.Events(spec),
 		source: "src", sink: "out", scaled: "count-5s",
-		build: func(b *core.Builder, src core.SourceFactory, srcOpts []core.SourceOption, sink *core.CollectSink) {
-			keyed := b.Source("src", src, srcOpts...).
-				KeyBy(func(e core.Event) string { return e.Key })
+		build: func(b *core.Builder, src core.SourceFactory, srcOpts []core.SourceOption, sink *core.CollectSink, tap core.Tap) {
+			s := b.Source("src", src, srcOpts...)
+			if tap != nil {
+				s = s.TapInto("tap", tap)
+			}
+			keyed := s.KeyBy(func(e core.Event) string { return e.Key })
 			window.Apply(keyed, "count-5s", window.NewTumbling(5_000), window.CountAggregate()).
 				Sink("out", sink.Factory())
 		},
@@ -79,7 +85,7 @@ func fraudPipeline(n int, hot bool) pipeline {
 	return pipeline{
 		events: gen.Events(spec),
 		source: "src", sink: "out", scaled: "pattern",
-		build: func(b *core.Builder, src core.SourceFactory, srcOpts []core.SourceOption, sink *core.CollectSink) {
+		build: func(b *core.Builder, src core.SourceFactory, srcOpts []core.SourceOption, sink *core.CollectSink, _ core.Tap) {
 			keyed := b.Source("src", src, srcOpts...).
 				KeyBy(func(e core.Event) string { return e.Value.(gen.Transaction).Card })
 			cep.PatternStream(keyed, "pattern", pattern, func(card string, m cep.Match, emit func(core.Event)) {
@@ -100,7 +106,7 @@ func netmonPipeline(n int, hot bool) pipeline {
 	return pipeline{
 		events: gen.Events(spec),
 		source: "src", sink: "out", scaled: "bytes-10s",
-		build: func(b *core.Builder, src core.SourceFactory, srcOpts []core.SourceOption, sink *core.CollectSink) {
+		build: func(b *core.Builder, src core.SourceFactory, srcOpts []core.SourceOption, sink *core.CollectSink, _ core.Tap) {
 			keyed := b.Source("src", src, srcOpts...).
 				KeyBy(func(e core.Event) string { return e.Value.(gen.NetFlow).SrcIP })
 			window.Apply(keyed, "bytes-10s", window.NewTumbling(10_000),
@@ -118,7 +124,7 @@ func ridesharingPipeline(n int) pipeline {
 	return pipeline{
 		events: gen.Events(spec),
 		source: "src", sink: "out", scaled: "demand-60s",
-		build: func(b *core.Builder, src core.SourceFactory, srcOpts []core.SourceOption, sink *core.CollectSink) {
+		build: func(b *core.Builder, src core.SourceFactory, srcOpts []core.SourceOption, sink *core.CollectSink, _ core.Tap) {
 			zoneKeyed := b.Source("src", src, srcOpts...).
 				Map("pickup-zone", func(e core.Event) (core.Event, bool) {
 					t := e.Value.(gen.Trip)

@@ -10,9 +10,11 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/cql"
 	"repro/internal/elastic"
 	"repro/internal/ha"
 	"repro/internal/metrics"
+	"repro/internal/serve"
 )
 
 const (
@@ -286,11 +288,46 @@ func sourceFactory(sc Scenario, p pipeline, n int) core.SourceFactory {
 }
 
 // runSteady measures throughput and tails on an undisturbed run: warmup,
-// reset, measured window.
+// reset, measured window. Scenarios with Subscribers > 0 additionally run a
+// serve front door with that many live TCP subscribers on the tapped source
+// stream for the whole run.
 func runSteady(ctx context.Context, sc Scenario, p pipeline, n int, res *Result) error {
 	sink := core.NewCollectSink()
 	b := core.NewBuilder(baseConfig(sc, n, core.NewMemorySnapshotStore()))
-	p.build(b, sourceFactory(sc, p, n), []core.SourceOption{core.WithBoundedDisorder(0)}, sink)
+	var tap core.Tap
+	var drained []chan struct{}
+	if sc.Subscribers > 0 {
+		srv := serve.NewServer(serve.Options{})
+		tap = srv.RegisterStream("events", func(e core.Event) (cql.Row, bool) {
+			return cql.Row{"k": e.Key, "v": e.Value.(float64)}, true
+		})
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			return err
+		}
+		defer srv.Close()
+		for i := 0; i < sc.Subscribers; i++ {
+			c, err := serve.Dial(srv.Addr())
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			sub, err := c.Subscribe("bench", "ISTREAM (SELECT k, v FROM events [NOW])",
+				serve.SubscribeOptions{Buffer: 1024})
+			if err != nil {
+				return err
+			}
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for range sub.Frames {
+					// Discard: the scenario measures fan-out transport cost,
+					// not a client workload.
+				}
+			}()
+			drained = append(drained, done)
+		}
+	}
+	p.build(b, sourceFactory(sc, p, n), []core.SourceOption{core.WithBoundedDisorder(0)}, sink, tap)
 	job, err := b.Build()
 	if err != nil {
 		return err
@@ -304,6 +341,15 @@ func runSteady(ctx context.Context, sc Scenario, p pipeline, n int, res *Result)
 	}
 	end := time.Now()
 	measureStart, baseOut, maxLag := w.finish()
+	// Subscribers drain to EOS after the measured window closes; a wedged
+	// front door fails the scenario instead of hanging it.
+	for _, d := range drained {
+		select {
+		case <-d:
+		case <-ctx.Done():
+			return fmt.Errorf("subscriber drain: %w", ctx.Err())
+		}
+	}
 
 	res.ElapsedMs = float64(end.Sub(start).Nanoseconds()) / 1e6
 	total := reg.Counter("node." + p.source + ".out").Value()
@@ -361,7 +407,7 @@ func runCrash(ctx context.Context, sc Scenario, p pipeline, n int, res *Result) 
 		cfg.WatermarkInterval = 1
 		b := core.NewBuilder(cfg)
 		p.build(b, elastic.NewPacedSourceFactory(p.events, pace),
-			[]core.SourceOption{core.WithBoundedDisorder(0), core.WithParallelism(1)}, sink)
+			[]core.SourceOption{core.WithBoundedDisorder(0), core.WithParallelism(1)}, sink, nil)
 		return b.Build()
 	}
 	var mu sync.Mutex
@@ -413,7 +459,7 @@ func runRescale(ctx context.Context, sc Scenario, p pipeline, n int, res *Result
 		b := core.NewBuilder(cfg)
 		pace := func(int) time.Duration { return 50 * time.Microsecond }
 		p.build(b, elastic.NewPacedSourceFactory(p.events, pace),
-			[]core.SourceOption{core.WithBoundedDisorder(0), core.WithParallelism(1)}, sink)
+			[]core.SourceOption{core.WithBoundedDisorder(0), core.WithParallelism(1)}, sink, nil)
 		return b.Build()
 	}
 	w := newWatch(metrics.NewRegistry(), p.source, 0, 0)

@@ -430,3 +430,74 @@ func TestRowsWindowQueryMatchesDirectEvaluation(t *testing.T) {
 		}
 	}
 }
+
+// Regression: Push used to initialize lastSlide to 0, so every tuple whose
+// ts/slide == 0 returned early and the entire first slide period was
+// silently suppressed.
+func TestFirstSlidePeriodEmits(t *testing.T) {
+	ex := MustPrepare("RSTREAM (SELECT COUNT(*) AS n FROM s [RANGE 100 SLIDE 10] GROUP BY k)")
+	out := push(t, ex, "s", 1, Row{"k": "a"}) // boundary 0: must evaluate
+	if len(out) != 1 || out[0].Row["n"] != 1.0 {
+		t.Fatalf("first slide period suppressed: %v", out)
+	}
+	if o := push(t, ex, "s", 3, Row{"k": "a"}); len(o) != 0 {
+		t.Fatalf("mid-slide evaluation in first period: %v", o)
+	}
+	o3 := push(t, ex, "s", 12, Row{"k": "a"})
+	if len(o3) != 1 || o3[0].Row["n"] != 3.0 {
+		t.Fatalf("boundary after first period: %v", o3)
+	}
+}
+
+// Regression: NewExecutor used to overwrite ex.slide with each windowed FROM
+// ref, silently keeping only the last ref's SLIDE.
+func TestMismatchedSlidesRejected(t *testing.T) {
+	_, err := Prepare("ISTREAM (SELECT a.x FROM s1 [RANGE 100 SLIDE 10] AS a JOIN s2 [RANGE 100 SLIDE 20] AS b ON a.k = b.k)")
+	if err == nil {
+		t.Fatal("mismatched SLIDE values accepted")
+	}
+	// Matching slides across refs stay legal.
+	if _, err := Prepare("ISTREAM (SELECT a.x FROM s1 [RANGE 100 SLIDE 10] AS a JOIN s2 [RANGE 50 SLIDE 10] AS b ON a.k = b.k)"); err != nil {
+		t.Fatalf("matching slides rejected: %v", err)
+	}
+	// A single windowed ref plus an unwindowed one is fine too.
+	if _, err := Prepare("ISTREAM (SELECT a.x FROM s1 [RANGE 100 SLIDE 10] AS a, s2 [ROWS 5] AS b)"); err != nil {
+		t.Fatalf("single slide rejected: %v", err)
+	}
+}
+
+// Regression: GROUP BY keys were built with %v, so int64(1), float64(1) and
+// "1" merged into one group.
+func TestGroupKeysAreTypeTagged(t *testing.T) {
+	ex := MustPrepare("RSTREAM (SELECT k, COUNT(*) AS n FROM s [UNBOUNDED] GROUP BY k)")
+	push(t, ex, "s", 1, Row{"k": int64(1)})
+	push(t, ex, "s", 2, Row{"k": float64(1)})
+	out := push(t, ex, "s", 3, Row{"k": "1"})
+	if len(out) != 3 {
+		t.Fatalf("distinct-typed keys merged: want 3 groups, got %d (%v)", len(out), out)
+	}
+	for _, o := range out {
+		if o.Row["n"] != 1.0 {
+			t.Fatalf("group counts corrupted by key collision: %v", out)
+		}
+	}
+}
+
+// Regression: rowKey used %v too, so the DStream bag diff treated
+// {v: int64(1)} and {v: float64(1)} as the same row and swallowed the
+// expiration delta.
+func TestRowKeyTypeCollisionInBagDiff(t *testing.T) {
+	ex := MustPrepare("DSTREAM (SELECT v FROM s [NOW])")
+	push(t, ex, "s", 1, Row{"v": int64(1)})
+	out := push(t, ex, "s", 2, Row{"v": float64(1)})
+	if len(out) != 1 || out[0].Kind != Delete {
+		t.Fatalf("expired row delete swallowed by key collision: %v", out)
+	}
+	if v, ok := out[0].Row["v"].(int64); !ok || v != 1 {
+		t.Fatalf("deleted row carries wrong value: %v", out[0].Row)
+	}
+	// Strings with embedded separators cannot forge composite keys either.
+	if keyPart("a\";b=i:1") == keyPart("a") || keyPart("1") == keyPart(int64(1)) {
+		t.Fatal("keyPart collisions")
+	}
+}

@@ -3,6 +3,7 @@ package cql
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -36,9 +37,13 @@ type Executor struct {
 	// prev is the previous instantaneous result relation as a bag.
 	prevCounts map[string]int
 	prevRows   map[string]Row
-	lastSlide  int64
-	hasSlide   bool
-	slide      int64
+	// lastSlide is only meaningful once slidePrimed is set: initializing it
+	// to a fixed boundary would silently suppress every tuple of that first
+	// slide period (tuples with ts/slide == 0 used to be dropped).
+	lastSlide   int64
+	slidePrimed bool
+	hasSlide    bool
+	slide       int64
 }
 
 type winBuf struct {
@@ -66,6 +71,12 @@ func NewExecutor(stmt *SelectStmt) (*Executor, error) {
 		names[n] = true
 		ex.wins = append(ex.wins, &winBuf{ref: ref})
 		if ref.Window.Slide > 0 {
+			// The executor gates evaluation on one shared slide; silently
+			// keeping only the last ref's value would make the other windows'
+			// SLIDE clauses dead letters.
+			if ex.hasSlide && ex.slide != ref.Window.Slide {
+				return nil, fmt.Errorf("cql: FROM refs declare different SLIDE values (%d vs %d); all windowed refs must share one slide", ex.slide, ref.Window.Slide)
+			}
 			ex.hasSlide = true
 			ex.slide = ref.Window.Slide
 		}
@@ -93,6 +104,20 @@ func NewExecutor(stmt *SelectStmt) (*Executor, error) {
 		}
 	}
 	return ex, nil
+}
+
+// Streams returns the distinct stream names the query reads from, in FROM
+// order — serving layers use this to validate references and route taps.
+func (ex *Executor) Streams() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, w := range ex.wins {
+		if !seen[w.ref.Stream] {
+			seen[w.ref.Stream] = true
+			out = append(out, w.ref.Stream)
+		}
+	}
+	return out
 }
 
 // MustPrepare parses and prepares a query, panicking on error.
@@ -132,9 +157,10 @@ func (ex *Executor) Push(stream string, ts int64, row Row) ([]Output, error) {
 	}
 	if ex.hasSlide {
 		boundary := ts / ex.slide
-		if boundary == ex.lastSlide {
+		if ex.slidePrimed && boundary == ex.lastSlide {
 			return nil, nil
 		}
+		ex.slidePrimed = true
 		ex.lastSlide = boundary
 	}
 	return ex.AdvanceTo(ts)
@@ -252,7 +278,7 @@ func (ex *Executor) evaluate() ([]Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			parts = append(parts, fmt.Sprint(v))
+			parts = append(parts, keyPart(v))
 		}
 		k := strings.Join(parts, "\x00")
 		if _, ok := groups[k]; !ok {
@@ -356,9 +382,31 @@ func rowKey(r Row) string {
 	sort.Strings(keys)
 	var sb strings.Builder
 	for _, k := range keys {
-		fmt.Fprintf(&sb, "%s=%v;", k, r[k])
+		fmt.Fprintf(&sb, "%s=%s;", k, keyPart(r[k]))
 	}
 	return sb.String()
+}
+
+// keyPart canonicalises one value for rowKey and GROUP BY keys with a type
+// tag, so values that print alike but differ in type — int64(1), float64(1),
+// "1" — cannot collide (a collision corrupts the IStream/DStream bag diff and
+// merges distinct groups). Strings are quoted so embedded separators cannot
+// forge a composite key either.
+func keyPart(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "_"
+	case string:
+		return "s:" + strconv.Quote(x)
+	case bool:
+		return "b:" + strconv.FormatBool(x)
+	case int64:
+		return "i:" + strconv.FormatInt(x, 10)
+	case float64:
+		return "f:" + strconv.FormatFloat(x, 'g', -1, 64)
+	default:
+		return fmt.Sprintf("%T:%v", x, x)
+	}
 }
 
 // exprKey canonicalises an expression for GROUP BY matching.

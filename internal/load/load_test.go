@@ -362,3 +362,93 @@ func TestSimulationDrainsCompletely(t *testing.T) {
 		}
 	}
 }
+
+func drainBuffer(b *BoundedBuffer[int]) []int {
+	var out []int
+	for {
+		v, ok := b.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+func TestBoundedBufferDropOldest(t *testing.T) {
+	b := NewBoundedBuffer[int](3, DropOldest)
+	for i := 1; i <= 5; i++ {
+		shed, kill := b.Push(i)
+		if kill {
+			t.Fatal("drop-oldest asked to disconnect")
+		}
+		if shed != (i > 3) {
+			t.Fatalf("push %d: shed=%v", i, shed)
+		}
+	}
+	got := drainBuffer(b)
+	if len(got) != 3 || got[0] != 3 || got[1] != 4 || got[2] != 5 {
+		t.Fatalf("drop-oldest kept %v, want [3 4 5]", got)
+	}
+	if b.Shed() != 2 {
+		t.Fatalf("shed count %d, want 2", b.Shed())
+	}
+}
+
+func TestBoundedBufferDropNewest(t *testing.T) {
+	b := NewBoundedBuffer[int](3, DropNewest)
+	for i := 1; i <= 5; i++ {
+		b.Push(i)
+	}
+	got := drainBuffer(b)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("drop-newest kept %v, want [1 2 3]", got)
+	}
+	if b.Shed() != 2 {
+		t.Fatalf("shed count %d, want 2", b.Shed())
+	}
+}
+
+func TestBoundedBufferDisconnect(t *testing.T) {
+	b := NewBoundedBuffer[int](2, Disconnect)
+	b.Push(1)
+	b.Push(2)
+	shed, kill := b.Push(3)
+	if !shed || !kill {
+		t.Fatalf("full disconnect buffer: shed=%v kill=%v", shed, kill)
+	}
+	if got := drainBuffer(b); len(got) != 2 {
+		t.Fatalf("disconnect mutated queue: %v", got)
+	}
+}
+
+func TestBoundedBufferWrapAround(t *testing.T) {
+	b := NewBoundedBuffer[int](4, DropOldest)
+	next := 0
+	for round := 0; round < 7; round++ {
+		for i := 0; i < 3; i++ {
+			b.Push(next)
+			next++
+		}
+		if v, ok := b.Pop(); !ok || v != next-b.Len()-1 {
+			t.Fatalf("round %d: pop %d (len %d)", round, v, b.Len())
+		}
+	}
+}
+
+func TestParseOverflowPolicy(t *testing.T) {
+	for s, want := range map[string]OverflowPolicy{
+		"": DropOldest, "drop-oldest": DropOldest,
+		"drop-newest": DropNewest, "disconnect": Disconnect,
+	} {
+		got, err := ParseOverflowPolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("parse %q: %v %v", s, got, err)
+		}
+		if s != "" && got.String() != s {
+			t.Fatalf("roundtrip %q -> %q", s, got.String())
+		}
+	}
+	if _, err := ParseOverflowPolicy("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}

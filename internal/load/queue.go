@@ -1,0 +1,123 @@
+package load
+
+import "fmt"
+
+// OverflowPolicy decides what a bounded per-consumer queue does when a
+// producer outruns its consumer — the serving-layer incarnation of the §3.3
+// load-shedding design space ("which tuples to drop") applied per subscriber:
+// the job is the producer that must never block, so the overflow cost lands
+// on the slow consumer instead.
+type OverflowPolicy int
+
+const (
+	// DropOldest evicts the oldest queued element to admit the new one —
+	// subscribers always converge toward the freshest data (the streaming
+	// default).
+	DropOldest OverflowPolicy = iota
+	// DropNewest refuses the incoming element and keeps the queue as is —
+	// preserves a contiguous prefix at the cost of staleness.
+	DropNewest
+	// Disconnect refuses the element and asks the caller to terminate the
+	// consumer — for clients that would rather fail loudly than see gaps.
+	Disconnect
+)
+
+// String renders the policy in the wire vocabulary.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case DropOldest:
+		return "drop-oldest"
+	case DropNewest:
+		return "drop-newest"
+	case Disconnect:
+		return "disconnect"
+	}
+	return fmt.Sprintf("OverflowPolicy(%d)", int(p))
+}
+
+// ParseOverflowPolicy parses the wire vocabulary ("drop-oldest",
+// "drop-newest", "disconnect"); the empty string selects DropOldest.
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
+	switch s {
+	case "", "drop-oldest":
+		return DropOldest, nil
+	case "drop-newest":
+		return DropNewest, nil
+	case "disconnect":
+		return Disconnect, nil
+	}
+	return 0, fmt.Errorf("load: unknown overflow policy %q (want drop-oldest, drop-newest or disconnect)", s)
+}
+
+// BoundedBuffer is a fixed-capacity FIFO ring applying an OverflowPolicy when
+// full. It is not safe for concurrent use; callers serialise access (the
+// serve hub holds one per subscription under the subscription's lock).
+type BoundedBuffer[T any] struct {
+	buf    []T
+	head   int // index of the oldest element
+	n      int
+	policy OverflowPolicy
+	shed   int64
+}
+
+// NewBoundedBuffer returns an empty ring holding at most capacity elements
+// (minimum 1).
+func NewBoundedBuffer[T any](capacity int, policy OverflowPolicy) *BoundedBuffer[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BoundedBuffer[T]{buf: make([]T, capacity), policy: policy}
+}
+
+// Push offers one element. When the ring is full the policy decides:
+// DropOldest evicts the head and admits v (shed=true); DropNewest refuses v
+// (shed=true); Disconnect refuses v and reports kill=true so the caller can
+// terminate the consumer. Shed elements are counted (see Shed).
+func (b *BoundedBuffer[T]) Push(v T) (shed, kill bool) {
+	if b.n < len(b.buf) {
+		b.buf[(b.head+b.n)%len(b.buf)] = v
+		b.n++
+		return false, false
+	}
+	switch b.policy {
+	case DropOldest:
+		// A full ring wraps: the slot after the newest element is head, so
+		// overwriting head with v and advancing head both evicts the oldest
+		// and appends v in one move.
+		b.buf[b.head] = v
+		b.head = (b.head + 1) % len(b.buf)
+		b.shed++
+		return true, false
+	case DropNewest:
+		b.shed++
+		return true, false
+	default: // Disconnect
+		b.shed++
+		return true, true
+	}
+}
+
+// Pop removes and returns the oldest element.
+func (b *BoundedBuffer[T]) Pop() (T, bool) {
+	var zero T
+	if b.n == 0 {
+		return zero, false
+	}
+	v := b.buf[b.head]
+	b.buf[b.head] = zero
+	b.head = (b.head + 1) % len(b.buf)
+	b.n--
+	return v, true
+}
+
+// Len returns the number of queued elements.
+func (b *BoundedBuffer[T]) Len() int { return b.n }
+
+// Cap returns the ring capacity.
+func (b *BoundedBuffer[T]) Cap() int { return len(b.buf) }
+
+// Shed returns how many elements the policy has dropped or refused.
+func (b *BoundedBuffer[T]) Shed() int64 { return b.shed }
+
+// Policy returns the configured overflow policy.
+func (b *BoundedBuffer[T]) Policy() OverflowPolicy { return b.policy }

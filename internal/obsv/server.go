@@ -39,6 +39,23 @@ type JobInfo struct {
 	LastRescaleDurationMs int64      `json:"last_rescale_duration_ms,omitempty"`
 	Nodes                 []NodeInfo `json:"nodes"`
 	Edges                 []EdgeInfo `json:"edges"`
+	// Subscribers lists active serving-layer subscriptions fanned out from
+	// this job's tapped streams (filled by the serve front door; empty for
+	// jobs without one).
+	Subscribers []SubscriberInfo `json:"subscribers,omitempty"`
+}
+
+// SubscriberInfo is one serving-layer subscription's live counters: what was
+// delivered into its continuous query, what its overflow policy shed, and how
+// far its bounded queue has fallen behind the job.
+type SubscriberInfo struct {
+	ID         string `json:"id"`
+	Query      string `json:"query,omitempty"`
+	Policy     string `json:"policy"`
+	Delivered  int64  `json:"delivered"`
+	Shed       int64  `json:"shed,omitempty"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
 }
 
 // NodeInfo describes one logical graph vertex and its aggregate counters.

@@ -18,6 +18,13 @@ import (
 	"repro/internal/core"
 )
 
+// RegisterValueType registers the concrete type of published values with the
+// wire codec (gob). Values whose dynamic type is not a gob builtin must be
+// registered once — by the pipeline author, before serving — or the server
+// cannot encode them and will answer point queries for those keys with an
+// error response.
+func RegisterValueType(v any) { gob.Register(v) }
+
 // Service holds published state snapshots: table -> key -> value. Publishing
 // a table replaces it atomically, so a reader never observes a half-updated
 // snapshot.
@@ -52,6 +59,18 @@ func (s *Service) Get(table, key string) (any, bool) {
 	}
 	v, ok := t[key]
 	return v, ok
+}
+
+// Tables lists the published table names, sorted.
+func (s *Service) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for t := range s.tables {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Keys lists a table's keys, sorted.
@@ -173,8 +192,13 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.conns[conn] = struct{}{}
-		s.connMu.Unlock()
+		// The Add must happen inside the critical section that checked
+		// closed: it is then ordered against Close's closed=true store, so a
+		// handler is either registered before Close's Wait can observe the
+		// counter or never started at all. Adding after the unlock raced
+		// Close's wg.Wait.
 		s.wg.Add(1)
+		s.connMu.Unlock()
 		go func() {
 			defer s.wg.Done()
 			s.handle(conn)
@@ -211,7 +235,15 @@ func (s *Server) handle(conn net.Conn) {
 			resp.Err = fmt.Sprintf("unknown op %q", req.Op)
 		}
 		if err := enc.Encode(&resp); err != nil {
-			return
+			// Most likely an unregistered concrete value type. gob buffers
+			// the value message and only writes it on success, so the stream
+			// is still consistent — answer with an error response instead of
+			// silently dropping the connection (the client used to see a bare
+			// EOF with no hint why).
+			fallback := response{Err: fmt.Sprintf("encode response: %v (register the value's type with queryable.RegisterValueType)", err)}
+			if err := enc.Encode(&fallback); err != nil {
+				return
+			}
 		}
 		if err := w.Flush(); err != nil {
 			return

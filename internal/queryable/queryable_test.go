@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -159,4 +161,90 @@ func TestClientAgainstClosedServer(t *testing.T) {
 		}
 	}
 	c.Close()
+}
+
+type unregisteredValue struct{ N int }
+
+type registeredValue struct{ N int }
+
+// Regression: Server.handle used to silently drop the connection when gob
+// could not encode an unregistered value type — the client saw a bare EOF.
+// Now it answers with an error response, and the connection stays usable.
+func TestUnregisteredValueTypeReportsError(t *testing.T) {
+	svc := NewService()
+	svc.PublishSnapshot("t", map[string]any{
+		"bad":  unregisteredValue{N: 1},
+		"good": int64(7),
+	})
+	srv, err := Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, _, err = c.Get("t", "bad")
+	if err == nil {
+		t.Fatal("unencodable value answered without error")
+	}
+	if !strings.Contains(err.Error(), "RegisterValueType") {
+		t.Fatalf("error does not explain the fix: %v", err)
+	}
+	// The stream survived the failed encode: later queries still work.
+	v, found, err := c.Get("t", "good")
+	if err != nil || !found || v.(int64) != 7 {
+		t.Fatalf("connection unusable after encode failure: %v %v %v", v, found, err)
+	}
+}
+
+func TestRegisterValueTypeRoundtrip(t *testing.T) {
+	RegisterValueType(registeredValue{})
+	svc := NewService()
+	svc.PublishSnapshot("t", map[string]any{"k": registeredValue{N: 42}})
+	srv, err := Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v, found, err := c.Get("t", "k")
+	if err != nil || !found || v.(registeredValue).N != 42 {
+		t.Fatalf("registered value roundtrip: %v %v %v", v, found, err)
+	}
+}
+
+// Regression for the acceptLoop wg.Add / Close wg.Wait race: hammer
+// concurrent dials against servers being closed. Meaningful under -race.
+func TestServeCloseAcceptRace(t *testing.T) {
+	svc := NewService()
+	svc.PublishSnapshot("t", map[string]any{"k": int64(1)})
+	for i := 0; i < 30; i++ {
+		srv, err := Serve(svc, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for d := 0; d < 4; d++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c, err := Dial(srv.Addr())
+				if err != nil {
+					return // server may already be closing
+				}
+				c.Get("t", "k")
+				c.Close()
+			}()
+		}
+		srv.Close()
+		wg.Wait()
+	}
 }

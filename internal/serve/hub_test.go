@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cql"
+	"repro/internal/load"
+	"repro/internal/metrics"
+)
+
+func row(v int64) cql.Row { return cql.Row{"v": v} }
+
+func TestHubFanOutDeliversToAllSubscribers(t *testing.T) {
+	h := NewHub(nil, 16, load.DropOldest)
+	h.RegisterStream("s", nil)
+	var subs []*Subscription
+	for i := 0; i < 3; i++ {
+		sub, err := h.Subscribe(fmt.Sprintf("sub%d", i), "ISTREAM (SELECT v FROM s [NOW])", 0, load.DropOldest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, sub)
+	}
+	for i := 0; i < 5; i++ {
+		h.publishRecord("s", int64(i), row(int64(i)))
+	}
+	for _, sub := range subs {
+		d := sub.next()
+		if len(d.items) != 5 {
+			t.Fatalf("%s got %d items, want 5", sub.Name(), len(d.items))
+		}
+		for i, it := range d.items {
+			if it.Stream != "s" || it.Ts != int64(i) || it.Row["v"].(int64) != int64(i) {
+				t.Fatalf("%s item %d = %+v", sub.Name(), i, it)
+			}
+		}
+	}
+}
+
+func TestHubWatermarkCoalesces(t *testing.T) {
+	h := NewHub(nil, 16, load.DropOldest)
+	h.RegisterStream("s", nil)
+	sub, err := h.Subscribe("w", "ISTREAM (SELECT v FROM s [NOW])", 0, load.DropOldest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five watermarks with no consumer in between: only the latest matters,
+	// none shed, queue untouched.
+	for wm := int64(10); wm <= 50; wm += 10 {
+		h.publishWatermark("s", wm)
+	}
+	d := sub.next()
+	if len(d.items) != 0 || !d.wmSet || d.wm != 50 {
+		t.Fatalf("delivery = %+v, want coalesced wm 50", d)
+	}
+	if sub.Shed() != 0 {
+		t.Fatalf("watermarks shed: %d", sub.Shed())
+	}
+}
+
+func TestHubMultiStreamWatermarkIsMin(t *testing.T) {
+	h := NewHub(nil, 16, load.DropOldest)
+	h.RegisterStream("a", nil)
+	h.RegisterStream("b", nil)
+	sub, err := h.Subscribe("j", "ISTREAM (SELECT a.v AS x, b.v AS y FROM a [RANGE 100], b [RANGE 100])", 0, load.DropOldest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One stream alone gives no lower bound.
+	h.publishWatermark("a", 40)
+	h.publishRecord("a", 1, row(1)) // something to wake next() on
+	d := sub.next()
+	if d.wmSet {
+		t.Fatalf("watermark announced before all streams reported: %+v", d)
+	}
+	h.publishWatermark("b", 25)
+	if d = sub.next(); !d.wmSet || d.wm != 25 {
+		t.Fatalf("want min watermark 25, got %+v", d)
+	}
+	// EOS on b stops constraining the min.
+	h.publishEOS("b")
+	h.publishWatermark("a", 60)
+	if d = sub.next(); !d.wmSet || d.wm != 60 {
+		t.Fatalf("EOS'd stream still constrains watermark: %+v", d)
+	}
+	if d.eos {
+		t.Fatal("eos with one stream still live")
+	}
+	h.publishEOS("a")
+	if d = sub.next(); !d.eos {
+		t.Fatalf("want eos after all streams end, got %+v", d)
+	}
+}
+
+func TestHubDropOldestShedsAndCounts(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := NewHub(reg, 16, load.DropOldest)
+	h.RegisterStream("s", nil)
+	sub, err := h.Subscribe("lag", "ISTREAM (SELECT v FROM s [NOW])", 4, load.DropOldest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		h.publishRecord("s", int64(i), row(int64(i)))
+	}
+	d := sub.next()
+	if len(d.items) != 4 {
+		t.Fatalf("stalled subscriber kept %d items, want newest 4", len(d.items))
+	}
+	for i, it := range d.items {
+		if want := int64(6 + i); it.Ts != want {
+			t.Fatalf("item %d ts = %d, want %d (newest survive)", i, it.Ts, want)
+		}
+	}
+	if got := sub.Shed(); got != 6 {
+		t.Fatalf("shed = %d, want 6", got)
+	}
+	if got := reg.Counter("serve.sub.lag.shed").Value(); got != 6 {
+		t.Fatalf("shed counter = %d, want 6", got)
+	}
+	if got := reg.Counter("serve.sub.lag.delivered").Value(); got != 4 {
+		t.Fatalf("delivered counter = %d, want 4", got)
+	}
+	infos := h.Subscribers()
+	if len(infos) != 1 || infos[0].ID != "lag" || infos[0].Shed != 6 || infos[0].Policy != "drop-oldest" {
+		t.Fatalf("Subscribers() = %+v", infos)
+	}
+}
+
+func TestHubDisconnectPolicyKills(t *testing.T) {
+	h := NewHub(nil, 16, load.DropOldest)
+	h.RegisterStream("s", nil)
+	sub, err := h.Subscribe("strict", "ISTREAM (SELECT v FROM s [NOW])", 1, load.Disconnect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	sub.OnKill(func() { killed = true })
+	h.publishRecord("s", 1, row(1))
+	h.publishRecord("s", 2, row(2)) // overflow -> kill
+	if !killed {
+		t.Fatal("OnKill not fired on overflow under disconnect policy")
+	}
+	d := sub.next()
+	if !d.killed {
+		t.Fatalf("delivery not marked killed: %+v", d)
+	}
+	if len(d.items) != 1 || d.items[0].Ts != 1 {
+		t.Fatalf("disconnect policy should keep the contiguous prefix, got %+v", d.items)
+	}
+}
+
+func TestHubSubscribeErrors(t *testing.T) {
+	h := NewHub(nil, 16, load.DropOldest)
+	h.RegisterStream("s", nil)
+	check := func(name, query, wantCode string) {
+		t.Helper()
+		_, err := h.Subscribe(name, query, 0, load.DropOldest)
+		se, ok := err.(*Error)
+		if !ok || se.Code != wantCode {
+			t.Fatalf("Subscribe(%q) err = %v, want code %s", query, err, wantCode)
+		}
+	}
+	check("bad", "SELEKT nope", CodeSyntax)
+	check("ghost", "ISTREAM (SELECT v FROM nosuch [NOW])", CodeUndefinedStream)
+	if _, err := h.Subscribe("dup", "ISTREAM (SELECT v FROM s [NOW])", 0, load.DropOldest); err != nil {
+		t.Fatal(err)
+	}
+	check("dup", "ISTREAM (SELECT v FROM s [NOW])", CodeDuplicate)
+	h.Close()
+	check("late", "ISTREAM (SELECT v FROM s [NOW])", CodeShutdown)
+}
+
+func TestHubCloseCancelsSubscriptions(t *testing.T) {
+	h := NewHub(nil, 16, load.DropOldest)
+	h.RegisterStream("s", nil)
+	sub, err := h.Subscribe("x", "ISTREAM (SELECT v FROM s [NOW])", 0, load.DropOldest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan delivery, 1)
+	go func() { done <- sub.next() }()
+	h.Close()
+	if d := <-done; !d.closed {
+		t.Fatalf("blocked consumer not released on Close: %+v", d)
+	}
+	// Taps stay valid after Close; publishing is a no-op.
+	h.publishRecord("s", 1, row(1))
+	if n := len(h.Subscribers()); n != 0 {
+		t.Fatalf("%d subscribers survived Close", n)
+	}
+}
